@@ -1,0 +1,158 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation. Each runs
+// the corresponding experiment and reports the headline quantity as a
+// custom metric in *virtual* time (the simulation is deterministic;
+// wall-clock ns/op only measures the simulator itself).
+//
+//	go test -bench=. -benchmem
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/experiments"
+	"repro/internal/mobibench"
+	"repro/internal/platform"
+)
+
+const benchTxns = 100
+
+func BenchmarkTable1FlushesPerTxn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1(benchTxns)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].Flushes, "flushes/txn(K=1)")
+		b.ReportMetric(r.Rows[len(r.Rows)-1].Flushes, "flushes/txn(K=32)")
+	}
+}
+
+func BenchmarkTable2BytesPerTxn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table2(benchTxns)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Reduction(mobibench.Insert, 0)*100, "insert-diff-saving-%")
+		b.ReportMetric(r.FramesPerBlock, "frames/block")
+	}
+}
+
+func BenchmarkFig5LazyVsEager(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure5(benchTxns)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l, e := r.Cell(32, true), r.Cell(32, false)
+		b.ReportMetric(float64(l.Ordering().Microseconds()), "lazy-ordering-us(K=32)")
+		b.ReportMetric(float64(e.Ordering().Microseconds()), "eager-ordering-us(K=32)")
+	}
+}
+
+func BenchmarkFig6OverheadPercent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure5(benchTxns)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Cell(1, true).OverheadPercent(), "overhead-%(K=1)")
+		b.ReportMetric(r.Cell(32, true).OverheadPercent(), "overhead-%(K=32)")
+	}
+}
+
+func BenchmarkFig7Variants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure7(mobibench.Insert, benchTxns)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slow := r.Latencies[len(r.Latencies)-1]
+		b.ReportMetric(r.Throughput("NVWAL UH+LS+Diff", slow), "UH+LS+Diff-txn/s@1942ns")
+		b.ReportMetric(r.Throughput("NVWAL LS", slow), "LS-txn/s@1942ns")
+	}
+}
+
+func BenchmarkFig8BlockTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.JournalReduction()*100, "journal-saving-%")
+	}
+}
+
+func BenchmarkFig9NVWALvsFlash(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure9(benchTxns)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Speedup(2*time.Microsecond), "speedup-x@2us")
+		b.ReportMetric(r.Throughput(experiments.Fig9Series[2], r.Latencies[0]), "wal-txn/s")
+	}
+}
+
+func BenchmarkBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Baselines(benchTxns)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Row("Rollback journal").Throughput, "rollback-txn/s")
+		b.ReportMetric(r.Row("NVWAL UH+LS+Diff").Throughput, "nvwal-txn/s")
+	}
+}
+
+func BenchmarkPersistencyModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Persistency(benchTxns)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slow := r.Latencies[len(r.Latencies)-1]
+		b.ReportMetric(r.Throughput("Epoch persistency", slow), "epoch-txn/s@1942ns")
+		b.ReportMetric(r.Throughput("Strict persistency", slow), "strict-txn/s@1942ns")
+	}
+}
+
+// BenchmarkCommitPath measures the simulator's own wall-clock cost of
+// one NVWAL commit (not a paper figure; a sanity benchmark for the
+// reproduction itself).
+func BenchmarkCommitPath(b *testing.B) {
+	plat, err := platform.NewNexus5()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := db.Open(plat, "bench.db", db.Options{
+		Journal: db.JournalNVWAL,
+		NVWAL:   core.VariantUHLSDiff(),
+		CPU:     db.CPUNexus5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.CreateTable("t"); err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, err := d.Begin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		key := []byte{byte(i >> 24), byte(i >> 16), byte(i >> 8), byte(i)}
+		if err := tx.Insert("t", key, val); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

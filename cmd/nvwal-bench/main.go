@@ -1,0 +1,128 @@
+// Command nvwal-bench regenerates the paper's evaluation (§5) on the
+// simulated platforms: one subcommand per table/figure, plus "all".
+//
+// Usage:
+//
+//	nvwal-bench [-txns N] table1|table2|fig5|fig6|fig7|fig8|fig9|all
+//
+// Throughput numbers are virtual-time based and deterministic; see
+// EXPERIMENTS.md for the paper-versus-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/mobibench"
+)
+
+func main() {
+	txns := flag.Int("txns", 0, "transactions per measurement (0 = experiment default)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: nvwal-bench [-txns N] table1|table2|fig5|fig6|fig7|fig8|fig9|persistency|prealloc|baselines|cschecksum|groupcommit|all")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *txns); err != nil {
+		fmt.Fprintln(os.Stderr, "nvwal-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, txns int) error {
+	out := os.Stdout
+	switch name {
+	case "table1":
+		r, err := experiments.Table1(txns)
+		if err != nil {
+			return err
+		}
+		r.Print(out)
+	case "table2":
+		r, err := experiments.Table2(txns)
+		if err != nil {
+			return err
+		}
+		r.Print(out)
+	case "fig5":
+		r, err := experiments.Figure5(txns)
+		if err != nil {
+			return err
+		}
+		r.Print(out)
+	case "fig6":
+		r, err := experiments.Figure5(txns)
+		if err != nil {
+			return err
+		}
+		r.WriteFigure6(out)
+	case "fig7":
+		for _, op := range []mobibench.Op{mobibench.Insert, mobibench.Update, mobibench.Delete} {
+			r, err := experiments.Figure7(op, txns)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			fmt.Fprintln(out)
+		}
+	case "fig8":
+		r, err := experiments.Figure8()
+		if err != nil {
+			return err
+		}
+		r.Print(out)
+	case "fig9":
+		r, err := experiments.Figure9(txns)
+		if err != nil {
+			return err
+		}
+		r.Print(out)
+	case "persistency":
+		r, err := experiments.Persistency(txns)
+		if err != nil {
+			return err
+		}
+		r.Print(out)
+	case "prealloc":
+		r, err := experiments.Prealloc(txns)
+		if err != nil {
+			return err
+		}
+		r.Print(out)
+	case "baselines":
+		r, err := experiments.Baselines(txns)
+		if err != nil {
+			return err
+		}
+		r.Print(out)
+	case "cschecksum":
+		r, err := experiments.ChecksumStudy(txns)
+		if err != nil {
+			return err
+		}
+		r.Print(out)
+	case "groupcommit":
+		r, err := experiments.GroupCommit(txns)
+		if err != nil {
+			return err
+		}
+		r.Print(out)
+	case "all":
+		for _, sub := range []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "persistency", "prealloc", "baselines", "cschecksum", "groupcommit"} {
+			fmt.Fprintf(out, "==== %s ====\n", sub)
+			if err := run(sub, txns); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

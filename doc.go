@@ -1,0 +1,28 @@
+// Package repro is a from-scratch Go reproduction of "NVWAL: Exploiting
+// NVRAM in Write-Ahead Logging" (Kim, Kim, Baek, Nam, Won — ASPLOS
+// 2016): SQLite-style write-ahead logging kept in byte-addressable
+// NVRAM, with byte-granularity differential logging, transaction-aware
+// lazy synchronization, and user-level NVRAM heap management.
+//
+// The repository layers, bottom to top:
+//
+//	internal/simclock     deterministic virtual clock
+//	internal/metrics      counters and per-phase time attribution
+//	internal/memsim       write-back cache + memory controller + NVRAM cells
+//	internal/nvram        the NVRAM device (typed accessors, latency knob)
+//	internal/heapo        kernel NVRAM heap manager (tri-state blocks, namespace)
+//	internal/blockdev     eMMC flash block device
+//	internal/ext4         ordered-mode journaling file system
+//	internal/btree        SQLite-style B+tree (early-split variant included)
+//	internal/pager        DRAM page cache and transaction pre-images
+//	internal/wal          stock + optimized file WAL baselines
+//	internal/core         NVWAL itself (the paper's contribution)
+//	internal/db           the embedded database facade
+//	internal/mobibench    the evaluation workload generator
+//	internal/experiments  regenerators for every table and figure of §5
+//
+// See README.md for a quickstart, DESIGN.md for the system inventory
+// and substitutions, and EXPERIMENTS.md for paper-versus-measured
+// results. The root-level benchmarks (bench_test.go) wrap each
+// experiment as a testing.B benchmark reporting virtual-time metrics.
+package repro

@@ -1,0 +1,247 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCursorEmptyTree(t *testing.T) {
+	tr, _ := newTree(t, 0)
+	c := tr.NewCursor()
+	ok, err := c.First()
+	if err != nil || ok {
+		t.Fatalf("First on empty tree = (%v,%v)", ok, err)
+	}
+	if c.Valid() {
+		t.Fatal("cursor valid on empty tree")
+	}
+}
+
+func TestCursorFullIteration(t *testing.T) {
+	tr, _ := newTree(t, 0)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), val(i))
+	}
+	c := tr.NewCursor()
+	ok, err := c.First()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for ok {
+		k, v, err := c.Record()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(k, key(count)) || !bytes.Equal(v, val(count)) {
+			t.Fatalf("record %d = %q", count, k)
+		}
+		count++
+		ok, err = c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if count != n {
+		t.Fatalf("iterated %d records, want %d", count, n)
+	}
+}
+
+func TestCursorSeek(t *testing.T) {
+	tr, _ := newTree(t, 0)
+	for i := 0; i < 100; i += 2 { // even keys only
+		tr.Put(key(i), val(i))
+	}
+	c := tr.NewCursor()
+	// Exact hit.
+	ok, err := c.Seek(key(42))
+	if err != nil || !ok {
+		t.Fatalf("Seek(42) = (%v,%v)", ok, err)
+	}
+	if k, _ := c.Key(); !bytes.Equal(k, key(42)) {
+		t.Fatalf("Seek(42) landed on %q", k)
+	}
+	// Between keys: lands on the next even key.
+	ok, _ = c.Seek(key(43))
+	if k, _ := c.Key(); !ok || !bytes.Equal(k, key(44)) {
+		t.Fatalf("Seek(43) landed on %q", k)
+	}
+	// Past the end.
+	ok, err = c.Seek(key(99))
+	if err != nil || ok {
+		t.Fatalf("Seek past end = (%v,%v)", ok, err)
+	}
+}
+
+func TestCursorSkipsEmptyLeaves(t *testing.T) {
+	tr, _ := newTree(t, 0)
+	for i := 0; i < 400; i++ {
+		tr.Put(key(i), val(i))
+	}
+	// Empty out a middle range, leaving hollow leaves in place.
+	for i := 100; i < 300; i++ {
+		tr.Delete(key(i))
+	}
+	c := tr.NewCursor()
+	ok, err := c.Seek(key(100))
+	if err != nil || !ok {
+		t.Fatalf("Seek into hole = (%v,%v)", ok, err)
+	}
+	if k, _ := c.Key(); !bytes.Equal(k, key(300)) {
+		t.Fatalf("Seek into hole landed on %q, want key 300", k)
+	}
+	// Full iteration sees exactly the live records.
+	count := 0
+	for ok, _ = c.First(); ok; ok, _ = c.Next() {
+		count++
+	}
+	if count != 200 {
+		t.Fatalf("iterated %d, want 200", count)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr, _ := newTree(t, 0)
+	for i := 0; i < 50; i++ {
+		tr.Put(key(i), val(i))
+	}
+	var got []string
+	err := tr.ScanRange(key(10), key(15), func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[0] != string(key(10)) || got[4] != string(key(14)) {
+		t.Fatalf("range = %v", got)
+	}
+	// Open-ended range.
+	n := 0
+	tr.ScanRange(key(45), nil, func(_, _ []byte) bool { n++; return true })
+	if n != 5 {
+		t.Fatalf("open range visited %d", n)
+	}
+	// Early stop.
+	n = 0
+	tr.ScanRange(key(0), nil, func(_, _ []byte) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	tr, _ := newTree(t, 0)
+	for _, k := range []string{"a/1", "a/2", "a/3", "b/1", "ab", "a"} {
+		tr.Put([]byte(k), []byte("v"))
+	}
+	var got []string
+	tr.ScanPrefix([]byte("a/"), func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := []string{"a/1", "a/2", "a/3"}
+	if len(got) != len(want) {
+		t.Fatalf("prefix scan = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("prefix scan = %v", got)
+		}
+	}
+}
+
+func TestPrefixEnd(t *testing.T) {
+	if got := prefixEnd([]byte("ab")); !bytes.Equal(got, []byte("ac")) {
+		t.Fatalf("prefixEnd(ab) = %q", got)
+	}
+	if got := prefixEnd([]byte{0x61, 0xFF}); !bytes.Equal(got, []byte{0x62}) {
+		t.Fatalf("prefixEnd(a\\xff) = %x", got)
+	}
+	if got := prefixEnd([]byte{0xFF, 0xFF}); got != nil {
+		t.Fatalf("prefixEnd(\\xff\\xff) = %x, want nil", got)
+	}
+}
+
+func TestCursorReadUnpositionedPanics(t *testing.T) {
+	tr, _ := newTree(t, 0)
+	c := tr.NewCursor()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reading unpositioned cursor did not panic")
+		}
+	}()
+	c.Key()
+}
+
+// Property: cursor iteration equals sorted model-map iteration after
+// arbitrary mutations, for both First and arbitrary Seeks.
+func TestPropertyCursorMatchesSortedModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, _ := newTree(t, ReservedTail)
+		model := map[string]string{}
+		for op := 0; op < 500; op++ {
+			k := fmt.Sprintf("k%05d", rng.Intn(300))
+			if rng.Intn(4) == 0 {
+				tr.Delete([]byte(k))
+				delete(model, k)
+			} else {
+				v := fmt.Sprintf("v%d", op)
+				if tr.Put([]byte(k), []byte(v)) != nil {
+					return false
+				}
+				model[k] = v
+			}
+		}
+		keys := make([]string, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+
+		// Full iteration.
+		c := tr.NewCursor()
+		i := 0
+		ok, err := c.First()
+		for ; ok && err == nil; ok, err = c.Next() {
+			k, v, e := c.Record()
+			if e != nil || i >= len(keys) || string(k) != keys[i] || string(v) != model[keys[i]] {
+				return false
+			}
+			i++
+		}
+		if err != nil || i != len(keys) {
+			return false
+		}
+
+		// Random seeks.
+		for trial := 0; trial < 20; trial++ {
+			target := fmt.Sprintf("k%05d", rng.Intn(320))
+			want := sort.SearchStrings(keys, target)
+			ok, err := c.Seek([]byte(target))
+			if err != nil {
+				return false
+			}
+			if want == len(keys) {
+				if ok {
+					return false
+				}
+				continue
+			}
+			k, _ := c.Key()
+			if !ok || string(k) != keys[want] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

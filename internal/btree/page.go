@@ -1,0 +1,269 @@
+// Package btree implements the SQLite-style B+tree the database engine
+// stores records in: fixed-size pages holding a cell-pointer array that
+// grows forward from the page header and cell content allocated backward
+// from the page end.
+//
+// The layout reproduces the dirty-byte behaviour §5.2 measures: an
+// insert appends a new cell into the free gap and touches a small,
+// localized region, while deletes (and therefore updates) compact the
+// content area to avoid fragmentation and touch a large portion of the
+// page — which is why differential logging helps inserts the most
+// (Table 2).
+//
+// The package also implements the early-split variant of §5.4: every
+// page keeps its last ReservedTail bytes (24 in the paper) unused so a
+// WAL frame header plus the page fit exactly into one file-system block.
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Page type bytes.
+const (
+	pageLeaf     = 1
+	pageInterior = 2
+)
+
+// Page header layout (both page types share one 12-byte header):
+//
+//	[0]      page type
+//	[1]      unused
+//	[2:4]    cell count (uint16)
+//	[4:6]    content start: lowest offset of allocated cell content
+//	[6:8]    unused (fragment accounting placeholder)
+//	[8:12]   rightmost child page (interior pages only)
+//	[12:]    cell pointer array, 2 bytes per cell
+const (
+	hdrType         = 0
+	hdrNCells       = 2
+	hdrContentStart = 4
+	hdrRightChild   = 8
+	headerSize      = 12
+)
+
+// page wraps one page buffer with layout accessors. It is a transient
+// view; the underlying buffer belongs to the PageStore.
+type page struct {
+	no     uint32
+	buf    []byte
+	usable int // len(buf) - reserved tail
+}
+
+func (p *page) typ() int        { return int(p.buf[hdrType]) }
+func (p *page) isLeaf() bool    { return p.buf[hdrType] == pageLeaf }
+func (p *page) nCells() int     { return int(binary.LittleEndian.Uint16(p.buf[hdrNCells:])) }
+func (p *page) setNCells(n int) { binary.LittleEndian.PutUint16(p.buf[hdrNCells:], uint16(n)) }
+func (p *page) contentStart() int {
+	return int(binary.LittleEndian.Uint16(p.buf[hdrContentStart:]))
+}
+func (p *page) setContentStart(v int) {
+	binary.LittleEndian.PutUint16(p.buf[hdrContentStart:], uint16(v))
+}
+func (p *page) rightChild() uint32 { return binary.LittleEndian.Uint32(p.buf[hdrRightChild:]) }
+func (p *page) setRightChild(c uint32) {
+	binary.LittleEndian.PutUint32(p.buf[hdrRightChild:], c)
+}
+
+// init formats the page as an empty leaf or interior page.
+func (p *page) init(typ int) {
+	p.buf[hdrType] = byte(typ)
+	p.buf[1] = 0
+	p.setNCells(0)
+	p.setContentStart(p.usable)
+	binary.LittleEndian.PutUint16(p.buf[6:], 0)
+	p.setRightChild(0)
+}
+
+// cellPtr returns the content offset of cell i.
+func (p *page) cellPtr(i int) int {
+	return int(binary.LittleEndian.Uint16(p.buf[headerSize+2*i:]))
+}
+
+func (p *page) setCellPtr(i, off int) {
+	binary.LittleEndian.PutUint16(p.buf[headerSize+2*i:], uint16(off))
+}
+
+// freeSpace reports the bytes available in the gap between the pointer
+// array and the content area.
+func (p *page) freeSpace() int {
+	return p.contentStart() - (headerSize + 2*p.nCells())
+}
+
+// Leaf cell: [keyLen u16][valLen u16][key][value]
+//
+// When the value is too large to store locally, the keyLen field's top
+// bit (overflowFlag) is set and the cell becomes
+//
+//	[keyLen|flag u16][valTotal u16][localLen u16][key][local value][overflow pgno u32]
+//
+// with the remainder of the value on a chain of overflow pages, each
+// laid out as [next pgno u32][payload...], like SQLite's overflow
+// chains.
+//
+// Interior cell: [child u32][keyLen u16][key]
+
+const overflowFlag = 0x8000
+
+func leafCellSize(key, val []byte) int { return 4 + len(key) + len(val) }
+
+func overflowCellSize(keyLen, localLen int) int { return 6 + keyLen + localLen + 4 }
+
+func interiorCellSize(key []byte) int { return 6 + len(key) }
+
+// leafCell reads the key and the locally stored value bytes of leaf
+// cell i. The returned slices alias the page buffer. For overflowing
+// cells, val is only the local prefix; use Tree.cellValue for the full
+// value.
+func (p *page) leafCell(i int) (key, val []byte) {
+	key, local, _, _ := p.leafCellInfo(i)
+	return key, local
+}
+
+// leafCellInfo decodes leaf cell i: key, local value bytes, the total
+// value length, and the overflow chain head (0 = fully local).
+func (p *page) leafCellInfo(i int) (key, local []byte, total int, ovfl uint32) {
+	off := p.cellPtr(i)
+	klRaw := binary.LittleEndian.Uint16(p.buf[off:])
+	kl := int(klRaw &^ overflowFlag)
+	total = int(binary.LittleEndian.Uint16(p.buf[off+2:]))
+	if klRaw&overflowFlag == 0 {
+		key = p.buf[off+4 : off+4+kl]
+		local = p.buf[off+4+kl : off+4+kl+total]
+		return key, local, total, 0
+	}
+	ll := int(binary.LittleEndian.Uint16(p.buf[off+4:]))
+	key = p.buf[off+6 : off+6+kl]
+	local = p.buf[off+6+kl : off+6+kl+ll]
+	ovfl = binary.LittleEndian.Uint32(p.buf[off+6+kl+ll:])
+	return key, local, total, ovfl
+}
+
+// interiorCell reads the child pointer and separator key of interior
+// cell i. The key aliases the page buffer.
+func (p *page) interiorCell(i int) (child uint32, key []byte) {
+	off := p.cellPtr(i)
+	child = binary.LittleEndian.Uint32(p.buf[off:])
+	kl := int(binary.LittleEndian.Uint16(p.buf[off+4:]))
+	key = p.buf[off+6 : off+6+kl]
+	return child, key
+}
+
+// cellSize reports the content size of cell i.
+func (p *page) cellSize(i int) int {
+	off := p.cellPtr(i)
+	if p.isLeaf() {
+		klRaw := binary.LittleEndian.Uint16(p.buf[off:])
+		kl := int(klRaw &^ overflowFlag)
+		if klRaw&overflowFlag != 0 {
+			ll := int(binary.LittleEndian.Uint16(p.buf[off+4:]))
+			return overflowCellSize(kl, ll)
+		}
+		vl := int(binary.LittleEndian.Uint16(p.buf[off+2:]))
+		return 4 + kl + vl
+	}
+	kl := int(binary.LittleEndian.Uint16(p.buf[off+4:]))
+	return 6 + kl
+}
+
+// allocCell carves size bytes from the content area and returns the
+// offset, or -1 if the free gap cannot hold size plus one pointer slot.
+func (p *page) allocCell(size int) int {
+	if p.freeSpace() < size+2 {
+		return -1
+	}
+	off := p.contentStart() - size
+	p.setContentStart(off)
+	return off
+}
+
+// insertCellAt inserts raw cell content at pointer-array index i,
+// shifting later pointers. Caller must have verified capacity via
+// allocCell semantics; insertCellAt panics when out of space (a bug in
+// the split logic, not a user error).
+func (p *page) insertCellAt(i int, cell []byte) {
+	off := p.allocCell(len(cell))
+	if off < 0 {
+		panic(fmt.Sprintf("btree: page %d overflow inserting %d bytes (free %d)", p.no, len(cell), p.freeSpace()))
+	}
+	copy(p.buf[off:], cell)
+	n := p.nCells()
+	copy(p.buf[headerSize+2*(i+1):headerSize+2*(n+1)], p.buf[headerSize+2*i:headerSize+2*n])
+	p.setCellPtr(i, off)
+	p.setNCells(n + 1)
+}
+
+// deleteCellAt removes cell i and compacts the content area so no
+// fragmentation remains — the shifting behaviour that makes delete and
+// update transactions dirty a large portion of the page (§5.2).
+func (p *page) deleteCellAt(i int) {
+	n := p.nCells()
+	// Drop the pointer.
+	copy(p.buf[headerSize+2*i:headerSize+2*(n-1)], p.buf[headerSize+2*(i+1):headerSize+2*n])
+	p.setNCells(n - 1)
+	p.compact()
+}
+
+// compact repacks all cell content against the end of the usable area,
+// preserving cell order.
+func (p *page) compact() {
+	n := p.nCells()
+	type span struct {
+		idx, off, size int
+	}
+	spans := make([]span, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		sz := p.cellSize(i)
+		spans[i] = span{i, p.cellPtr(i), sz}
+		total += sz
+	}
+	// Copy content out and re-lay it in.
+	tmp := make([]byte, total)
+	pos := 0
+	for i := range spans {
+		copy(tmp[pos:], p.buf[spans[i].off:spans[i].off+spans[i].size])
+		spans[i].off = pos // now an offset into tmp
+		pos += spans[i].size
+	}
+	writeAt := p.usable
+	for i := 0; i < n; i++ {
+		writeAt -= spans[i].size
+		copy(p.buf[writeAt:], tmp[spans[i].off:spans[i].off+spans[i].size])
+		p.setCellPtr(i, writeAt)
+	}
+	p.setContentStart(writeAt)
+}
+
+// encodeLeafCell builds a leaf cell for key/val.
+func encodeLeafCell(key, val []byte) []byte {
+	cell := make([]byte, leafCellSize(key, val))
+	binary.LittleEndian.PutUint16(cell[0:], uint16(len(key)))
+	binary.LittleEndian.PutUint16(cell[2:], uint16(len(val)))
+	copy(cell[4:], key)
+	copy(cell[4+len(key):], val)
+	return cell
+}
+
+// encodeOverflowCell builds a leaf cell whose value spills to an
+// overflow chain headed at ovfl.
+func encodeOverflowCell(key, local []byte, total int, ovfl uint32) []byte {
+	cell := make([]byte, overflowCellSize(len(key), len(local)))
+	binary.LittleEndian.PutUint16(cell[0:], uint16(len(key))|overflowFlag)
+	binary.LittleEndian.PutUint16(cell[2:], uint16(total))
+	binary.LittleEndian.PutUint16(cell[4:], uint16(len(local)))
+	copy(cell[6:], key)
+	copy(cell[6+len(key):], local)
+	binary.LittleEndian.PutUint32(cell[6+len(key)+len(local):], ovfl)
+	return cell
+}
+
+// encodeInteriorCell builds an interior cell for child/key.
+func encodeInteriorCell(child uint32, key []byte) []byte {
+	cell := make([]byte, interiorCellSize(key))
+	binary.LittleEndian.PutUint32(cell[0:], child)
+	binary.LittleEndian.PutUint16(cell[4:], uint16(len(key)))
+	copy(cell[6:], key)
+	return cell
+}

@@ -1,0 +1,172 @@
+package btree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newPage(t testing.TB, typ int, usable int) *page {
+	t.Helper()
+	p := &page{no: 1, buf: make([]byte, 4096), usable: usable}
+	p.init(typ)
+	return p
+}
+
+func TestPageInit(t *testing.T) {
+	p := newPage(t, pageLeaf, 4096)
+	if !p.isLeaf() || p.nCells() != 0 || p.contentStart() != 4096 {
+		t.Fatalf("fresh leaf: leaf=%v cells=%d cs=%d", p.isLeaf(), p.nCells(), p.contentStart())
+	}
+	if p.freeSpace() != 4096-headerSize {
+		t.Fatalf("freeSpace = %d", p.freeSpace())
+	}
+	q := newPage(t, pageInterior, 4072)
+	if q.isLeaf() || q.typ() != pageInterior || q.contentStart() != 4072 {
+		t.Fatal("fresh interior wrong")
+	}
+}
+
+func TestInsertCellOrderingAndLookup(t *testing.T) {
+	p := newPage(t, pageLeaf, 4096)
+	// Insert out of order via explicit indices.
+	p.insertCellAt(0, encodeLeafCell([]byte("bb"), []byte("2")))
+	p.insertCellAt(0, encodeLeafCell([]byte("aa"), []byte("1")))
+	p.insertCellAt(2, encodeLeafCell([]byte("cc"), []byte("3")))
+	if p.nCells() != 3 {
+		t.Fatalf("nCells = %d", p.nCells())
+	}
+	for i, want := range []string{"aa", "bb", "cc"} {
+		k, v := p.leafCell(i)
+		if string(k) != want {
+			t.Fatalf("cell %d key = %q", i, k)
+		}
+		if len(v) != 1 {
+			t.Fatalf("cell %d val = %q", i, v)
+		}
+	}
+	if err := p.checkAccounting(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertCellOverflowPanics(t *testing.T) {
+	p := newPage(t, pageLeaf, 256)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflowing insertCellAt did not panic")
+		}
+	}()
+	for i := 0; ; i++ {
+		p.insertCellAt(i, encodeLeafCell([]byte{byte(i)}, bytes.Repeat([]byte{1}, 40)))
+	}
+}
+
+func TestDeleteCellCompacts(t *testing.T) {
+	p := newPage(t, pageLeaf, 4096)
+	for i := 0; i < 10; i++ {
+		p.insertCellAt(i, encodeLeafCell([]byte{byte('a' + i)}, bytes.Repeat([]byte{byte(i)}, 50)))
+	}
+	free0 := p.freeSpace()
+	p.deleteCellAt(4)
+	if p.nCells() != 9 {
+		t.Fatalf("nCells = %d", p.nCells())
+	}
+	// Compaction returns the full cell size plus the pointer slot.
+	if got := p.freeSpace() - free0; got != 55+2 {
+		t.Fatalf("freed %d bytes, want 57", got)
+	}
+	// Remaining cells intact and ordered.
+	want := []byte("abcdfghij")
+	for i := 0; i < 9; i++ {
+		k, _ := p.leafCell(i)
+		if k[0] != want[i] {
+			t.Fatalf("cell %d = %q, want %q", i, k, want[i:i+1])
+		}
+	}
+	if err := p.checkAccounting(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInteriorCells(t *testing.T) {
+	p := newPage(t, pageInterior, 4096)
+	p.insertCellAt(0, encodeInteriorCell(7, []byte("mm")))
+	p.insertCellAt(1, encodeInteriorCell(9, []byte("tt")))
+	p.setRightChild(11)
+	c, k := p.interiorCell(0)
+	if c != 7 || string(k) != "mm" {
+		t.Fatalf("cell 0 = (%d,%q)", c, k)
+	}
+	p.setInteriorChild(0, 42)
+	if c, _ = p.interiorCell(0); c != 42 {
+		t.Fatalf("setInteriorChild: %d", c)
+	}
+	if p.rightChild() != 11 {
+		t.Fatalf("rightChild = %d", p.rightChild())
+	}
+	child, kk := decodeInteriorCell(encodeInteriorCell(99, []byte("zz")))
+	if child != 99 || string(kk) != "zz" {
+		t.Fatal("interior cell round trip")
+	}
+}
+
+func TestOverflowCellEncoding(t *testing.T) {
+	cell := encodeOverflowCell([]byte("key"), []byte("local"), 5000, 77)
+	if got := keyOfLeafCell(cell); string(got) != "key" {
+		t.Fatalf("keyOfLeafCell = %q", got)
+	}
+	p := newPage(t, pageLeaf, 4096)
+	p.insertCellAt(0, cell)
+	k, local, total, ovfl := p.leafCellInfo(0)
+	if string(k) != "key" || string(local) != "local" || total != 5000 || ovfl != 77 {
+		t.Fatalf("leafCellInfo = (%q,%q,%d,%d)", k, local, total, ovfl)
+	}
+	if p.cellSize(0) != overflowCellSize(3, 5) {
+		t.Fatalf("cellSize = %d", p.cellSize(0))
+	}
+}
+
+// Property: any sequence of ordered inserts and deletes keeps page
+// accounting valid and the cells reconstructible.
+func TestPropertyPageCellOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := newPage(t, pageLeaf, 1024)
+		var model [][2][]byte // ordered (key, val)
+		for op := 0; op < 200; op++ {
+			if rng.Intn(3) != 0 || len(model) == 0 {
+				key := []byte{byte(rng.Intn(256)), byte(rng.Intn(256))}
+				val := make([]byte, rng.Intn(60))
+				rng.Read(val)
+				cell := encodeLeafCell(key, val)
+				if p.freeSpace() < len(cell)+2 {
+					continue
+				}
+				idx := rng.Intn(len(model) + 1)
+				p.insertCellAt(idx, cell)
+				model = append(model, [2][]byte{})
+				copy(model[idx+1:], model[idx:])
+				model[idx] = [2][]byte{key, val}
+			} else {
+				idx := rng.Intn(len(model))
+				p.deleteCellAt(idx)
+				model = append(model[:idx], model[idx+1:]...)
+			}
+			if p.checkAccounting() != nil || p.nCells() != len(model) {
+				return false
+			}
+		}
+		for i, kv := range model {
+			k, v := p.leafCell(i)
+			if !bytes.Equal(k, kv[0]) || !bytes.Equal(v, kv[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,714 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/heapo"
+	"repro/internal/metrics"
+	"repro/internal/nvram"
+	"repro/internal/pager"
+)
+
+// SyncMode selects how NVWAL orders its NVRAM writes (§4.1, Figure 4).
+type SyncMode int
+
+const (
+	// SyncLazy is transaction-aware lazy synchronization: one flush
+	// batch plus one persist barrier between the logging phase and the
+	// commit-mark write (Figure 4(c), Algorithm 1).
+	SyncLazy SyncMode = iota
+	// SyncEager flushes and persists after every log entry (Figure
+	// 4(b)); the ordering-overhead baseline of Figures 5 and 6.
+	SyncEager
+	// SyncChecksum is asynchronous commit (§4.2, Figure 4(d)): log
+	// entries are never explicitly flushed; only the commit mark and
+	// checksum are. Recovery validates the per-frame checksums and
+	// invalidates torn transactions — at a small probabilistic risk.
+	SyncChecksum
+	// SyncStrictPersistency models the §4.4 strict persistency
+	// architecture: persist order matches volatile memory order, so no
+	// cache-flush instructions or persist barriers appear in the code —
+	// but the hardware orders every log store's persist, which the
+	// paper conjectures "may significantly limit persist performance".
+	SyncStrictPersistency
+	// SyncEpochPersistency models §4.4 relaxed (epoch) persistency:
+	// hardware persist barriers divide persists into epochs (one for
+	// the log writes, one for the commit mark) and write dirty lines
+	// back without explicit dccmvac instructions or kernel crossings.
+	SyncEpochPersistency
+)
+
+func (s SyncMode) String() string {
+	switch s {
+	case SyncEager:
+		return "eager"
+	case SyncChecksum:
+		return "checksum"
+	case SyncStrictPersistency:
+		return "strict-persistency"
+	case SyncEpochPersistency:
+		return "epoch-persistency"
+	default:
+		return "lazy"
+	}
+}
+
+// Config parameterizes an NVWAL instance.
+type Config struct {
+	// Sync selects the persistency-guarantee scheme.
+	Sync SyncMode
+	// Differential enables byte-granularity differential logging
+	// (§3.2). When off, every frame carries the full page.
+	Differential bool
+	// UserHeap enables user-level NVRAM heap management (§3.3):
+	// nv_pre_malloc of BlockSize-byte blocks with the pending/in-use
+	// protocol, instead of one Heapo nvmalloc per WAL frame.
+	UserHeap bool
+	// BlockSize is the user-heap block size in bytes (paper: 8 KB).
+	BlockSize int
+	// GapMerge coalesces dirty extents separated by fewer clean bytes
+	// than this (default: the cache line size).
+	GapMerge int
+	// Name is the Heapo persistent-namespace key under which the log's
+	// header block is registered, so it survives reboots.
+	Name string
+	// ChecksumMask weakens frame-checksum validation to the masked bits
+	// (0 = full 32-bit CRC). It exists solely for the §4.2 collision
+	// study: asynchronous commit is probabilistically safe, and
+	// shrinking the checksum makes its failure mode observable.
+	ChecksumMask uint32
+}
+
+// effMask returns the effective validation mask.
+func (c Config) effMask() uint32 {
+	if c.ChecksumMask == 0 {
+		return ^uint32(0)
+	}
+	return c.ChecksumMask
+}
+
+func (c Config) withDefaults(lineSize int) Config {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 8192
+	}
+	if c.GapMerge <= 0 {
+		c.GapMerge = lineSize
+	}
+	if c.Name == "" {
+		c.Name = "nvwal"
+	}
+	return c
+}
+
+// Label renders the configuration in the paper's Figure 7 naming.
+func (c Config) Label() string {
+	s := ""
+	if c.UserHeap {
+		s += "UH+"
+	}
+	switch c.Sync {
+	case SyncEager:
+		s += "E"
+	case SyncChecksum:
+		s += "CS"
+	case SyncStrictPersistency:
+		s += "SP"
+	case SyncEpochPersistency:
+		s += "EP"
+	default:
+		s += "LS"
+	}
+	if c.Differential {
+		s += "+Diff"
+	}
+	return s
+}
+
+// Persistent layout.
+//
+// Header block (one 4 KB Heapo block, found via the persistent
+// namespace):
+//
+//	[0:8)   magic
+//	[8:12)  page size
+//	[12:16) format version
+//	[16:24) checkpoint id (salt) — incremented by every checkpoint so
+//	        stale frames in recycled blocks can never validate
+//	[24:32) first log block address (0 = empty log)
+//
+// Log block (BlockSize bytes from the user heap, or a per-frame block):
+//
+//	[0:8)   next block address (0 = tail)
+//	[8:)    packed, 8-byte-aligned WAL frames
+//
+// WAL frame header (32 bytes, §3.2):
+//
+//	[0:8)   commit mark — written last, 8-byte-atomically (§4.1)
+//	[8:16)  checkpoint id (salt)
+//	[16:20) page number
+//	[20:24) in-page offset
+//	[24:28) frame (payload) size
+//	[28:32) chained CRC32 over [8:28) plus payload
+const (
+	headerMagic     = 0x4E56_5741_4C48_4452 // "NVWALHDR"
+	formatVersion   = 1
+	hdrPageSizeOff  = 8
+	hdrVersionOff   = 12
+	hdrSaltOff      = 16
+	hdrFirstBlkOff  = 24
+	headerBlockSize = 4096
+
+	blockLinkSize = 8
+	frameHdrSize  = 32
+	commitValue   = 1
+)
+
+// RecommendedPageReserve is the per-page tail reserve the database
+// should configure its B+tree with in NVWAL mode: frame header plus
+// block link word. With it, a "full-page" frame (trailing clean bytes
+// truncated, §3.2) occupies exactly pageSize bytes in the log, so an
+// 8 KB user-heap block holds two full-page WAL frames — the §3.3
+// configuration.
+const RecommendedPageReserve = frameHdrSize + blockLinkSize
+
+var crcTab = crc32.MakeTable(crc32.Castagnoli)
+
+// Metric keys specific to NVWAL.
+const (
+	// MetricLoggedBytes counts WAL payload + frame-header bytes written
+	// into the log (the Table 2 "bytes written to NVRAM" accounting).
+	MetricLoggedBytes = "nvwal_logged_bytes"
+	// MetricBlocks counts NVRAM blocks allocated for the log.
+	MetricBlocks = "nvwal_blocks"
+)
+
+// Errors.
+var (
+	ErrCorruptHeader = errors.New("nvwal: corrupt log header")
+	ErrBlockFull     = errors.New("nvwal: frame larger than block capacity")
+)
+
+// frameRef locates one physical frame in NVRAM.
+type frameRef struct {
+	addr uint64 // device address of the frame header
+	size int    // header + payload bytes (unaligned)
+	pgno uint32
+}
+
+// histFrame is the in-DRAM record of one logged frame, kept for
+// snapshot reads.
+type histFrame struct {
+	pgno    uint32
+	off     int
+	payload []byte
+}
+
+// NVWAL is a write-ahead log in NVRAM. It implements pager.Journal.
+type NVWAL struct {
+	heap *heapo.Manager
+	dev  *nvram.Device
+	db   pager.DBFile
+	cfg  Config
+	m    *metrics.Counters
+
+	pageSize   int
+	headerAddr uint64
+	salt       uint64
+
+	// Volatile state, rebuilt by recovery (the wal-index analogue).
+	blocks   []heapo.Block // log block chain in order
+	tailUsed int           // bytes used in the tail block (including link)
+	chain    uint32        // running frame checksum
+	frames   int           // committed frames since checkpoint
+	versions map[uint32][]byte
+	// history records every logged frame (page, offset, payload) so
+	// snapshot readers can reconstruct any page as of a frame mark.
+	history []histFrame
+
+	// hook, when non-nil, is invoked at named protocol steps so the
+	// crash-injection tests can fail power at every point of Algorithm 1
+	// and of checkpointing (§4.3).
+	hook func(step string)
+}
+
+// Crash-injection step names, in execution order.
+const (
+	StepAfterPreMalloc   = "after_pre_malloc"     // Algorithm 1 line 6
+	StepAfterLinkWrite   = "after_link_write"     // line 7 (before persist)
+	StepAfterLinkPersist = "after_link_persist"   // line 11
+	StepAfterSetUsed     = "after_set_used"       // line 13
+	StepAfterMemcpy      = "after_memcpy"         // line 17
+	StepAfterLogFlush    = "after_log_flush"      // line 28
+	StepAfterCommitWrite = "after_commit_write"   // line 31 (before flush)
+	StepAfterCommitFlush = "after_commit_persist" // line 35
+	StepCkptAfterPages   = "ckpt_after_pages"     // pages written, not synced
+	StepCkptAfterSync    = "ckpt_after_sync"      // db file durable
+	StepCkptAfterSalt    = "ckpt_after_salt"      // log logically empty, blocks live
+	StepCkptMidFree      = "ckpt_mid_free"        // some blocks freed
+	StepCkptAfterFree    = "ckpt_after_free"      // all blocks freed, header stale
+)
+
+func (w *NVWAL) step(name string) {
+	if w.hook != nil {
+		w.hook(name)
+	}
+}
+
+// SetCrashHook installs a callback invoked at every named protocol step
+// (the Step* constants). Failure-injection drivers panic from the hook
+// to model power failing at that instant; pass nil to remove it.
+func (w *NVWAL) SetCrashHook(fn func(step string)) { w.hook = fn }
+
+// WriteSteps lists the Algorithm 1 injection points in execution order.
+func WriteSteps() []string {
+	return []string{
+		StepAfterPreMalloc, StepAfterLinkWrite, StepAfterLinkPersist,
+		StepAfterSetUsed, StepAfterMemcpy, StepAfterLogFlush,
+		StepAfterCommitWrite, StepAfterCommitFlush,
+	}
+}
+
+// CheckpointSteps lists the checkpoint injection points.
+func CheckpointSteps() []string {
+	return []string{StepCkptAfterPages, StepCkptAfterSync, StepCkptAfterSalt, StepCkptMidFree, StepCkptAfterFree}
+}
+
+// Open attaches to (or creates) the NVWAL registered under cfg.Name in
+// the heap manager's persistent namespace, running crash recovery on an
+// existing log.
+func Open(h *heapo.Manager, db pager.DBFile, cfg Config, m *metrics.Counters) (*NVWAL, error) {
+	dev := h.Device()
+	cfg = cfg.withDefaults(dev.LineSize())
+	if m == nil {
+		m = &metrics.Counters{}
+	}
+	if cfg.BlockSize < blockLinkSize+frameHdrSize+db.PageSize() {
+		return nil, fmt.Errorf("nvwal: block size %d cannot hold a full-page frame", cfg.BlockSize)
+	}
+	w := &NVWAL{
+		heap:     h,
+		dev:      dev,
+		db:       db,
+		cfg:      cfg,
+		m:        m,
+		pageSize: db.PageSize(),
+		versions: make(map[uint32][]byte),
+	}
+	if addr, ok := h.GetRoot(cfg.Name); ok {
+		w.headerAddr = addr
+		if err := w.recover(); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	blk, err := h.NVMalloc(headerBlockSize)
+	if err != nil {
+		return nil, err
+	}
+	w.headerAddr = blk.Addr
+	w.salt = 1
+	w.writeHeader()
+	if err := h.SetRoot(cfg.Name, blk.Addr); err != nil {
+		return nil, err
+	}
+	w.chain = chainSeed(w.salt)
+	return w, nil
+}
+
+func chainSeed(salt uint64) uint32 {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], salt)
+	return crc32.Checksum(b[:], crcTab)
+}
+
+// hardwarePersistency reports whether the configured model removes all
+// explicit cache-flush code (§4.4).
+func (w *NVWAL) hardwarePersistency() bool {
+	return w.cfg.Sync == SyncStrictPersistency || w.cfg.Sync == SyncEpochPersistency
+}
+
+// persistRange makes [addr, addr+n) durable and ordered: the dmb +
+// cache_line_flush + dmb + persist-barrier sequence of Algorithm 1
+// under the software schemes, or a hardware epoch barrier under the
+// §4.4 persistency models.
+func (w *NVWAL) persistRange(addr uint64, n int) {
+	if w.hardwarePersistency() {
+		w.dev.Domain().EpochBarrier()
+		return
+	}
+	w.dev.MemoryBarrier()
+	w.dev.Syscall()
+	w.dev.Flush(addr, addr+uint64(n))
+	w.dev.MemoryBarrier()
+	w.dev.PersistBarrier()
+}
+
+// writeHeader persists the header block fields.
+func (w *NVWAL) writeHeader() {
+	w.dev.PutUint64(w.headerAddr, headerMagic)
+	w.dev.PutUint32(w.headerAddr+hdrPageSizeOff, uint32(w.pageSize))
+	w.dev.PutUint32(w.headerAddr+hdrVersionOff, formatVersion)
+	w.dev.PutUint64(w.headerAddr+hdrSaltOff, w.salt)
+	w.dev.PutUint64(w.headerAddr+hdrFirstBlkOff, w.firstBlockAddr())
+	w.persistRange(w.headerAddr, 32)
+}
+
+func (w *NVWAL) firstBlockAddr() uint64 {
+	if len(w.blocks) == 0 {
+		return 0
+	}
+	return w.blocks[0].Addr
+}
+
+// tailCapacity reports the usable bytes of the tail block.
+func (w *NVWAL) tailCapacity() int {
+	if len(w.blocks) == 0 {
+		return 0
+	}
+	return w.blocks[len(w.blocks)-1].Size()
+}
+
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// linkAddrForNext returns the NVRAM address holding the pointer to the
+// next block: the header's first-block field for an empty chain, else
+// the tail block's link word.
+func (w *NVWAL) linkAddrForNext() uint64 {
+	if len(w.blocks) == 0 {
+		return w.headerAddr + hdrFirstBlkOff
+	}
+	return w.blocks[len(w.blocks)-1].Addr
+}
+
+// appendBlock links a fresh NVRAM block to the log, following the §3.3
+// protocol: persist the reference before marking the block in-use, so a
+// crash anywhere in between leaves either an unreferenced pending block
+// (reclaimed by the heap manager) or a dangling reference to a freed
+// block (cleared by SQLite recovery) — the §4.3 failure cases.
+func (w *NVWAL) appendBlock(minSize int) error {
+	size := w.cfg.BlockSize
+	if !w.cfg.UserHeap {
+		// Legacy path: one kernel allocation per WAL frame, sized for
+		// the frame (Heapo rounds to pages).
+		size = blockLinkSize + minSize
+	}
+	var blk heapo.Block
+	var err error
+	if w.cfg.UserHeap {
+		blk, err = w.heap.NVPreMalloc(size) // pending
+	} else {
+		blk, err = w.heap.NVMalloc(size) // in-use immediately
+	}
+	if err != nil {
+		return err
+	}
+	w.step(StepAfterPreMalloc)
+	// Initialize the new block's link word before publishing it.
+	w.dev.PutUint64(blk.Addr, 0)
+	if !w.hardwarePersistency() {
+		w.dev.Flush(blk.Addr, blk.Addr+blockLinkSize)
+	}
+
+	linkAddr := w.linkAddrForNext()
+	w.dev.PutUint64(linkAddr, blk.Addr)
+	w.step(StepAfterLinkWrite)
+	// Algorithm 1 lines 8–11: dmb; cache_line_flush(ptr); dmb; persist.
+	w.persistRange(linkAddr, 8)
+	w.step(StepAfterLinkPersist)
+	if w.cfg.UserHeap {
+		// Algorithm 1 line 13: mark in-use now that the reference is
+		// persistent.
+		if err := w.heap.NVMallocSetUsedFlag(blk); err != nil {
+			return err
+		}
+	}
+	w.step(StepAfterSetUsed)
+	w.blocks = append(w.blocks, blk)
+	w.tailUsed = blockLinkSize
+	w.m.Inc(MetricBlocks, 1)
+	return nil
+}
+
+// allocFrameSpace returns the NVRAM address for a frame of size bytes,
+// allocating a new block when the tail cannot hold it (Algorithm 1
+// lines 4–14). groupTotal is the aligned size of the whole per-page
+// frame group being written; the legacy (non-user-heap) path allocates
+// one Heapo block per logical WAL frame — i.e. per dirty page — sized
+// for the group, so differential logging does not multiply kernel
+// allocations.
+func (w *NVWAL) allocFrameSpace(size, groupTotal int) (uint64, error) {
+	need := align8(size)
+	if w.cfg.UserHeap && need > w.cfg.BlockSize-blockLinkSize {
+		return 0, fmt.Errorf("%w: frame %d bytes, block %d", ErrBlockFull, need, w.cfg.BlockSize)
+	}
+	if len(w.blocks) == 0 || w.tailUsed+need > w.tailCapacity() {
+		alloc := need
+		if !w.cfg.UserHeap && groupTotal > need {
+			alloc = groupTotal
+		}
+		if err := w.appendBlock(alloc); err != nil {
+			return 0, err
+		}
+	}
+	tail := w.blocks[len(w.blocks)-1]
+	addr := tail.Addr + uint64(w.tailUsed)
+	w.tailUsed += need
+	return addr, nil
+}
+
+// encodeFrame builds the frame image (header + payload) with the commit
+// mark clear and advances the checksum chain.
+func (w *NVWAL) encodeFrame(pgno uint32, off int, payload []byte, prev uint32) ([]byte, uint32) {
+	buf := make([]byte, frameHdrSize+len(payload))
+	binary.LittleEndian.PutUint64(buf[0:], 0) // commit mark written later
+	binary.LittleEndian.PutUint64(buf[8:], w.salt)
+	binary.LittleEndian.PutUint32(buf[16:], pgno)
+	binary.LittleEndian.PutUint32(buf[20:], uint32(off))
+	binary.LittleEndian.PutUint32(buf[24:], uint32(len(payload)))
+	copy(buf[frameHdrSize:], payload)
+	sum := crc32.Update(prev, crcTab, buf[8:28])
+	sum = crc32.Update(sum, crcTab, payload)
+	binary.LittleEndian.PutUint32(buf[28:], sum)
+	return buf, sum
+}
+
+// CommitTransaction implements pager.Journal.
+func (w *NVWAL) CommitTransaction(frames []pager.Frame) error {
+	return w.WriteFrames(frames, true)
+}
+
+// WriteFrames is sqliteWriteWalFramesToNVRAM (Algorithm 1): log the
+// dirty pages, enforce the transaction-aware persistency guarantee, and
+// — when commit is set — write and persist the commit mark.
+func (w *NVWAL) WriteFrames(frames []pager.Frame, commit bool) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	var written []frameRef
+	var hist []histFrame
+	chain := w.chain
+	newVersions := make(map[uint32][]byte, len(frames))
+
+	for _, fr := range frames {
+		if len(fr.Data) != w.pageSize {
+			return fmt.Errorf("nvwal: frame for page %d has %d bytes, want %d", fr.Pgno, len(fr.Data), w.pageSize)
+		}
+		// First-touch pages log a "full" frame; its trailing clean
+		// (zero) region is truncated per §3.2 so early-split pages fit
+		// the user-heap block layout.
+		extents := []Extent{{Off: 0, Len: w.pageSize - trailingZeros(fr.Data)}}
+		if extents[0].Len == 0 {
+			extents[0].Len = 8 // all-zero page: log a minimal frame
+		}
+		if old, ok := w.versions[fr.Pgno]; ok && w.cfg.Differential {
+			// §3.2: the page already has frames in the log, so only the
+			// differences need to be logged.
+			extents = diffExtents(old, fr.Data, w.cfg.GapMerge)
+			if len(extents) == 0 {
+				// Identical image (e.g. a page dirtied and restored);
+				// nothing to log for this page.
+				img := make([]byte, w.pageSize)
+				copy(img, fr.Data)
+				newVersions[fr.Pgno] = img
+				continue
+			}
+		}
+		groupTotal := 0
+		for _, e := range extents {
+			groupTotal += align8(frameHdrSize + e.Len)
+		}
+		if !w.cfg.UserHeap && len(w.blocks) > 0 {
+			// Legacy path: one Heapo allocation per dirty page's WAL
+			// frame — leftover tail space is not reused across frames.
+			w.tailUsed = w.tailCapacity()
+		}
+		for _, e := range extents {
+			payload := fr.Data[e.Off : e.Off+e.Len]
+			buf, next := w.encodeFrame(fr.Pgno, e.Off, payload, chain)
+			addr, err := w.allocFrameSpace(len(buf), groupTotal)
+			if err != nil {
+				return err
+			}
+			w.dev.Write(addr, buf) // Algorithm 1 line 17: memcpy
+			w.step(StepAfterMemcpy)
+			switch w.cfg.Sync {
+			case SyncEager:
+				// Figure 4(b): synchronize per log entry.
+				w.dev.MemoryBarrier()
+				w.dev.Syscall()
+				w.dev.Flush(addr, addr+uint64(len(buf)))
+				w.dev.MemoryBarrier()
+				w.dev.PersistBarrier()
+			case SyncStrictPersistency:
+				// §4.4: the hardware orders every persist with the
+				// volatile memory order — no instructions, but each log
+				// write drains before the next may persist.
+				w.dev.Domain().EpochBarrier()
+			}
+			written = append(written, frameRef{addr: addr, size: len(buf), pgno: fr.Pgno})
+			pl := make([]byte, len(payload))
+			copy(pl, payload)
+			hist = append(hist, histFrame{pgno: fr.Pgno, off: e.Off, payload: pl})
+			chain = next
+			w.m.Inc(MetricLoggedBytes, int64(len(buf)))
+		}
+		img := make([]byte, w.pageSize)
+		copy(img, fr.Data)
+		newVersions[fr.Pgno] = img
+	}
+
+	switch {
+	case w.cfg.Sync == SyncLazy && len(written) > 0:
+		// Algorithm 1 lines 21–28: one dmb, a batch of per-frame
+		// cache_line_flush syscalls, a dmb, and one persist barrier.
+		w.dev.MemoryBarrier()
+		for _, f := range written {
+			w.dev.Syscall()
+			w.dev.Flush(f.addr, f.addr+uint64(f.size))
+		}
+		w.dev.MemoryBarrier()
+		w.dev.PersistBarrier()
+	case w.cfg.Sync == SyncEpochPersistency && len(written) > 0:
+		// §4.4 relaxed persistency: one hardware epoch boundary closes
+		// the logging phase; no flush instructions, no kernel crossing.
+		w.dev.Domain().EpochBarrier()
+	}
+	// SyncChecksum (Figure 4(d)) flushes nothing here: the per-frame
+	// checksums written above let recovery detect torn log entries.
+	w.step(StepAfterLogFlush)
+
+	if commit && len(written) > 0 {
+		// Algorithm 1 lines 29–35: set the commit mark in the last
+		// frame's header and persist it with 8-byte atomicity.
+		last := written[len(written)-1]
+		w.dev.PutUint64(last.addr, commitValue)
+		w.step(StepAfterCommitWrite)
+		switch w.cfg.Sync {
+		case SyncStrictPersistency, SyncEpochPersistency:
+			w.dev.Domain().EpochBarrier()
+		default:
+			w.dev.MemoryBarrier()
+			w.dev.Syscall()
+			w.dev.Flush(last.addr, last.addr+8)
+			w.dev.MemoryBarrier()
+			w.dev.PersistBarrier()
+		}
+		w.step(StepAfterCommitFlush)
+	}
+
+	w.chain = chain
+	w.frames += len(written)
+	w.history = append(w.history, hist...)
+	for pgno, img := range newVersions {
+		w.versions[pgno] = img
+	}
+	w.m.Inc(metrics.WALFrames, int64(len(written)))
+	if commit {
+		w.m.Inc(metrics.Transactions, 1)
+	}
+	return nil
+}
+
+// PageVersion implements pager.Journal.
+func (w *NVWAL) PageVersion(pgno uint32) ([]byte, bool) {
+	img, ok := w.versions[pgno]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(img))
+	copy(out, img)
+	return out, true
+}
+
+// FramesSinceCheckpoint implements pager.Journal.
+func (w *NVWAL) FramesSinceCheckpoint() int { return w.frames }
+
+// Mark implements pager.SnapshotJournal.
+func (w *NVWAL) Mark() int { return w.frames }
+
+// PageVersionAt implements pager.SnapshotJournal: replay pgno's frames
+// up to the mark (the first one is always a full frame, §3.3 rule, so
+// reconstruction starts from a zero image).
+func (w *NVWAL) PageVersionAt(pgno uint32, mark int) ([]byte, bool) {
+	if mark > len(w.history) {
+		mark = len(w.history)
+	}
+	var img []byte
+	for i := 0; i < mark; i++ {
+		f := w.history[i]
+		if f.pgno != pgno {
+			continue
+		}
+		if img == nil {
+			img = make([]byte, w.pageSize)
+		}
+		applyExtent(img, f.off, f.payload)
+	}
+	if img == nil {
+		return nil, false
+	}
+	return img, true
+}
+
+// Checkpoint implements pager.Journal: reconstructed dirty pages are
+// flushed to the database file, then the log is emptied (§4.3). The
+// crash-safe ordering is:
+//
+//  1. write every page's latest image to the database file and fsync —
+//     a crash before this completes leaves the whole log intact, and
+//     recovery replays it;
+//  2. advance the checkpoint id (salt) in the header — every frame is
+//     now logically invalid, so a later crash can never serve stale
+//     log versions that would shadow the newer database file;
+//  3. free the NVRAM blocks from the end of the list to the beginning —
+//     a crash mid-way leaves a chain of in-use blocks with no valid
+//     frames, which recovery walks and frees (no leak), or a dangling
+//     reference to an already-freed block, which recovery clears.
+func (w *NVWAL) Checkpoint() error {
+	if w.frames == 0 {
+		return nil
+	}
+	for pgno, img := range w.versions {
+		if err := w.db.WritePage(pgno, img); err != nil {
+			return err
+		}
+	}
+	w.step(StepCkptAfterPages)
+	if err := w.db.Sync(); err != nil {
+		return err
+	}
+	w.step(StepCkptAfterSync)
+	// The header keeps referencing the chain so a post-crash recovery
+	// can find and free the blocks; the new salt fences their frames.
+	w.salt++
+	w.writeHeader()
+	w.step(StepCkptAfterSalt)
+	for i := len(w.blocks) - 1; i >= 0; i-- {
+		if err := w.heap.NVFree(w.blocks[i]); err != nil {
+			return err
+		}
+		if i == len(w.blocks)/2 {
+			w.step(StepCkptMidFree)
+		}
+	}
+	w.step(StepCkptAfterFree)
+	w.blocks = nil
+	w.tailUsed = 0
+	w.writeHeader() // clears the first-block pointer
+	w.chain = chainSeed(w.salt)
+	w.frames = 0
+	w.versions = make(map[uint32][]byte)
+	w.history = nil
+	w.m.Inc(metrics.Checkpoints, 1)
+	return nil
+}
+
+// Config returns the effective configuration.
+func (w *NVWAL) Config() Config { return w.cfg }
+
+// Blocks reports the number of live NVRAM log blocks (for the §3.3
+// frames-per-block statistic).
+func (w *NVWAL) Blocks() int { return len(w.blocks) }

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/heapo"
+)
+
+// scannedFrame is one frame parsed out of NVRAM during recovery.
+type scannedFrame struct {
+	pgno    uint32
+	off     int
+	payload []byte
+	commit  bool
+	// position of the frame header, for locating the resume point
+	blockIdx int
+	blockOff int
+}
+
+// recover rebuilds the volatile log state after a restart or crash,
+// implementing the §4.3 cases mechanically:
+//
+//   - the kernel heap manager has already reclaimed pending blocks, so a
+//     block reference whose target is no longer in-use is a dangling
+//     pointer from a crashed allocation — the reference is cleared and
+//     the scan stops there;
+//   - frames are validated by salt and chained checksum; the first
+//     invalid frame ends the log;
+//   - frames after the last commit mark belong to a transaction that
+//     never committed and are discarded; blocks holding only such frames
+//     are freed.
+//
+// Recovery is also what gives the asynchronous-commit mode (§4.2) its
+// semantics: a commit mark whose transaction has a torn (checksum-
+// mismatched) frame invalidates the whole transaction.
+func (w *NVWAL) recover() error {
+	if w.dev.Uint64(w.headerAddr) != headerMagic {
+		return ErrCorruptHeader
+	}
+	if int(w.dev.Uint32(w.headerAddr+hdrPageSizeOff)) != w.pageSize {
+		return fmt.Errorf("nvwal: page size mismatch (log %d, database %d)",
+			w.dev.Uint32(w.headerAddr+hdrPageSizeOff), w.pageSize)
+	}
+	w.salt = w.dev.Uint64(w.headerAddr + hdrSaltOff)
+	w.chain = chainSeed(w.salt)
+	w.versions = make(map[uint32][]byte)
+	w.blocks = nil
+	w.frames = 0
+	w.history = nil
+
+	// Walk the block chain, collecting frames until the log ends.
+	var scanned []scannedFrame
+	chain := w.chain
+	addr := w.dev.Uint64(w.headerAddr + hdrFirstBlkOff)
+	prevLink := w.headerAddr + hdrFirstBlkOff
+	for addr != 0 {
+		blk, err := w.heap.BlockAt(addr)
+		if err != nil || w.heapStateInUse(addr) != nil {
+			// Dangling reference: the target was reclaimed as pending
+			// after a crash between persisting the link and marking the
+			// block in-use. Clear it (§4.3).
+			w.clearLink(prevLink)
+			break
+		}
+		w.blocks = append(w.blocks, blk)
+		// Frames are packed within the block; a frame that would not
+		// fit was placed at the start of the next block, so an invalid
+		// region here just ends this block's frames. The chained
+		// checksum makes a false continuation in the next block
+		// impossible.
+		off := blockLinkSize
+		for off+frameHdrSize <= blk.Size() {
+			fr, next, ok := w.readFrame(blk, off, chain)
+			if !ok {
+				break
+			}
+			fr.blockIdx = len(w.blocks) - 1
+			fr.blockOff = off
+			scanned = append(scanned, fr)
+			chain = next
+			off += align8(frameHdrSize + len(fr.payload))
+		}
+		prevLink = blk.Addr
+		addr = w.dev.Uint64(blk.Addr)
+	}
+
+	// Keep only the committed prefix.
+	lastCommit := -1
+	for i, fr := range scanned {
+		if fr.commit {
+			lastCommit = i
+		}
+	}
+	kept := scanned[:lastCommit+1]
+
+	// Rebuild page versions; every page's first frame must be a full
+	// frame (offset 0; its trailing clean region may be truncated, so
+	// the zero-initialized image completes it).
+	for _, fr := range kept {
+		img, ok := w.versions[fr.pgno]
+		if !ok {
+			if fr.off != 0 {
+				return fmt.Errorf("nvwal: page %d's first log frame is differential", fr.pgno)
+			}
+			img = make([]byte, w.pageSize)
+			w.versions[fr.pgno] = img
+		}
+		applyExtent(img, fr.off, fr.payload)
+		w.frames++
+		w.history = append(w.history, histFrame{pgno: fr.pgno, off: fr.off, payload: fr.payload})
+		w.chain = frameChain(w.chain, w.salt, fr)
+	}
+
+	// Resume point: right after the last committed frame. Blocks beyond
+	// it held only discarded frames — free them and cut the chain.
+	if lastCommit < 0 {
+		w.truncateAfter(-1)
+		w.tailUsed = blockLinkSize
+		if len(w.blocks) == 0 {
+			w.tailUsed = 0
+		}
+		return nil
+	}
+	last := kept[lastCommit]
+	resumeOff := last.blockOff + align8(frameHdrSize+len(last.payload))
+	w.truncateAfter(last.blockIdx)
+	w.tailUsed = resumeOff
+	// Discarded frames at the resume point are chain-valid continuations
+	// of the kept log. If they were left in place and the next commit
+	// happened to start in a fresh block, a later recovery would
+	// resurrect them — so the torn frame slot is invalidated physically.
+	tail := w.blocks[len(w.blocks)-1]
+	if resumeOff+frameHdrSize <= tail.Size() {
+		zero := make([]byte, frameHdrSize)
+		a := tail.Addr + uint64(resumeOff)
+		w.dev.Write(a, zero)
+		w.persistRange(a, frameHdrSize)
+	}
+	return nil
+}
+
+// heapStateInUse verifies the block at addr is marked in-use.
+func (w *NVWAL) heapStateInUse(addr uint64) error {
+	st, err := w.heap.StateOf(addr)
+	if err != nil {
+		return err
+	}
+	if st != heapo.StateInUse {
+		return fmt.Errorf("nvwal: block %#x in state %d", addr, st)
+	}
+	return nil
+}
+
+// clearLink persistently zeroes a dangling block reference.
+func (w *NVWAL) clearLink(linkAddr uint64) {
+	w.dev.PutUint64(linkAddr, 0)
+	w.persistRange(linkAddr, 8)
+}
+
+// truncateAfter frees all blocks after index keepIdx (-1 frees all) and
+// clears the tail link of the kept block.
+func (w *NVWAL) truncateAfter(keepIdx int) {
+	for i := len(w.blocks) - 1; i > keepIdx; i-- {
+		// Best effort: a block that cannot be freed is leaked, never
+		// corrupted.
+		_ = w.heap.NVFree(w.blocks[i])
+	}
+	w.blocks = w.blocks[:keepIdx+1]
+	w.clearLink(w.linkAddrForNext())
+}
+
+// readFrame parses and validates the frame at offset off of blk against
+// the running checksum chain.
+func (w *NVWAL) readFrame(blk heapo.Block, off int, prev uint32) (scannedFrame, uint32, bool) {
+	if off+frameHdrSize > blk.Size() {
+		return scannedFrame{}, 0, false
+	}
+	hdr := make([]byte, frameHdrSize)
+	w.dev.Read(blk.Addr+uint64(off), hdr)
+	mark := binary.LittleEndian.Uint64(hdr[0:])
+	salt := binary.LittleEndian.Uint64(hdr[8:])
+	pgno := binary.LittleEndian.Uint32(hdr[16:])
+	inOff := int(binary.LittleEndian.Uint32(hdr[20:]))
+	size := int(binary.LittleEndian.Uint32(hdr[24:]))
+	stored := binary.LittleEndian.Uint32(hdr[28:])
+	if salt != w.salt || pgno == 0 || (mark != 0 && mark != commitValue) {
+		return scannedFrame{}, 0, false
+	}
+	if size <= 0 || size > w.pageSize || inOff < 0 || inOff+size > w.pageSize {
+		return scannedFrame{}, 0, false
+	}
+	if off+frameHdrSize+size > blk.Size() {
+		return scannedFrame{}, 0, false
+	}
+	payload := make([]byte, size)
+	w.dev.Read(blk.Addr+uint64(off+frameHdrSize), payload)
+	sum := crc32.Update(prev, crcTab, hdr[8:28])
+	sum = crc32.Update(sum, crcTab, payload)
+	if mask := w.cfg.effMask(); sum&mask != stored&mask {
+		return scannedFrame{}, 0, false
+	}
+	return scannedFrame{
+		pgno:    pgno,
+		off:     inOff,
+		payload: payload,
+		commit:  mark == commitValue,
+	}, sum, true
+}
+
+// frameChain recomputes the chain value a frame contributes (used to
+// restore w.chain while replaying kept frames).
+func frameChain(prev uint32, salt uint64, fr scannedFrame) uint32 {
+	hdr := make([]byte, 20)
+	binary.LittleEndian.PutUint64(hdr[0:], salt)
+	binary.LittleEndian.PutUint32(hdr[8:], fr.pgno)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(fr.off))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(fr.payload)))
+	sum := crc32.Update(prev, crcTab, hdr)
+	return crc32.Update(sum, crcTab, fr.payload)
+}

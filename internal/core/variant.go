@@ -1,0 +1,84 @@
+package core
+
+// Variant presets matching the schemes evaluated in §5. The Figure 7
+// legend names map to configurations as follows:
+//
+//	LS          lazy sync,      full-page frames, kernel nvmalloc/frame
+//	LS+Diff     lazy sync,      differential,     kernel nvmalloc/frame
+//	CS+Diff     checksum async, differential,     kernel nvmalloc/frame
+//	UH+LS       lazy sync,      full-page frames, user-level heap
+//	UH+LS+Diff  lazy sync,      differential,     user-level heap
+//	UH+CS+Diff  checksum async, differential,     user-level heap
+//
+// Eager ("E" in Figures 5 and 6) is the per-entry synchronization
+// baseline the ordering-constraint experiments compare against.
+
+// VariantE is eager synchronization (Figure 4(b)).
+func VariantE() Config { return Config{Sync: SyncEager} }
+
+// VariantLS is NVWAL with lazy synchronization only.
+func VariantLS() Config { return Config{Sync: SyncLazy} }
+
+// VariantLSDiff adds byte-granularity differential logging.
+func VariantLSDiff() Config { return Config{Sync: SyncLazy, Differential: true} }
+
+// VariantCSDiff is asynchronous commit with differential logging.
+func VariantCSDiff() Config { return Config{Sync: SyncChecksum, Differential: true} }
+
+// VariantUHLS adds the user-level heap to lazy synchronization.
+func VariantUHLS() Config { return Config{Sync: SyncLazy, UserHeap: true} }
+
+// VariantUHLSDiff is the paper's recommended scheme: user heap, lazy
+// synchronization, and differential logging.
+func VariantUHLSDiff() Config {
+	return Config{Sync: SyncLazy, Differential: true, UserHeap: true}
+}
+
+// VariantUHCSDiff is the fastest (but probabilistically unsafe)
+// configuration: user heap, asynchronous commit, differential logging.
+func VariantUHCSDiff() Config {
+	return Config{Sync: SyncChecksum, Differential: true, UserHeap: true}
+}
+
+// VariantSP is the §4.4 strict-persistency ablation: no flush code at
+// all, every log store's persist ordered by hardware.
+func VariantSP() Config {
+	return Config{Sync: SyncStrictPersistency, Differential: true, UserHeap: true}
+}
+
+// VariantEP is the §4.4 epoch (relaxed) persistency ablation: hardware
+// epoch barriers instead of cache_line_flush syscalls.
+func VariantEP() Config {
+	return Config{Sync: SyncEpochPersistency, Differential: true, UserHeap: true}
+}
+
+// NamedConfig pairs a Figure 7 legend label with its configuration.
+type NamedConfig struct {
+	Name string
+	Cfg  Config
+}
+
+// Figure7Variants returns the six NVWAL schemes of Figure 7, in the
+// paper's legend order.
+func Figure7Variants() []NamedConfig {
+	return []NamedConfig{
+		{"NVWAL LS", VariantLS()},
+		{"NVWAL LS+Diff", VariantLSDiff()},
+		{"NVWAL CS+Diff", VariantCSDiff()},
+		{"NVWAL UH+LS", VariantUHLS()},
+		{"NVWAL UH+LS+Diff", VariantUHLSDiff()},
+		{"NVWAL UH+CS+Diff", VariantUHCSDiff()},
+	}
+}
+
+// PersistencyVariants returns the §4.4 comparison set: the software
+// schemes (eager, lazy) against the hardware persistency models the
+// paper left as future work due to hardware unavailability.
+func PersistencyVariants() []NamedConfig {
+	return []NamedConfig{
+		{"Eager (software)", Config{Sync: SyncEager, Differential: true, UserHeap: true}},
+		{"Lazy (software)", VariantUHLSDiff()},
+		{"Strict persistency", VariantSP()},
+		{"Epoch persistency", VariantEP()},
+	}
+}

@@ -1,0 +1,573 @@
+// Package db is the embedded database engine tying the reproduction
+// together — the role SQLite plays in the paper. It exposes a
+// serverless, single-writer transactional key-value API over named
+// tables (SQLite's B-trees), with the journal mode selecting where the
+// write-ahead log lives:
+//
+//   - JournalWAL: stock SQLite WAL on the EXT4 flash file system;
+//   - JournalOptimizedWAL: the paper's fixed WAL baseline (aligned
+//     frames via the early-split B+tree, WALDIO pre-allocation);
+//   - JournalNVWAL: the paper's contribution, the log in NVRAM.
+//
+// Query-processing CPU time dominates SQLite transactions (§5.1:
+// "SQLite throughput is governed more by the computation performance
+// than by the I/O performance"), so the engine charges a calibrated CPU
+// cost per operation and per commit to the virtual clock; journaling
+// costs then shift throughput exactly as the paper's figures show.
+package db
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/dbfile"
+	"repro/internal/metrics"
+	"repro/internal/pager"
+	"repro/internal/platform"
+	"repro/internal/rollback"
+	"repro/internal/wal"
+)
+
+// JournalMode selects the write-ahead-log implementation.
+type JournalMode int
+
+const (
+	// JournalWAL is stock SQLite WAL on flash.
+	JournalWAL JournalMode = iota
+	// JournalOptimizedWAL is the §5.4 optimized flash WAL.
+	JournalOptimizedWAL
+	// JournalNVWAL keeps the log in NVRAM.
+	JournalNVWAL
+	// JournalRollback is SQLite's classic rollback-journal (DELETE)
+	// mode, the pre-WAL baseline of §1/§2.
+	JournalRollback
+)
+
+func (j JournalMode) String() string {
+	switch j {
+	case JournalOptimizedWAL:
+		return "optimized-wal"
+	case JournalNVWAL:
+		return "nvwal"
+	case JournalRollback:
+		return "rollback"
+	default:
+		return "wal"
+	}
+}
+
+// CPUProfile is the query-execution cost model of one platform.
+type CPUProfile struct {
+	// TxnFixed is charged once per transaction (parsing, locking,
+	// commit processing).
+	TxnFixed time.Duration
+	// PerOp is charged per record operation (B-tree descent, cell
+	// manipulation).
+	PerOp time.Duration
+}
+
+// CPU profiles calibrated against the paper's anchors: 424 µs per
+// single-insert transaction on Tuna (§5.1), and 5812 inserts/s for
+// NVWAL UH+LS+Diff at 2 µs NVRAM latency on the Nexus 5 (§5.4).
+var (
+	CPUTuna   = CPUProfile{TxnFixed: 235 * time.Microsecond, PerOp: 170 * time.Microsecond}
+	CPUNexus5 = CPUProfile{TxnFixed: 85 * time.Microsecond, PerOp: 62 * time.Microsecond}
+)
+
+// Options configures Open.
+type Options struct {
+	Journal JournalMode
+	// NVWAL configures the NVRAM log (JournalNVWAL only). Name defaults
+	// to "nvwal:<dbname>".
+	NVWAL core.Config
+	// WALPrealloc overrides the optimized WAL's initial pre-allocation
+	// size in pages (0 selects the paper's 8, which doubles as it
+	// fills, §5.4).
+	WALPrealloc int
+	// CheckpointLimit is the frame count that triggers an automatic
+	// checkpoint after commit (SQLite's default 1000). Negative
+	// disables auto-checkpointing; 0 selects the default.
+	CheckpointLimit int
+	// CPU is the platform cost model; zero value charges no CPU time.
+	CPU CPUProfile
+	// PageSize defaults to 4096.
+	PageSize int
+}
+
+// DefaultCheckpointLimit matches SQLite's 1000-frame threshold (§2).
+const DefaultCheckpointLimit = 1000
+
+// Errors.
+var (
+	ErrTxnOpen     = errors.New("db: a write transaction is already open")
+	ErrNoTxn       = errors.New("db: no open transaction")
+	ErrNoTable     = errors.New("db: no such table")
+	ErrTableExists = errors.New("db: table already exists")
+)
+
+// Catalog layout within page 1, after the pager's reserved header:
+//
+//	[64:66)  table count (uint16)
+//	then per table: 24-byte zero-padded name + 4-byte root page
+const (
+	catalogOff   = pager.HeaderReserved
+	tableNameLen = 24
+	tableEntry   = tableNameLen + 4
+)
+
+// maxTables bounds the catalog to what fits in page 1.
+func maxTables(pageSize int) int { return (pageSize - catalogOff - 2) / tableEntry }
+
+// DB is one open database.
+type DB struct {
+	plat *platform.Platform
+	opts Options
+	name string
+
+	dbf     *dbfile.File
+	jrn     pager.Journal
+	pg      *pager.Pager
+	trees   map[string]*btree.Tree
+	inTxn   bool
+	readers int // open snapshot read transactions
+}
+
+// Open opens (creating if necessary) the database file name on the
+// platform's flash file system, with the journal per opts. Crash
+// recovery runs automatically: the journal replays its committed
+// frames.
+func Open(plat *platform.Platform, name string, opts Options) (*DB, error) {
+	if opts.PageSize <= 0 {
+		opts.PageSize = 4096
+	}
+	if opts.CheckpointLimit == 0 {
+		opts.CheckpointLimit = DefaultCheckpointLimit
+	}
+	f, err := plat.FS.OpenOrCreate(name, "db")
+	if err != nil {
+		return nil, err
+	}
+	d := &DB{
+		plat:  plat,
+		opts:  opts,
+		name:  name,
+		dbf:   dbfile.New(f, opts.PageSize),
+		trees: make(map[string]*btree.Tree),
+	}
+	switch opts.Journal {
+	case JournalNVWAL:
+		cfg := opts.NVWAL
+		if cfg.Name == "" {
+			cfg.Name = "nvwal:" + name
+		}
+		d.jrn, err = core.Open(plat.Heap, d.dbf, cfg, plat.Metrics)
+	case JournalOptimizedWAL:
+		d.jrn, err = wal.Open(plat.FS, name+"-wal", d.dbf,
+			wal.Options{Mode: wal.ModeOptimized, InitialPrealloc: opts.WALPrealloc}, plat.Metrics)
+	case JournalRollback:
+		d.jrn, err = rollback.Open(plat.FS, name, d.dbf, plat.Metrics)
+	default:
+		d.jrn, err = wal.Open(plat.FS, name+"-wal", d.dbf, wal.Options{Mode: wal.ModeStock}, plat.Metrics)
+	}
+	if err != nil {
+		return nil, err
+	}
+	d.pg, err = pager.Open(d.dbf, d.jrn)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// reserved returns the B+tree per-page reserve. The early-split
+// algorithm is applied for the optimized WAL (24-byte tail, §5.4) and
+// for NVWAL ("We implemented the same split algorithm for NVWAL") —
+// NVWAL reserves frame header + block link so two full-page frames fit
+// one 8 KB user-heap block (§3.3). Stock WAL keeps SQLite's original
+// layout.
+func (d *DB) reserved() int {
+	switch d.opts.Journal {
+	case JournalWAL, JournalRollback:
+		return 0
+	case JournalNVWAL:
+		return core.RecommendedPageReserve
+	default:
+		return btree.ReservedTail
+	}
+}
+
+// Metrics returns the shared metrics sink.
+func (d *DB) Metrics() *metrics.Counters { return d.plat.Metrics }
+
+// Journal exposes the underlying journal (for experiment accounting).
+func (d *DB) Journal() pager.Journal { return d.jrn }
+
+// chargeCPU advances the virtual clock by the cost-model duration.
+func (d *DB) chargeCPU(dur time.Duration) {
+	if dur <= 0 {
+		return
+	}
+	d.plat.Clock.Advance(dur)
+	d.plat.Metrics.AddTime(metrics.TimeCPU, dur)
+}
+
+// readCatalog parses the table catalog out of page 1.
+func (d *DB) readCatalog() (map[string]uint32, error) {
+	hdr, err := d.pg.Get(1)
+	if err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint16(hdr[catalogOff:]))
+	out := make(map[string]uint32, n)
+	for i := 0; i < n; i++ {
+		off := catalogOff + 2 + i*tableEntry
+		name := strings.TrimRight(string(hdr[off:off+tableNameLen]), "\x00")
+		root := binary.LittleEndian.Uint32(hdr[off+tableNameLen:])
+		out[name] = root
+	}
+	return out, nil
+}
+
+// tree returns the B+tree handle for a table.
+func (d *DB) tree(table string) (*btree.Tree, error) {
+	if t, ok := d.trees[table]; ok {
+		return t, nil
+	}
+	cat, err := d.readCatalog()
+	if err != nil {
+		return nil, err
+	}
+	root, ok := cat[table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, table)
+	}
+	t := btree.New(d.pg, root, btree.Config{Reserved: d.reserved()})
+	d.trees[table] = t
+	return t, nil
+}
+
+// CreateTable creates a table in its own transaction. It cannot run
+// inside an open write transaction.
+func (d *DB) CreateTable(table string) error {
+	if d.inTxn {
+		return ErrTxnOpen
+	}
+	if len(table) == 0 || len(table) > tableNameLen {
+		return fmt.Errorf("db: table name must be 1..%d bytes", tableNameLen)
+	}
+	cat, err := d.readCatalog()
+	if err != nil {
+		return err
+	}
+	if _, ok := cat[table]; ok {
+		return fmt.Errorf("%w: %q", ErrTableExists, table)
+	}
+	if len(cat) >= maxTables(d.opts.PageSize) {
+		return errors.New("db: catalog full")
+	}
+	d.pg.Begin()
+	t, err := btree.Create(d.pg, btree.Config{Reserved: d.reserved()})
+	if err != nil {
+		d.pg.Rollback()
+		return err
+	}
+	hdr, err := d.pg.Get(1)
+	if err != nil {
+		d.pg.Rollback()
+		return err
+	}
+	d.pg.MarkDirty(1)
+	n := int(binary.LittleEndian.Uint16(hdr[catalogOff:]))
+	off := catalogOff + 2 + n*tableEntry
+	copy(hdr[off:off+tableNameLen], make([]byte, tableNameLen))
+	copy(hdr[off:], table)
+	binary.LittleEndian.PutUint32(hdr[off+tableNameLen:], t.Root())
+	binary.LittleEndian.PutUint16(hdr[catalogOff:], uint16(n+1))
+	if err := d.pg.Commit(); err != nil {
+		d.pg.Rollback()
+		return err
+	}
+	d.trees[table] = t
+	return nil
+}
+
+// DropTable deletes a table in its own transaction, releasing all of
+// its pages to the freelist. It cannot run inside an open write
+// transaction.
+func (d *DB) DropTable(table string) error {
+	if d.inTxn {
+		return ErrTxnOpen
+	}
+	cat, err := d.readCatalog()
+	if err != nil {
+		return err
+	}
+	if _, ok := cat[table]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoTable, table)
+	}
+	t, err := d.tree(table)
+	if err != nil {
+		return err
+	}
+	d.pg.Begin()
+	if err := t.Drop(); err != nil {
+		d.pg.Rollback()
+		return err
+	}
+	// Remove the catalog entry, compacting the table list.
+	hdr, err := d.pg.Get(1)
+	if err != nil {
+		d.pg.Rollback()
+		return err
+	}
+	d.pg.MarkDirty(1)
+	n := int(binary.LittleEndian.Uint16(hdr[catalogOff:]))
+	for i := 0; i < n; i++ {
+		off := catalogOff + 2 + i*tableEntry
+		name := strings.TrimRight(string(hdr[off:off+tableNameLen]), "\x00")
+		if name != table {
+			continue
+		}
+		last := catalogOff + 2 + (n-1)*tableEntry
+		copy(hdr[off:], hdr[off+tableEntry:last+tableEntry])
+		for j := last; j < last+tableEntry; j++ {
+			hdr[j] = 0
+		}
+		binary.LittleEndian.PutUint16(hdr[catalogOff:], uint16(n-1))
+		break
+	}
+	if err := d.pg.Commit(); err != nil {
+		d.pg.Rollback()
+		return err
+	}
+	delete(d.trees, table)
+	return nil
+}
+
+// Tables lists the catalog.
+func (d *DB) Tables() ([]string, error) {
+	cat, err := d.readCatalog()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(cat))
+	for name := range cat {
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// HasTable reports whether a table exists.
+func (d *DB) HasTable(table string) bool {
+	cat, err := d.readCatalog()
+	if err != nil {
+		return false
+	}
+	_, ok := cat[table]
+	return ok
+}
+
+// Tx is one write transaction. SQLite allows a single writer at a time
+// (§4.1), which Begin enforces.
+type Tx struct {
+	db   *DB
+	done bool
+}
+
+// Begin opens a write transaction.
+func (d *DB) Begin() (*Tx, error) {
+	if d.inTxn {
+		return nil, ErrTxnOpen
+	}
+	d.inTxn = true
+	d.pg.Begin()
+	return &Tx{db: d}, nil
+}
+
+func (tx *Tx) guard() error {
+	if tx.done {
+		return ErrNoTxn
+	}
+	return nil
+}
+
+// Insert stores key/value in table, replacing an existing value.
+func (tx *Tx) Insert(table string, key, value []byte) error {
+	if err := tx.guard(); err != nil {
+		return err
+	}
+	t, err := tx.db.tree(table)
+	if err != nil {
+		return err
+	}
+	tx.db.chargeCPU(tx.db.opts.CPU.PerOp)
+	return t.Put(key, value)
+}
+
+// Update rewrites an existing record, reporting whether it existed.
+func (tx *Tx) Update(table string, key, value []byte) (bool, error) {
+	if err := tx.guard(); err != nil {
+		return false, err
+	}
+	t, err := tx.db.tree(table)
+	if err != nil {
+		return false, err
+	}
+	tx.db.chargeCPU(tx.db.opts.CPU.PerOp)
+	return t.Update(key, value)
+}
+
+// Delete removes a record, reporting whether it existed.
+func (tx *Tx) Delete(table string, key []byte) (bool, error) {
+	if err := tx.guard(); err != nil {
+		return false, err
+	}
+	t, err := tx.db.tree(table)
+	if err != nil {
+		return false, err
+	}
+	tx.db.chargeCPU(tx.db.opts.CPU.PerOp)
+	return t.Delete(key)
+}
+
+// Get reads a record, seeing the transaction's own writes.
+func (tx *Tx) Get(table string, key []byte) ([]byte, bool, error) {
+	if err := tx.guard(); err != nil {
+		return nil, false, err
+	}
+	t, err := tx.db.tree(table)
+	if err != nil {
+		return nil, false, err
+	}
+	return t.Get(key)
+}
+
+// Commit durably commits the transaction through the journal, then
+// auto-checkpoints if the log passed the frame limit.
+func (tx *Tx) Commit() error {
+	if err := tx.guard(); err != nil {
+		return err
+	}
+	tx.done = true
+	tx.db.inTxn = false
+	tx.db.chargeCPU(tx.db.opts.CPU.TxnFixed)
+	if err := tx.db.pg.Commit(); err != nil {
+		return err
+	}
+	// Auto-checkpoint, unless open read transactions pin the log (the
+	// SQLite behaviour: checkpointing cannot pass a reader's mark).
+	if lim := tx.db.opts.CheckpointLimit; lim > 0 && tx.db.readers == 0 &&
+		tx.db.jrn.FramesSinceCheckpoint() >= lim {
+		return tx.db.Checkpoint()
+	}
+	return nil
+}
+
+// Rollback abandons the transaction, restoring all pages.
+func (tx *Tx) Rollback() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	tx.db.inTxn = false
+	tx.db.pg.Rollback()
+}
+
+// Get reads a record outside any transaction.
+func (d *DB) Get(table string, key []byte) ([]byte, bool, error) {
+	if d.inTxn {
+		return nil, false, ErrTxnOpen
+	}
+	t, err := d.tree(table)
+	if err != nil {
+		return nil, false, err
+	}
+	return t.Get(key)
+}
+
+// Scan visits table's records in ascending key order until fn returns
+// false.
+func (d *DB) Scan(table string, fn func(key, value []byte) bool) error {
+	t, err := d.tree(table)
+	if err != nil {
+		return err
+	}
+	return t.Scan(fn)
+}
+
+// ScanRange visits records with start <= key < end (nil end = no upper
+// bound) in ascending order until fn returns false.
+func (d *DB) ScanRange(table string, start, end []byte, fn func(key, value []byte) bool) error {
+	t, err := d.tree(table)
+	if err != nil {
+		return err
+	}
+	return t.ScanRange(start, end, fn)
+}
+
+// ScanPrefix visits records whose key begins with prefix, in ascending
+// order until fn returns false.
+func (d *DB) ScanPrefix(table string, prefix []byte, fn func(key, value []byte) bool) error {
+	t, err := d.tree(table)
+	if err != nil {
+		return err
+	}
+	return t.ScanPrefix(prefix, fn)
+}
+
+// Count returns the number of records in table.
+func (d *DB) Count(table string) (int, error) {
+	t, err := d.tree(table)
+	if err != nil {
+		return 0, err
+	}
+	return t.Count()
+}
+
+// Checkpoint flushes the log into the database file and truncates it.
+func (d *DB) Checkpoint() error {
+	if d.inTxn {
+		return ErrTxnOpen
+	}
+	if d.readers > 0 {
+		return ErrBusySnapshot
+	}
+	sw := d.plat.Clock.Now()
+	if err := d.jrn.Checkpoint(); err != nil {
+		return err
+	}
+	d.plat.Metrics.AddTime(metrics.TimeCheckpnt, d.plat.Clock.Now()-sw)
+	return nil
+}
+
+// Close checkpoints and releases the database. SQLite checkpoints when
+// the last session closes (§2).
+func (d *DB) Close() error {
+	if d.inTxn {
+		return ErrTxnOpen
+	}
+	return d.Checkpoint()
+}
+
+// Check verifies the structural invariants of every table's tree.
+func (d *DB) Check() error {
+	cat, err := d.readCatalog()
+	if err != nil {
+		return err
+	}
+	for name := range cat {
+		t, err := d.tree(name)
+		if err != nil {
+			return err
+		}
+		if err := t.Check(); err != nil {
+			return fmt.Errorf("table %q: %w", name, err)
+		}
+	}
+	return nil
+}

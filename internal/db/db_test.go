@@ -1,0 +1,562 @@
+package db
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/memsim"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+)
+
+func allModes() []Options {
+	return []Options{
+		{Journal: JournalWAL},
+		{Journal: JournalOptimizedWAL},
+		{Journal: JournalRollback},
+		{Journal: JournalNVWAL, NVWAL: core.VariantUHLSDiff()},
+		{Journal: JournalNVWAL, NVWAL: core.VariantLS()},
+		{Journal: JournalNVWAL, NVWAL: core.VariantE()},
+	}
+}
+
+func modeName(o Options) string {
+	if o.Journal == JournalNVWAL {
+		return "nvwal-" + o.NVWAL.Label()
+	}
+	return o.Journal.String()
+}
+
+func newDB(t testing.TB, opts Options) (*DB, *platform.Platform) {
+	t.Helper()
+	plat, err := platform.NewNexus5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(plat, "test.db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, plat
+}
+
+func mustCommitKV(t testing.TB, d *DB, table string, kv map[string]string) {
+	t.Helper()
+	tx, err := d.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range kv {
+		if err := tx.Insert(table, []byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBasicCRUDAllModes(t *testing.T) {
+	for _, opts := range allModes() {
+		t.Run(modeName(opts), func(t *testing.T) {
+			d, _ := newDB(t, opts)
+			if err := d.CreateTable("contacts"); err != nil {
+				t.Fatal(err)
+			}
+			mustCommitKV(t, d, "contacts", map[string]string{"alice": "111", "bob": "222"})
+
+			v, ok, err := d.Get("contacts", []byte("alice"))
+			if err != nil || !ok || string(v) != "111" {
+				t.Fatalf("Get alice = (%q,%v,%v)", v, ok, err)
+			}
+
+			tx, _ := d.Begin()
+			if ok, err := tx.Update("contacts", []byte("bob"), []byte("333")); err != nil || !ok {
+				t.Fatalf("Update = (%v,%v)", ok, err)
+			}
+			if ok, err := tx.Delete("contacts", []byte("alice")); err != nil || !ok {
+				t.Fatalf("Delete = (%v,%v)", ok, err)
+			}
+			// Transaction sees its own writes.
+			if _, ok, _ := tx.Get("contacts", []byte("alice")); ok {
+				t.Fatal("deleted key visible inside txn")
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, _ := d.Get("contacts", []byte("alice")); ok {
+				t.Fatal("deleted key visible after commit")
+			}
+			v, ok, _ = d.Get("contacts", []byte("bob"))
+			if !ok || string(v) != "333" {
+				t.Fatalf("bob = (%q,%v)", v, ok)
+			}
+			if n, _ := d.Count("contacts"); n != 1 {
+				t.Fatalf("Count = %d", n)
+			}
+			if err := d.Check(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRollbackRestoresState(t *testing.T) {
+	for _, opts := range allModes() {
+		t.Run(modeName(opts), func(t *testing.T) {
+			d, _ := newDB(t, opts)
+			d.CreateTable("t")
+			mustCommitKV(t, d, "t", map[string]string{"k1": "v1"})
+			tx, _ := d.Begin()
+			tx.Insert("t", []byte("k2"), []byte("v2"))
+			tx.Delete("t", []byte("k1"))
+			tx.Rollback()
+			if _, ok, _ := d.Get("t", []byte("k2")); ok {
+				t.Fatal("rolled-back insert visible")
+			}
+			v, ok, _ := d.Get("t", []byte("k1"))
+			if !ok || string(v) != "v1" {
+				t.Fatal("rolled-back delete destroyed data")
+			}
+			// A fresh transaction works after rollback.
+			mustCommitKV(t, d, "t", map[string]string{"k3": "v3"})
+			if _, ok, _ := d.Get("t", []byte("k3")); !ok {
+				t.Fatal("commit after rollback failed")
+			}
+		})
+	}
+}
+
+func TestSingleWriterEnforced(t *testing.T) {
+	d, _ := newDB(t, Options{Journal: JournalNVWAL, NVWAL: core.VariantUHLSDiff()})
+	d.CreateTable("t")
+	tx, _ := d.Begin()
+	if _, err := d.Begin(); err == nil {
+		t.Fatal("second concurrent write transaction allowed")
+	}
+	if err := d.CreateTable("u"); err == nil {
+		t.Fatal("CreateTable allowed inside txn")
+	}
+	tx.Rollback()
+	if _, err := d.Begin(); err != nil {
+		t.Fatalf("Begin after rollback: %v", err)
+	}
+}
+
+func TestTableErrors(t *testing.T) {
+	d, _ := newDB(t, Options{Journal: JournalOptimizedWAL})
+	if err := d.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CreateTable("t"); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	if err := d.CreateTable(""); err == nil {
+		t.Fatal("empty table name accepted")
+	}
+	tx, _ := d.Begin()
+	if err := tx.Insert("missing", []byte("k"), []byte("v")); err == nil {
+		t.Fatal("insert into missing table accepted")
+	}
+	tx.Rollback()
+	if d.HasTable("missing") || !d.HasTable("t") {
+		t.Fatal("HasTable wrong")
+	}
+	names, _ := d.Tables()
+	if len(names) != 1 || names[0] != "t" {
+		t.Fatalf("Tables = %v", names)
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	d, plat := newDB(t, Options{Journal: JournalNVWAL, NVWAL: core.VariantUHLSDiff()})
+	d.CreateTable("a")
+	d.CreateTable("b")
+	mustCommitKV(t, d, "a", map[string]string{"k": strings.Repeat("x", 10000)})
+	mustCommitKV(t, d, "b", map[string]string{"k": "v"})
+	if err := d.DropTable("a"); err != nil {
+		t.Fatal(err)
+	}
+	if d.HasTable("a") {
+		t.Fatal("dropped table still cataloged")
+	}
+	if _, ok, _ := d.Get("b", []byte("k")); !ok {
+		t.Fatal("sibling table damaged by drop")
+	}
+	if err := d.DropTable("a"); err == nil {
+		t.Fatal("double drop succeeded")
+	}
+	// Drop inside a transaction is rejected.
+	tx, _ := d.Begin()
+	if err := d.DropTable("b"); err == nil {
+		t.Fatal("DropTable inside txn accepted")
+	}
+	tx.Rollback()
+	// Freed pages (including the overflow chain) recycle, and the drop
+	// survives a crash.
+	d.CreateTable("c")
+	mustCommitKV(t, d, "c", map[string]string{"k2": "v2"})
+	plat.PowerFail(memsim.FailDropAll, 8)
+	if err := plat.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(plat, "test.db", Options{Journal: JournalNVWAL, NVWAL: core.VariantUHLSDiff()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.HasTable("a") {
+		t.Fatal("dropped table resurrected by recovery")
+	}
+	if _, ok, _ := d2.Get("c", []byte("k2")); !ok {
+		t.Fatal("post-drop table lost")
+	}
+	if err := d2.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	for _, opts := range allModes() {
+		t.Run(modeName(opts), func(t *testing.T) {
+			plat, err := platform.NewNexus5()
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := Open(plat, "p.db", opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.CreateTable("t")
+			mustCommitKV(t, d, "t", map[string]string{"key": "value"})
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+			d2, err := Open(plat, "p.db", opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, ok, err := d2.Get("t", []byte("key"))
+			if err != nil || !ok || string(v) != "value" {
+				t.Fatalf("after reopen: (%q,%v,%v)", v, ok, err)
+			}
+		})
+	}
+}
+
+// crash reboots the platform and reopens the database.
+func crash(t *testing.T, plat *platform.Platform, opts Options, seed int64) *DB {
+	t.Helper()
+	plat.PowerFail(memsim.FailDropAll, seed)
+	if err := plat.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(plat, "c.db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCommittedDataSurvivesCrash(t *testing.T) {
+	for _, opts := range allModes() {
+		if opts.Journal == JournalNVWAL && opts.NVWAL.Sync == core.SyncChecksum {
+			continue
+		}
+		t.Run(modeName(opts), func(t *testing.T) {
+			plat, _ := platform.NewNexus5()
+			d, err := Open(plat, "c.db", opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.CreateTable("t")
+			for i := 0; i < 20; i++ {
+				mustCommitKV(t, d, "t", map[string]string{fmt.Sprintf("k%03d", i): fmt.Sprintf("v%03d", i)})
+			}
+			d2 := crash(t, plat, opts, 1)
+			for i := 0; i < 20; i++ {
+				v, ok, err := d2.Get("t", []byte(fmt.Sprintf("k%03d", i)))
+				if err != nil || !ok || string(v) != fmt.Sprintf("v%03d", i) {
+					t.Fatalf("k%03d lost after crash: (%q,%v,%v)", i, v, ok, err)
+				}
+			}
+			if err := d2.Check(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestUncommittedTxnInvisibleAfterCrash(t *testing.T) {
+	opts := Options{Journal: JournalNVWAL, NVWAL: core.VariantUHLSDiff()}
+	plat, _ := platform.NewNexus5()
+	d, err := Open(plat, "c.db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.CreateTable("t")
+	mustCommitKV(t, d, "t", map[string]string{"durable": "yes"})
+	tx, _ := d.Begin()
+	tx.Insert("t", []byte("volatile"), []byte("no"))
+	// Crash with the transaction open — never committed.
+	d2 := crash(t, plat, opts, 2)
+	if _, ok, _ := d2.Get("t", []byte("volatile")); ok {
+		t.Fatal("uncommitted insert survived crash")
+	}
+	if _, ok, _ := d2.Get("t", []byte("durable")); !ok {
+		t.Fatal("committed insert lost")
+	}
+}
+
+func TestAutoCheckpointTriggers(t *testing.T) {
+	opts := Options{Journal: JournalNVWAL, NVWAL: core.VariantUHLSDiff(), CheckpointLimit: 25}
+	d, plat := newDB(t, opts)
+	d.CreateTable("t")
+	for i := 0; i < 40; i++ {
+		mustCommitKV(t, d, "t", map[string]string{fmt.Sprintf("k%04d", i): "x"})
+	}
+	if got := plat.Metrics.Count(metrics.Checkpoints); got == 0 {
+		t.Fatal("auto-checkpoint never fired")
+	}
+	if frames := d.Journal().FramesSinceCheckpoint(); frames >= 40 {
+		t.Fatalf("log never truncated: %d frames", frames)
+	}
+	// Data intact after checkpoints.
+	for i := 0; i < 40; i++ {
+		if _, ok, _ := d.Get("t", []byte(fmt.Sprintf("k%04d", i))); !ok {
+			t.Fatalf("k%04d lost across checkpoints", i)
+		}
+	}
+}
+
+func TestCheckpointThenCrashServesFromDBFile(t *testing.T) {
+	for _, opts := range allModes() {
+		if opts.Journal == JournalNVWAL && opts.NVWAL.Sync == core.SyncChecksum {
+			continue
+		}
+		t.Run(modeName(opts), func(t *testing.T) {
+			plat, _ := platform.NewNexus5()
+			d, err := Open(plat, "c.db", opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.CreateTable("t")
+			mustCommitKV(t, d, "t", map[string]string{"a": "1", "b": "2"})
+			if err := d.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			mustCommitKV(t, d, "t", map[string]string{"c": "3"})
+			d2 := crash(t, plat, opts, 3)
+			for k, want := range map[string]string{"a": "1", "b": "2", "c": "3"} {
+				v, ok, _ := d2.Get("t", []byte(k))
+				if !ok || string(v) != want {
+					t.Fatalf("%s = (%q,%v), want %q", k, v, ok, want)
+				}
+			}
+		})
+	}
+}
+
+func TestJournalModesProduceIdenticalContents(t *testing.T) {
+	// After the same workload, every journal mode must yield the same
+	// database contents (the §6 equivalence invariant of DESIGN.md).
+	type snapshot map[string]string
+	run := func(opts Options, seed int64) snapshot {
+		plat, _ := platform.NewNexus5()
+		d, err := Open(plat, "e.db", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.CreateTable("t")
+		rng := rand.New(rand.NewSource(seed))
+		for txn := 0; txn < 30; txn++ {
+			tx, _ := d.Begin()
+			for op := 0; op < 1+rng.Intn(4); op++ {
+				k := []byte(fmt.Sprintf("key%03d", rng.Intn(60)))
+				switch rng.Intn(3) {
+				case 0, 1:
+					tx.Insert("t", k, []byte(fmt.Sprintf("val%06d", rng.Intn(1_000_000))))
+				case 2:
+					tx.Delete("t", k)
+				}
+			}
+			if rng.Intn(5) == 0 {
+				tx.Rollback()
+			} else if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := snapshot{}
+		d.Scan("t", func(k, v []byte) bool { out[string(k)] = string(v); return true })
+		return out
+	}
+	const seed = 99
+	ref := run(Options{Journal: JournalWAL}, seed)
+	for _, opts := range allModes()[1:] {
+		got := run(opts, seed)
+		if len(got) != len(ref) {
+			t.Fatalf("%s: %d records, want %d", modeName(opts), len(got), len(ref))
+		}
+		for k, v := range ref {
+			if got[k] != v {
+				t.Fatalf("%s: %q=%q, want %q", modeName(opts), k, got[k], v)
+			}
+		}
+	}
+}
+
+// Property: random workloads with random crash points always recover to
+// exactly the committed prefix.
+func TestPropertyCrashRecoveryMatchesCommittedModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		opts := Options{Journal: JournalNVWAL, NVWAL: core.VariantUHLSDiff(), CheckpointLimit: 30}
+		plat, _ := platform.NewNexus5()
+		d, err := Open(plat, "c.db", opts)
+		if err != nil {
+			return false
+		}
+		if err := d.CreateTable("t"); err != nil {
+			return false
+		}
+		model := map[string]string{}
+		txns := 5 + rng.Intn(25)
+		for i := 0; i < txns; i++ {
+			tx, err := d.Begin()
+			if err != nil {
+				return false
+			}
+			pending := map[string]*string{}
+			for op := 0; op < 1+rng.Intn(3); op++ {
+				k := fmt.Sprintf("k%03d", rng.Intn(40))
+				if rng.Intn(4) == 0 {
+					tx.Delete("t", []byte(k))
+					pending[k] = nil
+				} else {
+					v := fmt.Sprintf("v%08d", rng.Intn(1_000_000))
+					tx.Insert("t", []byte(k), []byte(v))
+					pending[k] = &v
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				return false
+			}
+			for k, v := range pending {
+				if v == nil {
+					delete(model, k)
+				} else {
+					model[k] = *v
+				}
+			}
+		}
+		// Crash (possibly mid-transaction) and recover.
+		if rng.Intn(2) == 0 {
+			tx, _ := d.Begin()
+			tx.Insert("t", []byte("torn"), []byte("torn"))
+		}
+		plat.PowerFail(memsim.FailDropAll, seed)
+		if err := plat.Reboot(); err != nil {
+			return false
+		}
+		d2, err := Open(plat, "c.db", opts)
+		if err != nil {
+			return false
+		}
+		got := map[string]string{}
+		d2.Scan("t", func(k, v []byte) bool { got[string(k)] = string(v); return true })
+		if len(got) != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if got[k] != v {
+				return false
+			}
+		}
+		return d2.Check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUProfileChargesTime(t *testing.T) {
+	opts := Options{Journal: JournalNVWAL, NVWAL: core.VariantUHLSDiff(), CPU: CPUNexus5}
+	d, plat := newDB(t, opts)
+	d.CreateTable("t")
+	before := plat.Clock.Now()
+	mustCommitKV(t, d, "t", map[string]string{"k": "v"})
+	elapsed := plat.Clock.Now() - before
+	if elapsed < CPUNexus5.TxnFixed+CPUNexus5.PerOp {
+		t.Fatalf("transaction charged %v, want at least CPU model %v",
+			elapsed, CPUNexus5.TxnFixed+CPUNexus5.PerOp)
+	}
+	if plat.Metrics.Time(metrics.TimeCPU) == 0 {
+		t.Fatal("no CPU time attributed")
+	}
+}
+
+func TestOverflowValuesSurviveCrash(t *testing.T) {
+	// Values spanning overflow-page chains must commit atomically and
+	// recover, in every journal mode.
+	for _, opts := range allModes() {
+		if opts.Journal == JournalNVWAL && opts.NVWAL.Sync == core.SyncChecksum {
+			continue
+		}
+		t.Run(modeName(opts), func(t *testing.T) {
+			plat, _ := platform.NewNexus5()
+			d, err := Open(plat, "c.db", opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.CreateTable("blobs")
+			big := bytes.Repeat([]byte("overflow!"), 2500) // 22.5 KB
+			mustCommitKV(t, d, "blobs", map[string]string{"big": string(big)})
+			d2 := crash(t, plat, opts, 21)
+			v, ok, err := d2.Get("blobs", []byte("big"))
+			if err != nil || !ok || !bytes.Equal(v, big) {
+				t.Fatalf("overflow value lost across crash (ok=%v err=%v len=%d)", ok, err, len(v))
+			}
+			// Delete and reuse the freed chain pages.
+			tx, _ := d2.Begin()
+			if ok, err := tx.Delete("blobs", []byte("big")); err != nil || !ok {
+				t.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			mustCommitKV(t, d2, "blobs", map[string]string{"big2": string(big[:20000])})
+			if err := d2.Check(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestLargeWorkloadAllModes(t *testing.T) {
+	for _, opts := range allModes() {
+		t.Run(modeName(opts), func(t *testing.T) {
+			d, _ := newDB(t, opts)
+			d.CreateTable("t")
+			val := bytes.Repeat([]byte("x"), 100)
+			for i := 0; i < 300; i++ {
+				tx, _ := d.Begin()
+				if err := tx.Insert("t", []byte(fmt.Sprintf("key-%06d", i)), val); err != nil {
+					t.Fatal(err)
+				}
+				if err := tx.Commit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if n, _ := d.Count("t"); n != 300 {
+				t.Fatalf("Count = %d", n)
+			}
+			if err := d.Check(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,68 @@
+package db_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/memsim"
+	"repro/internal/platform"
+)
+
+// Example shows the end-to-end NVWAL story: commit, crash, recover.
+func Example() {
+	plat, err := platform.NewNexus5()
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := db.Options{Journal: db.JournalNVWAL, NVWAL: core.VariantUHLSDiff()}
+	d, err := db.Open(plat, "example.db", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.CreateTable("kv"); err != nil {
+		log.Fatal(err)
+	}
+	tx, _ := d.Begin()
+	tx.Insert("kv", []byte("greeting"), []byte("hello"))
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	plat.PowerFail(memsim.FailDropAll, 1)
+	if err := plat.Reboot(); err != nil {
+		log.Fatal(err)
+	}
+	d, err = db.Open(plat, "example.db", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, ok, _ := d.Get("kv", []byte("greeting"))
+	fmt.Println(ok, string(v))
+	// Output: true hello
+}
+
+// ExampleDB_BeginRead demonstrates snapshot isolation: the reader's
+// view is frozen while the writer commits.
+func ExampleDB_BeginRead() {
+	plat, _ := platform.NewNexus5()
+	d, _ := db.Open(plat, "snap.db", db.Options{Journal: db.JournalNVWAL, NVWAL: core.VariantUHLSDiff()})
+	d.CreateTable("t")
+
+	tx, _ := d.Begin()
+	tx.Insert("t", []byte("k"), []byte("before"))
+	tx.Commit()
+
+	snap, _ := d.BeginRead()
+	defer snap.Close()
+
+	tx, _ = d.Begin()
+	tx.Insert("t", []byte("k"), []byte("after"))
+	tx.Commit()
+
+	v1, _, _ := snap.Get("t", []byte("k"))
+	v2, _, _ := d.Get("t", []byte("k"))
+	fmt.Println(string(v1), string(v2))
+	// Output: before after
+}

@@ -1,0 +1,174 @@
+package db
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/btree"
+	"repro/internal/pager"
+)
+
+// ErrNoSnapshots is returned by BeginRead under a journal mode without
+// snapshot support (the rollback journal updates the database file in
+// place, so readers cannot proceed against a stable version — exactly
+// the limitation WAL mode lifted in SQLite).
+var ErrNoSnapshots = errors.New("db: journal mode does not support snapshot reads")
+
+// ErrBusySnapshot is returned by Checkpoint while read transactions are
+// open: truncating the log would invalidate their marks.
+var ErrBusySnapshot = errors.New("db: checkpoint blocked by open read transactions")
+
+// ReadTx is a point-in-time read transaction: it sees the database
+// exactly as of the moment BeginRead ran, regardless of writes
+// committed afterwards — the reader/writer concurrency property of WAL
+// (§2: dirty pages are appended to the log, "the original pages remain
+// intact in the database file").
+type ReadTx struct {
+	d     *DB
+	store *snapshotStore
+	trees map[string]*btree.Tree
+	done  bool
+}
+
+// BeginRead opens a read transaction at the current committed state.
+// Read transactions may be interleaved with write transactions and
+// commits; they block checkpointing until closed.
+func (d *DB) BeginRead() (*ReadTx, error) {
+	sj, ok := d.jrn.(pager.SnapshotJournal)
+	if !ok {
+		return nil, ErrNoSnapshots
+	}
+	d.readers++
+	return &ReadTx{
+		d: d,
+		store: &snapshotStore{
+			jrn:   sj,
+			dbf:   d.dbf,
+			mark:  sj.Mark(),
+			pages: make(map[uint32][]byte),
+		},
+		trees: make(map[string]*btree.Tree),
+	}, nil
+}
+
+// Close releases the snapshot, unblocking checkpoints.
+func (r *ReadTx) Close() {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.d.readers--
+}
+
+// snapshotCatalog parses the table catalog as of the snapshot.
+func (r *ReadTx) snapshotCatalog() (map[string]uint32, error) {
+	hdr, err := r.store.Get(1)
+	if err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint16(hdr[catalogOff:]))
+	out := make(map[string]uint32, n)
+	for i := 0; i < n; i++ {
+		off := catalogOff + 2 + i*tableEntry
+		name := strings.TrimRight(string(hdr[off:off+tableNameLen]), "\x00")
+		out[name] = binary.LittleEndian.Uint32(hdr[off+tableNameLen:])
+	}
+	return out, nil
+}
+
+func (r *ReadTx) tree(table string) (*btree.Tree, error) {
+	if r.done {
+		return nil, errors.New("db: read transaction closed")
+	}
+	if t, ok := r.trees[table]; ok {
+		return t, nil
+	}
+	cat, err := r.snapshotCatalog()
+	if err != nil {
+		return nil, err
+	}
+	root, ok := cat[table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, table)
+	}
+	t := btree.New(r.store, root, btree.Config{Reserved: r.d.reserved()})
+	r.trees[table] = t
+	return t, nil
+}
+
+// Get reads a record as of the snapshot.
+func (r *ReadTx) Get(table string, key []byte) ([]byte, bool, error) {
+	t, err := r.tree(table)
+	if err != nil {
+		return nil, false, err
+	}
+	return t.Get(key)
+}
+
+// Scan visits the snapshot's records in ascending key order.
+func (r *ReadTx) Scan(table string, fn func(key, value []byte) bool) error {
+	t, err := r.tree(table)
+	if err != nil {
+		return err
+	}
+	return t.Scan(fn)
+}
+
+// ScanRange visits snapshot records with start <= key < end.
+func (r *ReadTx) ScanRange(table string, start, end []byte, fn func(key, value []byte) bool) error {
+	t, err := r.tree(table)
+	if err != nil {
+		return err
+	}
+	return t.ScanRange(start, end, fn)
+}
+
+// Count returns the snapshot's record count for table.
+func (r *ReadTx) Count(table string) (int, error) {
+	t, err := r.tree(table)
+	if err != nil {
+		return 0, err
+	}
+	return t.Count()
+}
+
+// snapshotStore is a read-only btree.PageStore reconstructing pages as
+// of a journal mark: log frames up to the mark override the database
+// file.
+type snapshotStore struct {
+	jrn   pager.SnapshotJournal
+	dbf   pager.DBFile
+	mark  int
+	pages map[uint32][]byte
+}
+
+func (s *snapshotStore) PageSize() int { return s.dbf.PageSize() }
+
+func (s *snapshotStore) Get(pgno uint32) ([]byte, error) {
+	if buf, ok := s.pages[pgno]; ok {
+		return buf, nil
+	}
+	buf, ok := s.jrn.PageVersionAt(pgno, s.mark)
+	if !ok {
+		buf = make([]byte, s.dbf.PageSize())
+		if err := s.dbf.ReadPage(pgno, buf); err != nil {
+			return nil, err
+		}
+	}
+	s.pages[pgno] = buf
+	return buf, nil
+}
+
+func (s *snapshotStore) Allocate() (uint32, []byte, error) {
+	return 0, nil, errors.New("db: snapshot store is read-only")
+}
+
+func (s *snapshotStore) Free(uint32) error {
+	return errors.New("db: snapshot store is read-only")
+}
+
+func (s *snapshotStore) MarkDirty(uint32) {
+	panic("db: write through a read transaction")
+}

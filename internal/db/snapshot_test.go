@@ -1,0 +1,173 @@
+package db
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSnapshotReadsAreStable(t *testing.T) {
+	for _, opts := range allModes() {
+		if opts.Journal == JournalRollback {
+			continue
+		}
+		t.Run(modeName(opts), func(t *testing.T) {
+			d, _ := newDB(t, opts)
+			d.CreateTable("t")
+			mustCommitKV(t, d, "t", map[string]string{"k1": "v1", "k2": "v2"})
+
+			r, err := d.BeginRead()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+
+			// The writer moves on: updates, deletes, inserts.
+			mustCommitKV(t, d, "t", map[string]string{"k1": "CHANGED", "k3": "new"})
+			tx, _ := d.Begin()
+			tx.Delete("t", []byte("k2"))
+			tx.Commit()
+
+			// The snapshot still sees the original state.
+			v, ok, err := r.Get("t", []byte("k1"))
+			if err != nil || !ok || !bytes.Equal(v, []byte("v1")) {
+				t.Fatalf("snapshot k1 = (%q,%v,%v)", v, ok, err)
+			}
+			if _, ok, _ := r.Get("t", []byte("k3")); ok {
+				t.Fatal("snapshot sees a later insert")
+			}
+			if _, ok, _ := r.Get("t", []byte("k2")); !ok {
+				t.Fatal("snapshot lost a record deleted later")
+			}
+			if n, _ := r.Count("t"); n != 2 {
+				t.Fatalf("snapshot count = %d, want 2", n)
+			}
+			// The live view sees the new state.
+			v, _, _ = d.Get("t", []byte("k1"))
+			if !bytes.Equal(v, []byte("CHANGED")) {
+				t.Fatal("live view stale")
+			}
+		})
+	}
+}
+
+func TestSnapshotDoesNotSeeUncommittedWrites(t *testing.T) {
+	d, _ := newDB(t, Options{Journal: JournalNVWAL, NVWAL: core.VariantUHLSDiff()})
+	d.CreateTable("t")
+	mustCommitKV(t, d, "t", map[string]string{"base": "yes"})
+	tx, _ := d.Begin()
+	tx.Insert("t", []byte("pending"), []byte("no"))
+	// Reader opens while the write txn is still uncommitted.
+	r, err := d.BeginRead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, ok, _ := r.Get("t", []byte("pending")); ok {
+		t.Fatal("snapshot sees uncommitted write")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Still invisible: the snapshot predates the commit.
+	if _, ok, _ := r.Get("t", []byte("pending")); ok {
+		t.Fatal("snapshot sees a commit after its mark")
+	}
+}
+
+func TestSnapshotBlocksCheckpoint(t *testing.T) {
+	d, _ := newDB(t, Options{Journal: JournalNVWAL, NVWAL: core.VariantUHLSDiff(), CheckpointLimit: 5})
+	d.CreateTable("t")
+	mustCommitKV(t, d, "t", map[string]string{"a": "1"})
+	r, err := d.BeginRead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != ErrBusySnapshot {
+		t.Fatalf("Checkpoint with open reader = %v, want ErrBusySnapshot", err)
+	}
+	// Auto-checkpoint is skipped, not failed: commits keep working past
+	// the limit.
+	for i := 0; i < 10; i++ {
+		mustCommitKV(t, d, "t", map[string]string{fmt.Sprintf("k%d", i): "v"})
+	}
+	if d.Journal().FramesSinceCheckpoint() == 0 {
+		t.Fatal("checkpoint ran despite the open reader")
+	}
+	r.Close()
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint after Close: %v", err)
+	}
+}
+
+func TestSnapshotAcrossCheckpointEpoch(t *testing.T) {
+	// A snapshot taken after a checkpoint reads pages from the database
+	// file (the log is empty at its mark).
+	d, _ := newDB(t, Options{Journal: JournalNVWAL, NVWAL: core.VariantUHLSDiff()})
+	d.CreateTable("t")
+	mustCommitKV(t, d, "t", map[string]string{"old": "data"})
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.BeginRead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	mustCommitKV(t, d, "t", map[string]string{"new": "data"})
+	v, ok, err := r.Get("t", []byte("old"))
+	if err != nil || !ok || !bytes.Equal(v, []byte("data")) {
+		t.Fatalf("snapshot lost checkpointed data: (%q,%v,%v)", v, ok, err)
+	}
+	if _, ok, _ := r.Get("t", []byte("new")); ok {
+		t.Fatal("snapshot sees post-mark commit")
+	}
+}
+
+func TestRollbackModeRejectsSnapshots(t *testing.T) {
+	d, _ := newDB(t, Options{Journal: JournalRollback})
+	if _, err := d.BeginRead(); err != ErrNoSnapshots {
+		t.Fatalf("BeginRead under rollback mode = %v, want ErrNoSnapshots", err)
+	}
+}
+
+func TestClosedReadTxRejected(t *testing.T) {
+	d, _ := newDB(t, Options{Journal: JournalOptimizedWAL})
+	d.CreateTable("t")
+	r, err := d.BeginRead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r.Close() // idempotent
+	if _, _, err := r.Get("t", []byte("k")); err == nil {
+		t.Fatal("closed read txn served a read")
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("reader accounting broken: %v", err)
+	}
+}
+
+func TestManySnapshotsInterleaved(t *testing.T) {
+	d, _ := newDB(t, Options{Journal: JournalNVWAL, NVWAL: core.VariantUHLSDiff()})
+	d.CreateTable("t")
+	var snaps []*ReadTx
+	for i := 0; i < 8; i++ {
+		mustCommitKV(t, d, "t", map[string]string{fmt.Sprintf("k%d", i): fmt.Sprintf("v%d", i)})
+		r, err := d.BeginRead()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, r)
+	}
+	// Snapshot i sees exactly i+1 records.
+	for i, r := range snaps {
+		n, err := r.Count("t")
+		if err != nil || n != i+1 {
+			t.Fatalf("snapshot %d count = %d (%v), want %d", i, n, err, i+1)
+		}
+		r.Close()
+	}
+}

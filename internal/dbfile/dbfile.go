@@ -1,0 +1,55 @@
+// Package dbfile adapts an EXT4 file to the pager.DBFile interface: the
+// main database file that checkpointing writes back into and page-cache
+// misses read from.
+package dbfile
+
+import (
+	"io"
+
+	"repro/internal/ext4"
+)
+
+// File is a page-addressed view of a database file. Page numbers are
+// 1-based, following SQLite.
+type File struct {
+	f        *ext4.File
+	pageSize int
+}
+
+// New wraps f as a page-addressed database file.
+func New(f *ext4.File, pageSize int) *File {
+	return &File{f: f, pageSize: pageSize}
+}
+
+// PageSize returns the page size in bytes.
+func (d *File) PageSize() int { return d.pageSize }
+
+// ReadPage fills buf with page pgno's content, zero-filling any part
+// beyond the file's current size.
+func (d *File) ReadPage(pgno uint32, buf []byte) error {
+	off := int64(pgno-1) * int64(d.pageSize)
+	n, err := d.f.ReadAt(buf[:d.pageSize], off)
+	if err == io.EOF {
+		for i := n; i < d.pageSize; i++ {
+			buf[i] = 0
+		}
+		return nil
+	}
+	return err
+}
+
+// WritePage stores data as page pgno.
+func (d *File) WritePage(pgno uint32, data []byte) error {
+	off := int64(pgno-1) * int64(d.pageSize)
+	_, err := d.f.WriteAt(data[:d.pageSize], off)
+	return err
+}
+
+// Sync flushes the file durably (fsync).
+func (d *File) Sync() error {
+	d.f.Fsync()
+	return nil
+}
+
+// Size returns the file size in bytes.
+func (d *File) Size() int64 { return d.f.Size() }

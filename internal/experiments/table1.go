@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/mobibench"
+)
+
+// Table1Row is one column of the paper's Table 1: the average number of
+// dccmvac instructions per transaction for K inserts per transaction.
+type Table1Row struct {
+	InsertsPerTxn int
+	Flushes       float64
+}
+
+// Table1Result holds the full sweep.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 reproduces Table 1 on the Tuna board: NVWAL with lazy
+// synchronization and differential logging, counting cache-line flushes
+// per transaction as the inserts-per-transaction grow.
+func Table1(txns int) (*Table1Result, error) {
+	if txns <= 0 {
+		txns = 200
+	}
+	res := &Table1Result{}
+	for _, k := range kSweep {
+		s, err := NewNVWALSetup(Tuna, core.VariantUHLSDiff(), db1000)
+		if err != nil {
+			return nil, err
+		}
+		w, err := mobibench.Prepare(s.DB, mobibench.Workload{
+			Op: mobibench.Insert, Transactions: txns, OpsPerTxn: k, Seed: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		before := s.Plat.Metrics.Snapshot()
+		if _, err := mobibench.Run(s.DB, s.Plat.Clock, w); err != nil {
+			return nil, err
+		}
+		delta := s.Plat.Metrics.Snapshot().Sub(before)
+		res.Rows = append(res.Rows, Table1Row{
+			InsertsPerTxn: k,
+			Flushes:       float64(delta.Count(metrics.CacheLineFlush)) / float64(txns),
+		})
+	}
+	return res, nil
+}
+
+// db1000 is SQLite's default checkpoint threshold.
+const db1000 = 1000
+
+// Print prints the table in the paper's layout.
+func (r *Table1Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: Average number of cache line flushes per transaction")
+	fmt.Fprintf(w, "%-24s", "# of insertion per txn")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%8d", row.InsertsPerTxn)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-24s", "# of cache line flushes")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%8.1f", row.Flushes)
+	}
+	fmt.Fprintln(w)
+}

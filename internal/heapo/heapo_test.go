@@ -1,0 +1,297 @@
+package heapo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memsim"
+	"repro/internal/metrics"
+	"repro/internal/nvram"
+	"repro/internal/simclock"
+)
+
+func newHeap(t testing.TB, size int) (*Manager, *nvram.Device, *metrics.Counters) {
+	t.Helper()
+	clock := simclock.New()
+	m := &metrics.Counters{}
+	dev := nvram.NewDevice(nvram.Config{Size: size}, clock, m)
+	h, err := Format(dev)
+	if err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	return h, dev, m
+}
+
+func TestFormatAndAttach(t *testing.T) {
+	h, dev, _ := newHeap(t, 1<<20)
+	if h.TotalPages() < 100 {
+		t.Fatalf("TotalPages = %d, want >= 100 for a 1 MiB device", h.TotalPages())
+	}
+	h2, err := Attach(dev)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	if h2.TotalPages() != h.TotalPages() {
+		t.Fatalf("Attach sees %d pages, Format created %d", h2.TotalPages(), h.TotalPages())
+	}
+}
+
+func TestAttachUnformattedFails(t *testing.T) {
+	clock := simclock.New()
+	dev := nvram.NewDevice(nvram.Config{Size: 1 << 20}, clock, &metrics.Counters{})
+	if _, err := Attach(dev); err == nil {
+		t.Fatal("Attach on unformatted device succeeded")
+	}
+}
+
+func TestNVMallocMarksInUse(t *testing.T) {
+	h, _, _ := newHeap(t, 1<<20)
+	b, err := h.NVMalloc(100)
+	if err != nil {
+		t.Fatalf("NVMalloc: %v", err)
+	}
+	if b.Pages != 1 {
+		t.Fatalf("100-byte alloc got %d pages, want 1", b.Pages)
+	}
+	st, err := h.StateOf(b.Addr)
+	if err != nil {
+		t.Fatalf("StateOf: %v", err)
+	}
+	if st != StateInUse {
+		t.Fatalf("state = %d, want in-use", st)
+	}
+}
+
+func TestNVPreMallocProtocol(t *testing.T) {
+	h, _, _ := newHeap(t, 1<<20)
+	b, err := h.NVPreMalloc(8192)
+	if err != nil {
+		t.Fatalf("NVPreMalloc: %v", err)
+	}
+	if b.Pages != 2 {
+		t.Fatalf("8 KB alloc got %d pages, want 2", b.Pages)
+	}
+	if st, _ := h.StateOf(b.Addr); st != StatePending {
+		t.Fatalf("state after pre-malloc = %d, want pending", st)
+	}
+	if err := h.NVMallocSetUsedFlag(b); err != nil {
+		t.Fatalf("NVMallocSetUsedFlag: %v", err)
+	}
+	if st, _ := h.StateOf(b.Addr); st != StateInUse {
+		t.Fatalf("state after set-used = %d, want in-use", st)
+	}
+}
+
+func TestSetUsedFlagRejectsNonPending(t *testing.T) {
+	h, _, _ := newHeap(t, 1<<20)
+	b, _ := h.NVMalloc(100)
+	if err := h.NVMallocSetUsedFlag(b); err == nil {
+		t.Fatal("set-used on an in-use block succeeded")
+	}
+}
+
+func TestNVFreeRecyclesPages(t *testing.T) {
+	h, _, _ := newHeap(t, 1<<20)
+	free0 := h.FreePages()
+	b, _ := h.NVMalloc(3 * PageSize)
+	if got := h.FreePages(); got != free0-3 {
+		t.Fatalf("FreePages after alloc = %d, want %d", got, free0-3)
+	}
+	if err := h.NVFree(b); err != nil {
+		t.Fatalf("NVFree: %v", err)
+	}
+	if got := h.FreePages(); got != free0 {
+		t.Fatalf("FreePages after free = %d, want %d", got, free0)
+	}
+}
+
+func TestNVFreeRejectsBadAddr(t *testing.T) {
+	h, _, _ := newHeap(t, 1<<20)
+	if err := h.NVFree(Block{Addr: 12345, Pages: 1}); err == nil {
+		t.Fatal("NVFree of unaligned non-heap address succeeded")
+	}
+	b, _ := h.NVMalloc(2 * PageSize)
+	// Freeing a continuation page is not a valid allocation head.
+	if err := h.NVFree(Block{Addr: b.Addr + PageSize, Pages: 1}); err == nil {
+		t.Fatal("NVFree of continuation page succeeded")
+	}
+}
+
+func TestDoubleFreeFails(t *testing.T) {
+	h, _, _ := newHeap(t, 1<<20)
+	b, _ := h.NVMalloc(PageSize)
+	if err := h.NVFree(b); err != nil {
+		t.Fatalf("first free: %v", err)
+	}
+	if err := h.NVFree(b); err == nil {
+		t.Fatal("double free succeeded")
+	}
+}
+
+func TestOutOfSpace(t *testing.T) {
+	h, _, _ := newHeap(t, 64*1024)
+	var blocks []Block
+	for {
+		b, err := h.NVMalloc(PageSize)
+		if err != nil {
+			break
+		}
+		blocks = append(blocks, b)
+	}
+	if len(blocks) == 0 || len(blocks) > 16 {
+		t.Fatalf("allocated %d pages from a 64 KiB device", len(blocks))
+	}
+	if _, err := h.NVMalloc(PageSize); err == nil {
+		t.Fatal("allocation beyond capacity succeeded")
+	}
+	// Free one and retry.
+	if err := h.NVFree(blocks[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.NVMalloc(PageSize); err != nil {
+		t.Fatalf("allocation after free failed: %v", err)
+	}
+}
+
+func TestAllocationsSurviveCrash(t *testing.T) {
+	h, dev, _ := newHeap(t, 1<<20)
+	b, _ := h.NVMalloc(8192)
+	dev.PowerFail(memsim.FailDropAll, 1)
+	dev.Recover()
+	h2, err := Attach(dev)
+	if err != nil {
+		t.Fatalf("Attach after crash: %v", err)
+	}
+	if st, err := h2.StateOf(b.Addr); err != nil || st != StateInUse {
+		t.Fatalf("in-use block lost across crash: state=%d err=%v", st, err)
+	}
+}
+
+func TestReclaimPendingAfterCrash(t *testing.T) {
+	h, dev, _ := newHeap(t, 1<<20)
+	inUse, _ := h.NVMalloc(PageSize)
+	pending, _ := h.NVPreMalloc(2 * PageSize)
+	dev.PowerFail(memsim.FailDropAll, 1)
+	dev.Recover()
+	h2, err := Attach(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := h2.ReclaimPending()
+	if n != 1 {
+		t.Fatalf("reclaimed %d pending blocks, want 1", n)
+	}
+	if st, _ := h2.StateOf(pending.Addr); st != StateFree {
+		t.Fatalf("pending block state after reclaim = %d, want free", st)
+	}
+	if st, _ := h2.StateOf(inUse.Addr); st != StateInUse {
+		t.Fatalf("in-use block state after reclaim = %d, want in-use", st)
+	}
+}
+
+func TestRootNamespace(t *testing.T) {
+	h, dev, _ := newHeap(t, 1<<20)
+	b, _ := h.NVMalloc(PageSize)
+	if err := h.SetRoot("db-wal:test.db", b.Addr); err != nil {
+		t.Fatalf("SetRoot: %v", err)
+	}
+	addr, ok := h.GetRoot("db-wal:test.db")
+	if !ok || addr != b.Addr {
+		t.Fatalf("GetRoot = (%d,%v), want (%d,true)", addr, ok, b.Addr)
+	}
+	// Survives a crash.
+	dev.PowerFail(memsim.FailDropAll, 1)
+	dev.Recover()
+	h2, _ := Attach(dev)
+	addr, ok = h2.GetRoot("db-wal:test.db")
+	if !ok || addr != b.Addr {
+		t.Fatalf("GetRoot after crash = (%d,%v), want (%d,true)", addr, ok, b.Addr)
+	}
+	// Rebind overwrites.
+	if err := h2.SetRoot("db-wal:test.db", 999*4096); err != nil {
+		t.Fatal(err)
+	}
+	if addr, _ = h2.GetRoot("db-wal:test.db"); addr != 999*4096 {
+		t.Fatalf("rebound root = %d", addr)
+	}
+	h2.DeleteRoot("db-wal:test.db")
+	if _, ok = h2.GetRoot("db-wal:test.db"); ok {
+		t.Fatal("deleted root still resolves")
+	}
+}
+
+func TestRootNameTooLong(t *testing.T) {
+	h, _, _ := newHeap(t, 1<<20)
+	long := make([]byte, 100)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if err := h.SetRoot(string(long), 0); err == nil {
+		t.Fatal("overlong root name accepted")
+	}
+}
+
+func TestBlockAtValidatesHeads(t *testing.T) {
+	h, _, _ := newHeap(t, 1<<20)
+	b, _ := h.NVMalloc(3 * PageSize)
+	got, err := h.BlockAt(b.Addr)
+	if err != nil || got.Pages != 3 {
+		t.Fatalf("BlockAt = (%+v, %v), want 3-page block", got, err)
+	}
+	if _, err := h.BlockAt(b.Addr + PageSize); err == nil {
+		t.Fatal("BlockAt accepted a continuation page")
+	}
+}
+
+func TestSyscallAccounting(t *testing.T) {
+	h, _, m := newHeap(t, 1<<20)
+	before := m.Count(metrics.Syscall)
+	b, _ := h.NVPreMalloc(PageSize)
+	_ = h.NVMallocSetUsedFlag(b)
+	_ = h.NVFree(b)
+	if got := m.Count(metrics.Syscall) - before; got != 3 {
+		t.Fatalf("3 heap calls charged %d syscalls, want 3", got)
+	}
+}
+
+// Property: any interleaving of allocations and frees never yields
+// overlapping live blocks.
+func TestPropertyNoOverlappingAllocations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, _, _ := newHeap(t, 1<<20)
+		type live struct{ b Block }
+		var blocks []live
+		for op := 0; op < 120; op++ {
+			if rng.Intn(3) != 0 || len(blocks) == 0 {
+				size := (1 + rng.Intn(4)) * PageSize
+				b, err := h.NVMalloc(size)
+				if err != nil {
+					continue
+				}
+				blocks = append(blocks, live{b})
+			} else {
+				i := rng.Intn(len(blocks))
+				if err := h.NVFree(blocks[i].b); err != nil {
+					return false
+				}
+				blocks = append(blocks[:i], blocks[i+1:]...)
+			}
+		}
+		for i := range blocks {
+			for j := i + 1; j < len(blocks); j++ {
+				a, b := blocks[i].b, blocks[j].b
+				aEnd := a.Addr + uint64(a.Size())
+				bEnd := b.Addr + uint64(b.Size())
+				if a.Addr < bEnd && b.Addr < aEnd {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

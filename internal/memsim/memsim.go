@@ -1,0 +1,609 @@
+// Package memsim simulates the memory hierarchy the paper's NVRAM
+// experiments depend on: a write-back CPU cache in front of byte-
+// addressable NVRAM, with explicit cache-line flush (ARM dccmvac), data
+// memory barrier (dmb) and persist-barrier operations, and a power-failure
+// switch.
+//
+// Go offers no control over real cache lines (the repro gate called out
+// for this paper), so the simulator is *functional*: writes land in a
+// simulated cache overlay and only reach the simulated NVRAM cells when
+// they are flushed and a persist barrier drains the memory-controller
+// queue. A crash (PowerFail) discards everything that has not been
+// persisted, which lets the test suite mechanically verify the paper's
+// §4.3 recovery arguments instead of hand-waving them.
+//
+// # Cost model
+//
+// Every operation charges virtual time to a shared simclock.Clock:
+//
+//   - Stores charge a per-line CPU cost (TimeMemcpy). If the cache
+//     capacity overflows, the LRU dirty line is written back: its
+//     completion is enqueued on the memory controller, masking later
+//     flush cost exactly as §5.1 describes.
+//   - dccmvac on a dirty line charges a fixed issue cost and enqueues the
+//     write-back on the (serial) memory controller. The instruction is
+//     non-blocking, as on ARMv7.
+//   - dmb blocks until all outstanding write-backs complete. The waiting
+//     time is attributed to the flush phase (it is flush completion), the
+//     barrier's own fixed cost to the barrier phase — matching how
+//     Figure 5 presents the breakdown.
+//   - The persist barrier also blocks, then marks the queued lines
+//     durable. Its cost defaults to the 1 µs nop-loop emulation of §5.3.
+//
+// Eager versus lazy synchronization therefore differ exactly as in the
+// paper: an eager scheme pays (issue + write latency) per line because a
+// dmb follows every log entry, while a lazy scheme issues the whole batch
+// back-to-back and overlaps issue with the controller's drain, paying
+// roughly the write latency alone.
+package memsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+)
+
+// Config parameterizes a Domain. Zero fields are replaced by defaults
+// matching the Tuna board used in §5 (32 B cache lines, 500 ns NVRAM
+// write latency, 1 µs persist barrier).
+type Config struct {
+	// Size is the size of the NVRAM address space in bytes.
+	Size int
+	// CacheLineSize is the cache line size in bytes (Tuna: 32, Nexus 5: 64).
+	CacheLineSize int
+	// CacheCapacityLines bounds the number of dirty lines held in the
+	// simulated cache before LRU write-back eviction. 0 selects the
+	// default (a 512 KB L2 worth of lines).
+	CacheCapacityLines int
+	// NVRAMWriteLatency is the memory controller's per-line write-back
+	// service time into NVRAM cells.
+	NVRAMWriteLatency time.Duration
+	// NVRAMBanks is the number of memory banks the controller services
+	// concurrently. Lines map to banks by address, so a batch of lazy
+	// flushes drains up to NVRAMBanks lines per write latency — the
+	// §4.1 motivation ("so that the processors can better utilize
+	// caches and memory banks").
+	NVRAMBanks int
+	// FlushIssueCost is the CPU cost of issuing one dccmvac instruction.
+	FlushIssueCost time.Duration
+	// BarrierCost is the fixed cost of a dmb instruction (excluding any
+	// waiting for outstanding write-backs).
+	BarrierCost time.Duration
+	// PersistBarrierCost is the fixed cost of the persist barrier, on top
+	// of draining the controller queue (§5.3 emulates it with a 1 µs
+	// delay).
+	PersistBarrierCost time.Duration
+	// StoreCostPerLine is the CPU cost of storing one cache line's worth
+	// of data (the memcpy component of Figure 5).
+	StoreCostPerLine time.Duration
+}
+
+// Defaults for Config fields; exported so experiments can reference the
+// calibration in one place.
+const (
+	DefaultSize               = 64 << 20
+	DefaultCacheLineSize      = 32
+	DefaultCacheCapacityLines = (512 << 10) / 32
+	DefaultNVRAMWriteLatency  = 500 * time.Nanosecond
+	DefaultNVRAMBanks         = 4
+	DefaultFlushIssueCost     = 115 * time.Nanosecond
+	DefaultBarrierCost        = 20 * time.Nanosecond
+	DefaultPersistBarrierCost = 1 * time.Microsecond
+	DefaultStoreCostPerLine   = 18 * time.Nanosecond
+)
+
+func (c Config) withDefaults() Config {
+	if c.Size <= 0 {
+		c.Size = DefaultSize
+	}
+	if c.CacheLineSize <= 0 {
+		c.CacheLineSize = DefaultCacheLineSize
+	}
+	if c.CacheCapacityLines <= 0 {
+		c.CacheCapacityLines = (512 << 10) / c.CacheLineSize
+	}
+	if c.NVRAMWriteLatency <= 0 {
+		c.NVRAMWriteLatency = DefaultNVRAMWriteLatency
+	}
+	if c.NVRAMBanks <= 0 {
+		c.NVRAMBanks = DefaultNVRAMBanks
+	}
+	if c.FlushIssueCost <= 0 {
+		c.FlushIssueCost = DefaultFlushIssueCost
+	}
+	if c.BarrierCost <= 0 {
+		c.BarrierCost = DefaultBarrierCost
+	}
+	if c.PersistBarrierCost <= 0 {
+		c.PersistBarrierCost = DefaultPersistBarrierCost
+	}
+	if c.StoreCostPerLine <= 0 {
+		c.StoreCostPerLine = DefaultStoreCostPerLine
+	}
+	return c
+}
+
+// FailPolicy selects what survives a PowerFail.
+type FailPolicy int
+
+const (
+	// FailDropAll loses every line that has not been persisted by a
+	// persist barrier: the conservative model the paper's recovery
+	// argument assumes.
+	FailDropAll FailPolicy = iota
+	// FailKeepCompleted keeps queued write-backs whose controller
+	// completion time has already passed; in-cache dirty lines are lost.
+	FailKeepCompleted
+	// FailAdversarial persists an arbitrary (seeded) subset of both
+	// queued write-backs and still-dirty cache lines, at whole-line
+	// granularity. Dirty cache lines may persist because real hardware
+	// may evict them at any time; this is the strongest test of the
+	// commit-mark ordering protocol.
+	FailAdversarial
+)
+
+type lineState struct {
+	dirty      bool // in cache, not yet flushed/evicted
+	lruElem    *lruNode
+	queued     bool          // write-back accepted by the memory controller
+	queuedData []byte        // content snapshot at flush/eviction time
+	completion time.Duration // virtual time the controller finishes the write-back
+}
+
+type lruNode struct {
+	addr       uint64
+	prev, next *lruNode
+}
+
+// Domain is one NVRAM persistence domain: an address space, the cache
+// overlay in front of it, and the memory-controller queue between them.
+// Domain is safe for concurrent use, though the simulated database is
+// single-writer (SQLite allows one write transaction at a time, §4.1).
+type Domain struct {
+	mu    sync.Mutex
+	cfg   Config
+	clock *simclock.Clock
+	m     *metrics.Counters
+
+	volatileMem []byte // current logical content (read-your-writes view)
+	persisted   []byte // content guaranteed to survive PowerFail
+
+	lines map[uint64]*lineState // keyed by line-aligned address
+	// LRU list of dirty lines; head = most recent.
+	lruHead, lruTail *lruNode
+	dirtyCount       int
+
+	// bankFree[i] is the time bank i finishes its queued write-backs;
+	// lastCompletion is the max across banks (what barriers wait for).
+	bankFree       []time.Duration
+	lastCompletion time.Duration
+
+	failed bool
+}
+
+// New creates a Domain with the given configuration, clock and metrics
+// sink. clock and m must not be nil.
+func New(cfg Config, clock *simclock.Clock, m *metrics.Counters) *Domain {
+	cfg = cfg.withDefaults()
+	return &Domain{
+		cfg:         cfg,
+		clock:       clock,
+		m:           m,
+		volatileMem: make([]byte, cfg.Size),
+		persisted:   make([]byte, cfg.Size),
+		lines:       make(map[uint64]*lineState),
+		bankFree:    make([]time.Duration, cfg.NVRAMBanks),
+	}
+}
+
+// Size returns the domain's address-space size in bytes.
+func (d *Domain) Size() int { return d.cfg.Size }
+
+// Metrics returns the counters this domain charges its events to, so
+// components layered on the domain (e.g. the heap manager) can share
+// the same sink.
+func (d *Domain) Metrics() *metrics.Counters { return d.m }
+
+// Clock returns the virtual clock this domain charges latency to.
+func (d *Domain) Clock() *simclock.Clock { return d.clock }
+
+// LineSize returns the cache line size in bytes.
+func (d *Domain) LineSize() int { return d.cfg.CacheLineSize }
+
+// WriteLatency returns the configured per-line NVRAM write latency.
+func (d *Domain) WriteLatency() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cfg.NVRAMWriteLatency
+}
+
+// SetWriteLatency changes the NVRAM write latency, mirroring the Tuna
+// board's adjustable latency knob used by Figures 7 and 9.
+func (d *Domain) SetWriteLatency(w time.Duration) {
+	d.mu.Lock()
+	d.cfg.NVRAMWriteLatency = w
+	d.mu.Unlock()
+}
+
+func (d *Domain) lineAddr(addr uint64) uint64 {
+	return addr &^ (uint64(d.cfg.CacheLineSize) - 1)
+}
+
+func (d *Domain) checkRange(addr uint64, n int) {
+	if int(addr)+n > d.cfg.Size || int(addr) < 0 {
+		panic(fmt.Sprintf("memsim: access [%d,%d) outside domain of %d bytes", addr, int(addr)+n, d.cfg.Size))
+	}
+}
+
+// Write stores p at addr through the cache. The data becomes visible to
+// Read immediately but is not durable until flushed and persisted.
+func (d *Domain) Write(addr uint64, p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.checkRange(addr, len(p))
+	if d.failed {
+		panic("memsim: write to failed domain (call Recover first)")
+	}
+	copy(d.volatileMem[addr:], p)
+
+	first := d.lineAddr(addr)
+	last := d.lineAddr(addr + uint64(len(p)) - 1)
+	nLines := int((last-first)/uint64(d.cfg.CacheLineSize)) + 1
+	d.clock.Advance(time.Duration(nLines) * d.cfg.StoreCostPerLine)
+	d.m.AddTime(metrics.TimeMemcpy, time.Duration(nLines)*d.cfg.StoreCostPerLine)
+
+	for la := first; la <= last; la += uint64(d.cfg.CacheLineSize) {
+		d.touchDirty(la)
+	}
+}
+
+// touchDirty marks line la dirty and most-recently-used, evicting the LRU
+// dirty line if the cache is over capacity. Caller holds d.mu.
+func (d *Domain) touchDirty(la uint64) {
+	st := d.lines[la]
+	if st == nil {
+		st = &lineState{}
+		d.lines[la] = st
+	}
+	if st.dirty {
+		d.lruMoveFront(st.lruElem)
+		return
+	}
+	st.dirty = true
+	st.lruElem = &lruNode{addr: la}
+	d.lruPushFront(st.lruElem)
+	d.dirtyCount++
+	for d.dirtyCount > d.cfg.CacheCapacityLines {
+		victim := d.lruTail
+		if victim == nil {
+			break
+		}
+		// Hardware eviction: the write-back is enqueued on the controller
+		// and its cost is absorbed by the ongoing memcpy phase — this is
+		// the "masking" of flush overhead §5.1 observes under lazy
+		// synchronization.
+		d.writeBackLocked(victim.addr, metrics.TimeMemcpy)
+	}
+}
+
+// writeBackLocked moves line la from the cache to the controller queue,
+// snapshotting its content. timeKey receives the issue cost attribution.
+// Caller holds d.mu.
+func (d *Domain) writeBackLocked(la uint64, timeKey string) {
+	st := d.lines[la]
+	if st == nil || !st.dirty {
+		return
+	}
+	st.dirty = false
+	d.lruRemove(st.lruElem)
+	st.lruElem = nil
+	d.dirtyCount--
+
+	snap := make([]byte, d.cfg.CacheLineSize)
+	copy(snap, d.volatileMem[la:la+uint64(d.cfg.CacheLineSize)])
+	st.queued = true
+	st.queuedData = snap
+
+	// The memory controller receives the write-back when the dccmvac
+	// instruction completes, so the issue cost is charged first; the
+	// line's bank then services it after its queued predecessors.
+	d.clock.Advance(d.cfg.FlushIssueCost)
+	d.m.AddTime(timeKey, d.cfg.FlushIssueCost)
+
+	bank := int(la/uint64(d.cfg.CacheLineSize)) % d.cfg.NVRAMBanks
+	start := d.clock.Now()
+	if d.bankFree[bank] > start {
+		start = d.bankFree[bank]
+	}
+	st.completion = start + d.cfg.NVRAMWriteLatency
+	d.bankFree[bank] = st.completion
+	if st.completion > d.lastCompletion {
+		d.lastCompletion = st.completion
+	}
+	d.m.Inc(metrics.NVRAMLineWrites, 1)
+	d.m.Inc(metrics.NVRAMBytes, int64(d.cfg.CacheLineSize))
+}
+
+// Read copies the current logical content at addr into p (read-your-
+// writes through the cache overlay). Reads are charged no latency: the
+// experiments measure the write path, and NVRAM read latency is within
+// DRAM's order of magnitude (§3).
+func (d *Domain) Read(addr uint64, p []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.checkRange(addr, len(p))
+	src := d.volatileMem
+	if d.failed {
+		src = d.persisted
+	}
+	copy(p, src[addr:])
+}
+
+// ReadPersisted copies the durable content at addr into p: what a crash
+// at this instant would preserve under FailDropAll.
+func (d *Domain) ReadPersisted(addr uint64, p []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.checkRange(addr, len(p))
+	copy(p, d.persisted[addr:])
+}
+
+// CacheLineFlush issues dccmvac for every cache line overlapping
+// [start, end), the loop body of the cache_line_flush() syscall of
+// Algorithm 2. The flushes are non-blocking; call MemoryBarrier to wait
+// for their completion. The kernel-mode-switch cost is charged
+// separately via Syscall — dccmvac needs privileged register access on
+// ARMv7, so user code pays one Syscall per flush batch while kernel
+// components (the Heapo heap manager) flush for free.
+func (d *Domain) CacheLineFlush(start, end uint64) {
+	if end <= start {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.checkRange(start, int(end-start))
+	first := d.lineAddr(start)
+	last := d.lineAddr(end - 1)
+	for la := first; la <= last; la += uint64(d.cfg.CacheLineSize) {
+		d.m.Inc(metrics.CacheLineFlush, 1)
+		st := d.lines[la]
+		if st != nil && st.dirty {
+			d.writeBackLocked(la, metrics.TimeFlush)
+		} else {
+			// Clean or already-evicted line: dccmvac still executes but
+			// finds nothing to write back.
+			d.clock.Advance(d.cfg.FlushIssueCost)
+			d.m.AddTime(metrics.TimeFlush, d.cfg.FlushIssueCost)
+		}
+	}
+}
+
+// SyscallCost is the simulated kernel-mode switch overhead per system
+// call (§4: "System call is expensive. It crosses the protection
+// boundary and the parameters are copied.").
+const SyscallCost = 800 * time.Nanosecond
+
+// Syscall charges one kernel-mode switch. Components that cross the
+// user/kernel boundary (cache_line_flush batches, Heapo heap calls) call
+// this once per crossing.
+func (d *Domain) Syscall() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.clock.Advance(SyscallCost)
+	d.m.Inc(metrics.Syscall, 1)
+	d.m.AddTime(metrics.TimeSyscall, SyscallCost)
+}
+
+// MemoryBarrier models dmb: it blocks until every outstanding write-back
+// has been serviced by the memory controller. The waiting time is
+// attributed to the flush phase; the barrier's fixed cost to the barrier
+// phase.
+func (d *Domain) MemoryBarrier() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.m.Inc(metrics.MemoryBarrier, 1)
+	now := d.clock.Now()
+	if d.lastCompletion > now {
+		wait := d.lastCompletion - now
+		d.clock.Advance(wait)
+		d.m.AddTime(metrics.TimeFlush, wait)
+	}
+	d.clock.Advance(d.cfg.BarrierCost)
+	d.m.AddTime(metrics.TimeBarrier, d.cfg.BarrierCost)
+}
+
+// PersistBarrier drains the memory-controller queue into NVRAM cells and
+// guarantees durability of everything flushed before it, at the fixed
+// persist-barrier cost (§5.3 emulates it as a 1 µs delay).
+func (d *Domain) PersistBarrier() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.m.Inc(metrics.PersistBarrier, 1)
+	now := d.clock.Now()
+	if d.lastCompletion > now {
+		wait := d.lastCompletion - now
+		d.clock.Advance(wait)
+		d.m.AddTime(metrics.TimeFlush, wait)
+	}
+	d.clock.Advance(d.cfg.PersistBarrierCost)
+	d.m.AddTime(metrics.TimePersist, d.cfg.PersistBarrierCost)
+	for la, st := range d.lines {
+		if st.queued {
+			copy(d.persisted[la:], st.queuedData)
+			st.queued = false
+			st.queuedData = nil
+		}
+		if !st.dirty && !st.queued {
+			delete(d.lines, la)
+		}
+	}
+}
+
+// EpochBarrier models the persist barrier of an epoch-persistency
+// architecture (§4.4, following BPFS): the hardware itself writes back
+// every dirty line and guarantees all persists before the barrier occur
+// before any after it. No explicit dccmvac instructions (and no
+// kernel-mode switches for them) are needed — the programming-
+// simplicity argument of relaxed persistency.
+func (d *Domain) EpochBarrier() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.m.Inc(metrics.PersistBarrier, 1)
+	// Hardware write-back of all dirty lines: enqueue without per-line
+	// issue cost (no instructions are executed for them).
+	for la, st := range d.lines {
+		if !st.dirty {
+			continue
+		}
+		st.dirty = false
+		d.lruRemove(st.lruElem)
+		st.lruElem = nil
+		d.dirtyCount--
+		snap := make([]byte, d.cfg.CacheLineSize)
+		copy(snap, d.volatileMem[la:la+uint64(d.cfg.CacheLineSize)])
+		st.queued = true
+		st.queuedData = snap
+		bank := int(la/uint64(d.cfg.CacheLineSize)) % d.cfg.NVRAMBanks
+		start := d.clock.Now()
+		if d.bankFree[bank] > start {
+			start = d.bankFree[bank]
+		}
+		st.completion = start + d.cfg.NVRAMWriteLatency
+		d.bankFree[bank] = st.completion
+		if st.completion > d.lastCompletion {
+			d.lastCompletion = st.completion
+		}
+		d.m.Inc(metrics.NVRAMLineWrites, 1)
+		d.m.Inc(metrics.NVRAMBytes, int64(d.cfg.CacheLineSize))
+	}
+	now := d.clock.Now()
+	if d.lastCompletion > now {
+		wait := d.lastCompletion - now
+		d.clock.Advance(wait)
+		d.m.AddTime(metrics.TimeFlush, wait)
+	}
+	d.clock.Advance(d.cfg.PersistBarrierCost)
+	d.m.AddTime(metrics.TimePersist, d.cfg.PersistBarrierCost)
+	for la, st := range d.lines {
+		if st.queued {
+			copy(d.persisted[la:], st.queuedData)
+			st.queued = false
+			st.queuedData = nil
+		}
+		if !st.dirty && !st.queued {
+			delete(d.lines, la)
+		}
+	}
+}
+
+// PowerFail simulates pulling the power. Everything not yet persisted is
+// resolved according to the policy; afterwards the domain serves only
+// persisted content until Recover is called. seed drives the adversarial
+// policy's line-survival choices.
+func (d *Domain) PowerFail(policy FailPolicy, seed int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rng := rand.New(rand.NewSource(seed))
+	now := d.clock.Now()
+	for la, st := range d.lines {
+		switch policy {
+		case FailDropAll:
+			// nothing survives
+		case FailKeepCompleted:
+			if st.queued && st.completion <= now {
+				copy(d.persisted[la:], st.queuedData)
+			}
+		case FailAdversarial:
+			if st.queued && rng.Intn(2) == 0 {
+				copy(d.persisted[la:], st.queuedData)
+			}
+			if st.dirty && rng.Intn(4) == 0 {
+				// Spontaneous hardware eviction made this line durable
+				// even though it was never explicitly flushed.
+				copy(d.persisted[la:], d.volatileMem[la:la+uint64(d.cfg.CacheLineSize)])
+			}
+		}
+		delete(d.lines, la)
+	}
+	d.lruHead, d.lruTail = nil, nil
+	d.dirtyCount = 0
+	d.lastCompletion = 0
+	for i := range d.bankFree {
+		d.bankFree[i] = 0
+	}
+	copy(d.volatileMem, d.persisted)
+	d.failed = true
+}
+
+// Recover clears the failed state after a PowerFail, modelling reboot:
+// the volatile view is re-initialized from persisted NVRAM content.
+func (d *Domain) Recover() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.failed {
+		return
+	}
+	copy(d.volatileMem, d.persisted)
+	d.failed = false
+}
+
+// Failed reports whether the domain is in the post-PowerFail state.
+func (d *Domain) Failed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failed
+}
+
+// DirtyLines reports the number of dirty lines currently cached; useful
+// for tests and for the Table 1 accounting.
+func (d *Domain) DirtyLines() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dirtyCount
+}
+
+// lru helpers; caller holds d.mu.
+
+func (d *Domain) lruPushFront(n *lruNode) {
+	n.prev = nil
+	n.next = d.lruHead
+	if d.lruHead != nil {
+		d.lruHead.prev = n
+	}
+	d.lruHead = n
+	if d.lruTail == nil {
+		d.lruTail = n
+	}
+}
+
+func (d *Domain) lruRemove(n *lruNode) {
+	if n == nil {
+		return
+	}
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		d.lruHead = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		d.lruTail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (d *Domain) lruMoveFront(n *lruNode) {
+	if d.lruHead == n {
+		return
+	}
+	d.lruRemove(n)
+	d.lruPushFront(n)
+}

@@ -1,0 +1,176 @@
+// Package mobibench generates the paper's evaluation workloads, after
+// the Mobibench SQLite benchmark used in §5: sequences of transactions
+// each inserting, updating or deleting fixed-size records (100 bytes in
+// the paper), with a configurable number of operations per transaction.
+package mobibench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/simclock"
+)
+
+// Op is a workload operation type.
+type Op int
+
+const (
+	Insert Op = iota
+	Update
+	Delete
+)
+
+func (o Op) String() string {
+	switch o {
+	case Update:
+		return "update"
+	case Delete:
+		return "delete"
+	default:
+		return "insert"
+	}
+}
+
+// Workload describes one benchmark run.
+type Workload struct {
+	// Table receives the records (created if missing).
+	Table string
+	// Op is the per-transaction operation type.
+	Op Op
+	// Transactions is the number of transactions to run (paper: 1000).
+	Transactions int
+	// OpsPerTxn is the number of records touched per transaction
+	// (paper: 1 for Figures 7 and 9; 1–32 for Figures 5 and 6).
+	OpsPerTxn int
+	// RecordSize is the record payload size (paper: 100 bytes).
+	RecordSize int
+	// Seed drives record-content generation and update/delete targets.
+	Seed int64
+	// PrePopulate loads this many records before the measured run
+	// (required for update/delete workloads; they cycle through these
+	// keys).
+	PrePopulate int
+}
+
+// withDefaults fills the paper's standard parameters.
+func (w Workload) withDefaults() Workload {
+	if w.Table == "" {
+		w.Table = "mobibench"
+	}
+	if w.Transactions <= 0 {
+		w.Transactions = 1000
+	}
+	if w.OpsPerTxn <= 0 {
+		w.OpsPerTxn = 1
+	}
+	if w.RecordSize <= 0 {
+		w.RecordSize = 100
+	}
+	if w.PrePopulate <= 0 && w.Op != Insert {
+		w.PrePopulate = w.Transactions * w.OpsPerTxn
+	}
+	return w
+}
+
+// Result reports a run's outcome in virtual time.
+type Result struct {
+	Workload     Workload
+	Transactions int
+	Elapsed      time.Duration
+}
+
+// Throughput returns transactions per second of virtual time.
+func (r Result) Throughput() float64 {
+	return simclock.Throughput(r.Transactions, r.Elapsed)
+}
+
+// PerTxn returns the average virtual time per transaction.
+func (r Result) PerTxn() time.Duration {
+	if r.Transactions == 0 {
+		return 0
+	}
+	return r.Elapsed / time.Duration(r.Transactions)
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("rec-%010d", i)) }
+
+// record builds a deterministic payload of the configured size.
+func record(rng *rand.Rand, size int) []byte {
+	p := make([]byte, size)
+	rng.Read(p)
+	return p
+}
+
+// Prepare creates the workload table and pre-populates it (outside the
+// measured window).
+func Prepare(d *db.DB, w Workload) (Workload, error) {
+	w = w.withDefaults()
+	if !d.HasTable(w.Table) {
+		if err := d.CreateTable(w.Table); err != nil {
+			return w, err
+		}
+	}
+	if w.PrePopulate > 0 {
+		rng := rand.New(rand.NewSource(w.Seed ^ 0x5EED))
+		const batch = 100
+		for base := 0; base < w.PrePopulate; base += batch {
+			tx, err := d.Begin()
+			if err != nil {
+				return w, err
+			}
+			for i := base; i < base+batch && i < w.PrePopulate; i++ {
+				if err := tx.Insert(w.Table, key(i), record(rng, w.RecordSize)); err != nil {
+					tx.Rollback()
+					return w, err
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				return w, err
+			}
+		}
+	}
+	return w, nil
+}
+
+// Run executes the measured workload on a prepared database, returning
+// throughput over virtual time.
+func Run(d *db.DB, clock *simclock.Clock, w Workload) (Result, error) {
+	w = w.withDefaults()
+	rng := rand.New(rand.NewSource(w.Seed))
+	start := clock.Now()
+	next := w.PrePopulate // next fresh key for inserts
+	victim := 0           // next existing key for update/delete
+	for t := 0; t < w.Transactions; t++ {
+		tx, err := d.Begin()
+		if err != nil {
+			return Result{}, err
+		}
+		for op := 0; op < w.OpsPerTxn; op++ {
+			switch w.Op {
+			case Insert:
+				err = tx.Insert(w.Table, key(next), record(rng, w.RecordSize))
+				next++
+			case Update:
+				_, err = tx.Update(w.Table, key(victim%w.PrePopulate), record(rng, w.RecordSize))
+				victim++
+			case Delete:
+				_, err = tx.Delete(w.Table, key(victim%w.PrePopulate))
+				victim++
+			}
+			if err != nil {
+				tx.Rollback()
+				return Result{}, err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{
+		Workload:     w,
+		Transactions: w.Transactions,
+		Elapsed:      clock.Now() - start,
+	}, nil
+}

@@ -1,0 +1,128 @@
+package mobibench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/platform"
+)
+
+func newDB(t testing.TB) (*db.DB, *platform.Platform) {
+	t.Helper()
+	plat, err := platform.NewNexus5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.Open(plat, "bench.db", db.Options{
+		Journal: db.JournalNVWAL,
+		NVWAL:   core.VariantUHLSDiff(),
+		CPU:     db.CPUNexus5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, plat
+}
+
+func TestInsertWorkload(t *testing.T) {
+	d, plat := newDB(t)
+	w, err := Prepare(d, Workload{Op: Insert, Transactions: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(d, plat.Clock, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transactions != 50 {
+		t.Fatalf("Transactions = %d", res.Transactions)
+	}
+	if res.Elapsed <= 0 || res.Throughput() <= 0 {
+		t.Fatalf("no virtual time elapsed: %v", res.Elapsed)
+	}
+	if n, _ := d.Count(w.Table); n != 50 {
+		t.Fatalf("table holds %d records, want 50", n)
+	}
+}
+
+func TestUpdateWorkloadPrePopulates(t *testing.T) {
+	d, plat := newDB(t)
+	w, err := Prepare(d, Workload{Op: Update, Transactions: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := d.Count(w.Table); n != 30 {
+		t.Fatalf("pre-populated %d records, want 30", n)
+	}
+	res, err := Run(d, plat.Clock, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := d.Count(w.Table); n != 30 {
+		t.Fatalf("update changed record count to %d", n)
+	}
+	if res.PerTxn() <= 0 {
+		t.Fatal("PerTxn = 0")
+	}
+}
+
+func TestDeleteWorkloadRemovesRecords(t *testing.T) {
+	d, plat := newDB(t)
+	w, err := Prepare(d, Workload{Op: Delete, Transactions: 20, OpsPerTxn: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(d, plat.Clock, w); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := d.Count(w.Table); n != 0 {
+		t.Fatalf("%d records remain after delete workload", n)
+	}
+}
+
+func TestMultiOpTransactionsCostLessPerOp(t *testing.T) {
+	// §5.1: batching more inserts per transaction amortizes the
+	// per-transaction overhead.
+	perOp := func(k int) time.Duration {
+		d, plat := newDB(t)
+		w, err := Prepare(d, Workload{Op: Insert, Transactions: 20, OpsPerTxn: k, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(d, plat.Clock, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PerTxn() / time.Duration(k)
+	}
+	if one, eight := perOp(1), perOp(8); eight >= one {
+		t.Fatalf("per-op cost did not amortize: K=1 %v, K=8 %v", one, eight)
+	}
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	w := Workload{}.withDefaults()
+	if w.Transactions != 1000 || w.OpsPerTxn != 1 || w.RecordSize != 100 {
+		t.Fatalf("defaults = %+v", w)
+	}
+	u := Workload{Op: Update, Transactions: 10}.withDefaults()
+	if u.PrePopulate != 10 {
+		t.Fatalf("update PrePopulate = %d", u.PrePopulate)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := Result{Transactions: 100, Elapsed: time.Second}
+	if r.Throughput() != 100 {
+		t.Fatalf("Throughput = %v", r.Throughput())
+	}
+	if r.PerTxn() != 10*time.Millisecond {
+		t.Fatalf("PerTxn = %v", r.PerTxn())
+	}
+	var zero Result
+	if zero.PerTxn() != 0 {
+		t.Fatal("zero-result PerTxn should be 0")
+	}
+}

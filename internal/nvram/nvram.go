@@ -1,0 +1,115 @@
+// Package nvram models the byte-addressable NVRAM DIMM of the paper's
+// platform (the Tuna board's latency-adjustable DRAM bank, or the Nexus
+// 5's reserved DRAM range). It wraps a memsim.Domain with typed
+// little-endian accessors that the persistent data structures — the
+// Heapo metadata block and the NVWAL log — are built from.
+//
+// A Device guarantees 8-byte atomic writes, the assumption NVWAL's
+// commit mark relies on (§4.1, following BPFS): even across a power
+// failure an aligned 8-byte store is never torn.
+package nvram
+
+import (
+	"encoding/binary"
+	"time"
+
+	"repro/internal/memsim"
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+)
+
+// Device is one NVRAM DIMM: an address space with persistence controls.
+type Device struct {
+	dom *memsim.Domain
+}
+
+// Config mirrors memsim.Config; see that package for field semantics and
+// defaults.
+type Config = memsim.Config
+
+// NewDevice creates an NVRAM device over a fresh persistence domain.
+func NewDevice(cfg Config, clock *simclock.Clock, m *metrics.Counters) *Device {
+	return &Device{dom: memsim.New(cfg, clock, m)}
+}
+
+// Domain exposes the underlying persistence domain for components that
+// need raw flush/barrier control.
+func (d *Device) Domain() *memsim.Domain { return d.dom }
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() int { return d.dom.Size() }
+
+// LineSize returns the cache line size governing flush granularity.
+func (d *Device) LineSize() int { return d.dom.LineSize() }
+
+// SetWriteLatency adjusts the device's write latency, the independent
+// variable of Figures 7 and 9.
+func (d *Device) SetWriteLatency(w time.Duration) { d.dom.SetWriteLatency(w) }
+
+// WriteLatency returns the current write latency.
+func (d *Device) WriteLatency() time.Duration { return d.dom.WriteLatency() }
+
+// Write stores p at addr through the cache hierarchy.
+func (d *Device) Write(addr uint64, p []byte) { d.dom.Write(addr, p) }
+
+// Read loads len(p) bytes at addr into p.
+func (d *Device) Read(addr uint64, p []byte) { d.dom.Read(addr, p) }
+
+// Flush issues cache-line flushes covering [start, end). It does not
+// charge a kernel-mode switch; user-level callers model the
+// cache_line_flush() syscall by pairing Flush with Syscall.
+func (d *Device) Flush(start, end uint64) { d.dom.CacheLineFlush(start, end) }
+
+// Syscall charges one kernel-mode switch.
+func (d *Device) Syscall() { d.dom.Syscall() }
+
+// Metrics returns the counter sink shared by everything on this device.
+func (d *Device) Metrics() *metrics.Counters { return d.dom.Metrics() }
+
+// MemoryBarrier issues a dmb.
+func (d *Device) MemoryBarrier() { d.dom.MemoryBarrier() }
+
+// PersistBarrier issues a persist barrier, making all flushed lines
+// durable.
+func (d *Device) PersistBarrier() { d.dom.PersistBarrier() }
+
+// PowerFail crashes the device under the given survival policy.
+func (d *Device) PowerFail(policy memsim.FailPolicy, seed int64) { d.dom.PowerFail(policy, seed) }
+
+// Recover reboots the device after a PowerFail.
+func (d *Device) Recover() { d.dom.Recover() }
+
+// PutUint64 stores v little-endian at addr. Aligned 8-byte stores are
+// atomic with respect to power failure.
+func (d *Device) PutUint64(addr uint64, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	d.dom.Write(addr, buf[:])
+}
+
+// Uint64 loads a little-endian uint64 from addr.
+func (d *Device) Uint64(addr uint64) uint64 {
+	var buf [8]byte
+	d.dom.Read(addr, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// PutUint32 stores v little-endian at addr.
+func (d *Device) PutUint32(addr uint64, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	d.dom.Write(addr, buf[:])
+}
+
+// Uint32 loads a little-endian uint32 from addr.
+func (d *Device) Uint32(addr uint64) uint32 {
+	var buf [4]byte
+	d.dom.Read(addr, buf[:])
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+// FlushValue flushes the cache line(s) covering an n-byte value at addr
+// (the "8 bytes padding" pattern used for the commit mark, §4.1).
+func (d *Device) FlushValue(addr uint64, n int) {
+	d.dom.CacheLineFlush(addr, addr+uint64(n))
+}

@@ -1,0 +1,366 @@
+// Package pager implements the DRAM page cache between the B+tree and
+// the persistence layers, the role SQLite's pager plays in Figure 1: in
+// a transaction, copies of database pages are modified in volatile
+// memory; at commit the set of dirty pages is handed to the write-ahead
+// log (file WAL or NVWAL); reads are served from the cache, then the
+// log's latest committed version, then the database file.
+package pager
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Frame is one dirty page handed to the journal at commit: the page
+// number and its full new image. The journal decides whether to log the
+// full image or a byte-granularity differential against the version it
+// already holds (§3.2).
+type Frame struct {
+	Pgno uint32
+	Data []byte
+}
+
+// Journal is the write-ahead log abstraction both the stock/optimized
+// file WAL and NVWAL implement.
+type Journal interface {
+	// CommitTransaction durably logs the transaction's dirty pages and
+	// its commit mark.
+	CommitTransaction(frames []Frame) error
+	// PageVersion returns the latest committed image of pgno held in the
+	// log, or ok=false when the log has no frame for the page.
+	PageVersion(pgno uint32) ([]byte, bool)
+	// FramesSinceCheckpoint reports the number of logged frames, the
+	// trigger SQLite compares against its 1000-frame checkpoint limit.
+	FramesSinceCheckpoint() int
+	// Checkpoint writes all committed pages back to the database file
+	// and truncates the log.
+	Checkpoint() error
+}
+
+// SnapshotJournal is implemented by journals that can serve point-in-
+// time reads — the WAL property that lets readers proceed against a
+// stable snapshot while the writer appends (SQLite's wal-index "mxFrame"
+// mechanism). Marks are only valid within the current checkpoint epoch;
+// the database layer keeps checkpointing and open snapshots apart.
+type SnapshotJournal interface {
+	Journal
+	// Mark captures the current end of the committed log.
+	Mark() int
+	// PageVersionAt returns pgno's image as of the mark, or ok=false
+	// when the log held no frame for the page at that point (the page's
+	// content is then whatever the database file holds — unchanged
+	// since the mark, because checkpointing is excluded).
+	PageVersionAt(pgno uint32, mark int) ([]byte, bool)
+}
+
+// DBFile is the database file on block storage that checkpointing
+// writes into and cache misses read from.
+type DBFile interface {
+	PageSize() int
+	// ReadPage fills buf with the page's content, zero-filled when the
+	// page lies beyond the file's current size.
+	ReadPage(pgno uint32, buf []byte) error
+	WritePage(pgno uint32, data []byte) error
+	Sync() error
+}
+
+// Database header layout within page 1.
+const (
+	hdrMagicOff     = 0
+	hdrPageCountOff = 12
+	// Freed pages form a chain (each free page's first 4 bytes hold the
+	// next free page number); the header tracks its head and length,
+	// like SQLite's freelist trunk.
+	hdrFreeHeadOff  = 16
+	hdrFreeCountOff = 20
+	// HeaderReserved is the portion of page 1 owned by the pager; the
+	// database catalog uses the rest.
+	HeaderReserved = 64
+)
+
+var headerMagic = []byte("NVWALDB1")
+
+// ErrNoTxn is returned for write operations outside a transaction.
+var ErrNoTxn = errors.New("pager: no transaction in progress")
+
+// Pager is the page cache. It implements btree.PageStore.
+type Pager struct {
+	pageSize int
+	db       DBFile
+	jrn      Journal
+
+	cache map[uint32][]byte
+	dirty map[uint32]bool
+	// fresh marks pages allocated in the current transaction (they have
+	// no committed pre-image to restore on rollback).
+	fresh map[uint32]bool
+	orig  map[uint32][]byte
+	inTxn bool
+}
+
+// Open attaches a pager to the database file and journal. A fresh
+// database gets its header initialized in memory; the caller commits it
+// with the first transaction.
+func Open(db DBFile, jrn Journal) (*Pager, error) {
+	p := &Pager{
+		pageSize: db.PageSize(),
+		db:       db,
+		jrn:      jrn,
+		cache:    make(map[uint32][]byte),
+		dirty:    make(map[uint32]bool),
+		fresh:    make(map[uint32]bool),
+		orig:     make(map[uint32][]byte),
+	}
+	hdr, err := p.Get(1)
+	if err != nil {
+		return nil, err
+	}
+	if string(hdr[hdrMagicOff:hdrMagicOff+8]) != string(headerMagic) {
+		if !isZero(hdr) {
+			return nil, fmt.Errorf("pager: page 1 is neither empty nor a database header")
+		}
+		// Fresh database: initialize the header under an implicit
+		// transaction so it reaches the journal durably.
+		p.Begin()
+		p.MarkDirty(1)
+		copy(hdr[hdrMagicOff:], headerMagic)
+		p.setPageCount(hdr, 1)
+		if err := p.Commit(); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func isZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PageSize implements btree.PageStore.
+func (p *Pager) PageSize() int { return p.pageSize }
+
+// PageCount reports the number of pages in the database (including the
+// header page).
+func (p *Pager) PageCount() (uint32, error) {
+	hdr, err := p.Get(1)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(hdr[hdrPageCountOff]) | uint32(hdr[hdrPageCountOff+1])<<8 |
+		uint32(hdr[hdrPageCountOff+2])<<16 | uint32(hdr[hdrPageCountOff+3])<<24, nil
+}
+
+func (p *Pager) setPageCount(hdr []byte, n uint32) {
+	hdr[hdrPageCountOff] = byte(n)
+	hdr[hdrPageCountOff+1] = byte(n >> 8)
+	hdr[hdrPageCountOff+2] = byte(n >> 16)
+	hdr[hdrPageCountOff+3] = byte(n >> 24)
+}
+
+// Get implements btree.PageStore: cache, then journal, then database
+// file.
+func (p *Pager) Get(pgno uint32) ([]byte, error) {
+	if pgno == 0 {
+		return nil, fmt.Errorf("pager: page numbers start at 1")
+	}
+	if buf, ok := p.cache[pgno]; ok {
+		return buf, nil
+	}
+	buf := make([]byte, p.pageSize)
+	if v, ok := p.jrn.PageVersion(pgno); ok {
+		copy(buf, v)
+	} else if err := p.db.ReadPage(pgno, buf); err != nil {
+		return nil, err
+	}
+	p.cache[pgno] = buf
+	return buf, nil
+}
+
+// Allocate implements btree.PageStore: pops a page from the freelist,
+// or extends the database by one zeroed page. The header page is
+// dirtied alongside, so the allocation commits atomically with the
+// transaction.
+func (p *Pager) Allocate() (uint32, []byte, error) {
+	if !p.inTxn {
+		return 0, nil, ErrNoTxn
+	}
+	hdr, err := p.Get(1)
+	if err != nil {
+		return 0, nil, err
+	}
+	p.MarkDirty(1)
+	if head := getU32(hdr, hdrFreeHeadOff); head != 0 {
+		buf, err := p.Get(head)
+		if err != nil {
+			return 0, nil, err
+		}
+		p.MarkDirty(head)
+		putU32(hdr, hdrFreeHeadOff, getU32(buf, 0))
+		putU32(hdr, hdrFreeCountOff, getU32(hdr, hdrFreeCountOff)-1)
+		for i := range buf {
+			buf[i] = 0
+		}
+		return head, buf, nil
+	}
+	n, err := p.PageCount()
+	if err != nil {
+		return 0, nil, err
+	}
+	pgno := n + 1
+	p.setPageCount(hdr, pgno)
+	buf := make([]byte, p.pageSize)
+	p.cache[pgno] = buf
+	p.dirty[pgno] = true
+	p.fresh[pgno] = true
+	return pgno, buf, nil
+}
+
+// Free implements btree.PageStore: returns a page to the freelist. The
+// page's content is overwritten with the chain link; the change commits
+// (or rolls back) with the enclosing transaction.
+func (p *Pager) Free(pgno uint32) error {
+	if !p.inTxn {
+		return ErrNoTxn
+	}
+	if pgno <= 1 {
+		return fmt.Errorf("pager: cannot free page %d", pgno)
+	}
+	hdr, err := p.Get(1)
+	if err != nil {
+		return err
+	}
+	buf, err := p.Get(pgno)
+	if err != nil {
+		return err
+	}
+	p.MarkDirty(1)
+	p.MarkDirty(pgno)
+	putU32(buf, 0, getU32(hdr, hdrFreeHeadOff))
+	putU32(hdr, hdrFreeHeadOff, pgno)
+	putU32(hdr, hdrFreeCountOff, getU32(hdr, hdrFreeCountOff)+1)
+	return nil
+}
+
+// FreePageCount reports the freelist length.
+func (p *Pager) FreePageCount() (uint32, error) {
+	hdr, err := p.Get(1)
+	if err != nil {
+		return 0, err
+	}
+	return getU32(hdr, hdrFreeCountOff), nil
+}
+
+func getU32(b []byte, off int) uint32 {
+	return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+}
+
+func putU32(b []byte, off int, v uint32) {
+	b[off] = byte(v)
+	b[off+1] = byte(v >> 8)
+	b[off+2] = byte(v >> 16)
+	b[off+3] = byte(v >> 24)
+}
+
+// MarkDirty implements btree.PageStore: snapshots the committed
+// pre-image the first time a page is dirtied in a transaction, so
+// Rollback can restore it.
+func (p *Pager) MarkDirty(pgno uint32) {
+	if !p.inTxn {
+		panic("pager: MarkDirty outside a transaction")
+	}
+	if p.dirty[pgno] {
+		return
+	}
+	p.dirty[pgno] = true
+	if buf, ok := p.cache[pgno]; ok {
+		pre := make([]byte, len(buf))
+		copy(pre, buf)
+		p.orig[pgno] = pre
+	}
+}
+
+// Begin starts a write transaction. SQLite is serverless and allows a
+// single writer (§4.1), so nested transactions are a programming error.
+func (p *Pager) Begin() {
+	if p.inTxn {
+		panic("pager: nested transaction")
+	}
+	p.inTxn = true
+}
+
+// InTransaction reports whether a write transaction is open.
+func (p *Pager) InTransaction() bool { return p.inTxn }
+
+// Commit hands all dirty pages to the journal and ends the transaction.
+func (p *Pager) Commit() error {
+	if !p.inTxn {
+		return ErrNoTxn
+	}
+	frames := make([]Frame, 0, len(p.dirty))
+	for pgno := range p.dirty {
+		frames = append(frames, Frame{Pgno: pgno, Data: p.cache[pgno]})
+	}
+	// Deterministic frame order keeps experiments reproducible.
+	sortFrames(frames)
+	if len(frames) > 0 {
+		if err := p.jrn.CommitTransaction(frames); err != nil {
+			return err
+		}
+	}
+	p.endTxn()
+	return nil
+}
+
+// Rollback restores every dirtied page to its committed pre-image and
+// drops pages allocated by the transaction.
+func (p *Pager) Rollback() {
+	if !p.inTxn {
+		return
+	}
+	for pgno := range p.dirty {
+		if p.fresh[pgno] {
+			delete(p.cache, pgno)
+			continue
+		}
+		if pre, ok := p.orig[pgno]; ok {
+			copy(p.cache[pgno], pre)
+		} else {
+			delete(p.cache, pgno)
+		}
+	}
+	p.endTxn()
+}
+
+func (p *Pager) endTxn() {
+	p.dirty = make(map[uint32]bool)
+	p.fresh = make(map[uint32]bool)
+	p.orig = make(map[uint32][]byte)
+	p.inTxn = false
+}
+
+// DropCache empties the page cache (after recovery, or to simulate a
+// cold start). Illegal mid-transaction.
+func (p *Pager) DropCache() {
+	if p.inTxn {
+		panic("pager: DropCache inside a transaction")
+	}
+	p.cache = make(map[uint32][]byte)
+}
+
+// DirtyPages reports the number of pages dirtied so far in the open
+// transaction.
+func (p *Pager) DirtyPages() int { return len(p.dirty) }
+
+func sortFrames(frames []Frame) {
+	// Insertion sort: frame counts per transaction are small.
+	for i := 1; i < len(frames); i++ {
+		for j := i; j > 0 && frames[j].Pgno < frames[j-1].Pgno; j-- {
+			frames[j], frames[j-1] = frames[j-1], frames[j]
+		}
+	}
+}

@@ -1,0 +1,415 @@
+package pager
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fakeJournal is an in-memory Journal recording commits.
+type fakeJournal struct {
+	versions map[uint32][]byte
+	commits  int
+	failNext bool
+}
+
+func newFakeJournal() *fakeJournal {
+	return &fakeJournal{versions: make(map[uint32][]byte)}
+}
+
+func (j *fakeJournal) CommitTransaction(frames []Frame) error {
+	if j.failNext {
+		j.failNext = false
+		return errors.New("injected commit failure")
+	}
+	for _, fr := range frames {
+		img := make([]byte, len(fr.Data))
+		copy(img, fr.Data)
+		j.versions[fr.Pgno] = img
+	}
+	j.commits++
+	return nil
+}
+
+func (j *fakeJournal) PageVersion(pgno uint32) ([]byte, bool) {
+	v, ok := j.versions[pgno]
+	return v, ok
+}
+
+func (j *fakeJournal) FramesSinceCheckpoint() int { return len(j.versions) }
+
+func (j *fakeJournal) Checkpoint() error { return nil }
+
+// fakeDBFile is an in-memory DBFile.
+type fakeDBFile struct {
+	pages map[uint32][]byte
+}
+
+func newFakeDBFile() *fakeDBFile { return &fakeDBFile{pages: make(map[uint32][]byte)} }
+
+func (f *fakeDBFile) PageSize() int { return 4096 }
+
+func (f *fakeDBFile) ReadPage(pgno uint32, buf []byte) error {
+	for i := range buf {
+		buf[i] = 0
+	}
+	if p, ok := f.pages[pgno]; ok {
+		copy(buf, p)
+	}
+	return nil
+}
+
+func (f *fakeDBFile) WritePage(pgno uint32, data []byte) error {
+	img := make([]byte, len(data))
+	copy(img, data)
+	f.pages[pgno] = img
+	return nil
+}
+
+func (f *fakeDBFile) Sync() error { return nil }
+
+func newPager(t testing.TB) (*Pager, *fakeJournal, *fakeDBFile) {
+	t.Helper()
+	j, f := newFakeJournal(), newFakeDBFile()
+	p, err := Open(f, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, j, f
+}
+
+func TestOpenInitializesHeader(t *testing.T) {
+	p, j, _ := newPager(t)
+	n, err := p.PageCount()
+	if err != nil || n != 1 {
+		t.Fatalf("PageCount = (%d,%v), want 1", n, err)
+	}
+	if j.commits != 1 {
+		t.Fatalf("header initialization committed %d times, want 1", j.commits)
+	}
+}
+
+func TestOpenExistingHeader(t *testing.T) {
+	j, f := newFakeJournal(), newFakeDBFile()
+	p1, err := Open(f, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.Begin()
+	if _, _, err := p1.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Open(f, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := p2.PageCount(); n != 2 {
+		t.Fatalf("PageCount after reopen = %d, want 2", n)
+	}
+}
+
+func TestOpenRejectsGarbagePage1(t *testing.T) {
+	j, f := newFakeJournal(), newFakeDBFile()
+	f.pages[1] = bytes.Repeat([]byte{0xFF}, 4096)
+	if _, err := Open(f, j); err == nil {
+		t.Fatal("garbage page 1 accepted as a database")
+	}
+}
+
+func TestAllocateExtendsPageCount(t *testing.T) {
+	p, _, _ := newPager(t)
+	p.Begin()
+	pgno, buf, err := p.Allocate()
+	if err != nil || pgno != 2 || len(buf) != 4096 {
+		t.Fatalf("Allocate = (%d, %d bytes, %v)", pgno, len(buf), err)
+	}
+	if n, _ := p.PageCount(); n != 2 {
+		t.Fatalf("PageCount = %d", n)
+	}
+	p.Commit()
+}
+
+func TestAllocateOutsideTxnFails(t *testing.T) {
+	p, _, _ := newPager(t)
+	if _, _, err := p.Allocate(); err == nil {
+		t.Fatal("Allocate outside txn succeeded")
+	}
+}
+
+func TestCommitSendsDirtyFrames(t *testing.T) {
+	p, j, _ := newPager(t)
+	p.Begin()
+	_, buf, _ := p.Allocate()
+	copy(buf, "hello")
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := j.PageVersion(2)
+	if !ok || !bytes.Equal(v[:5], []byte("hello")) {
+		t.Fatal("dirty page did not reach the journal")
+	}
+	// Header page committed too (page count changed).
+	if _, ok := j.PageVersion(1); !ok {
+		t.Fatal("header page not committed")
+	}
+}
+
+func TestRollbackRestoresPreImages(t *testing.T) {
+	p, _, _ := newPager(t)
+	p.Begin()
+	_, buf, _ := p.Allocate()
+	copy(buf, "committed")
+	p.Commit()
+
+	p.Begin()
+	got, _ := p.Get(2)
+	p.MarkDirty(2)
+	copy(got, "scribbled")
+	p.Rollback()
+	got, _ = p.Get(2)
+	if !bytes.Equal(got[:9], []byte("committed")) {
+		t.Fatalf("rollback left %q", got[:9])
+	}
+	if n, _ := p.PageCount(); n != 2 {
+		t.Fatalf("PageCount after rollback = %d", n)
+	}
+}
+
+func TestRollbackDropsFreshPages(t *testing.T) {
+	p, _, _ := newPager(t)
+	p.Begin()
+	p.Allocate()
+	p.Rollback()
+	if n, _ := p.PageCount(); n != 1 {
+		t.Fatalf("PageCount after rollback = %d, want 1", n)
+	}
+	// Re-allocation reuses the page number.
+	p.Begin()
+	pgno, _, _ := p.Allocate()
+	if pgno != 2 {
+		t.Fatalf("re-allocation got page %d, want 2", pgno)
+	}
+	p.Rollback()
+}
+
+func TestGetReadsThroughJournalThenFile(t *testing.T) {
+	p, j, f := newPager(t)
+	img := make([]byte, 4096)
+	copy(img, "from-journal")
+	j.versions[7] = img
+	img2 := make([]byte, 4096)
+	copy(img2, "from-file")
+	f.pages[8] = img2
+
+	got, _ := p.Get(7)
+	if !bytes.Equal(got[:12], []byte("from-journal")) {
+		t.Fatal("journal version not preferred")
+	}
+	got, _ = p.Get(8)
+	if !bytes.Equal(got[:9], []byte("from-file")) {
+		t.Fatal("file fallback broken")
+	}
+}
+
+func TestGetPageZeroRejected(t *testing.T) {
+	p, _, _ := newPager(t)
+	if _, err := p.Get(0); err == nil {
+		t.Fatal("page 0 accepted")
+	}
+}
+
+func TestCommitFailurePreservesTxnState(t *testing.T) {
+	p, j, _ := newPager(t)
+	p.Begin()
+	_, buf, _ := p.Allocate()
+	copy(buf, "x")
+	j.failNext = true
+	if err := p.Commit(); err == nil {
+		t.Fatal("commit did not propagate journal failure")
+	}
+	// The transaction is still open; rollback cleans up.
+	if !p.InTransaction() {
+		t.Fatal("failed commit closed the transaction")
+	}
+	p.Rollback()
+	if n, _ := p.PageCount(); n != 1 {
+		t.Fatalf("PageCount = %d after failed-commit rollback", n)
+	}
+}
+
+func TestMarkDirtyOutsideTxnPanics(t *testing.T) {
+	p, _, _ := newPager(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MarkDirty outside txn did not panic")
+		}
+	}()
+	p.MarkDirty(1)
+}
+
+func TestNestedBeginPanics(t *testing.T) {
+	p, _, _ := newPager(t)
+	p.Begin()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested Begin did not panic")
+		}
+		p.Rollback()
+	}()
+	p.Begin()
+}
+
+func TestDropCacheRereadsCommittedState(t *testing.T) {
+	p, _, _ := newPager(t)
+	p.Begin()
+	_, buf, _ := p.Allocate()
+	copy(buf, "persisted")
+	p.Commit()
+	p.DropCache()
+	got, _ := p.Get(2)
+	if !bytes.Equal(got[:9], []byte("persisted")) {
+		t.Fatal("cold read lost committed data")
+	}
+}
+
+func TestDirtyPagesCount(t *testing.T) {
+	p, _, _ := newPager(t)
+	p.Begin()
+	p.Allocate()
+	p.Allocate()
+	// Header + two fresh pages.
+	if got := p.DirtyPages(); got != 3 {
+		t.Fatalf("DirtyPages = %d, want 3", got)
+	}
+	p.Rollback()
+	if got := p.DirtyPages(); got != 0 {
+		t.Fatalf("DirtyPages after rollback = %d", got)
+	}
+}
+
+func TestFreelistRecyclesPages(t *testing.T) {
+	p, _, _ := newPager(t)
+	p.Begin()
+	pg2, _, _ := p.Allocate()
+	pg3, _, _ := p.Allocate()
+	p.Commit()
+
+	p.Begin()
+	if err := p.Free(pg2); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := p.FreePageCount(); n != 1 {
+		t.Fatalf("FreePageCount = %d", n)
+	}
+	p.Commit()
+
+	p.Begin()
+	got, buf, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != pg2 {
+		t.Fatalf("allocation returned page %d, want recycled %d", got, pg2)
+	}
+	if !bytes.Equal(buf, make([]byte, 4096)) {
+		t.Fatal("recycled page not zeroed")
+	}
+	if n, _ := p.FreePageCount(); n != 0 {
+		t.Fatalf("FreePageCount after reuse = %d", n)
+	}
+	// Page count did not grow while recycling.
+	if n, _ := p.PageCount(); n != pg3 {
+		t.Fatalf("PageCount = %d, want %d", n, pg3)
+	}
+	p.Commit()
+}
+
+func TestFreelistChainOrder(t *testing.T) {
+	p, _, _ := newPager(t)
+	p.Begin()
+	var pages []uint32
+	for i := 0; i < 5; i++ {
+		pg, _, _ := p.Allocate()
+		pages = append(pages, pg)
+	}
+	for _, pg := range pages {
+		if err := p.Free(pg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// LIFO: the last freed page comes back first.
+	for i := len(pages) - 1; i >= 0; i-- {
+		pg, _, err := p.Allocate()
+		if err != nil || pg != pages[i] {
+			t.Fatalf("pop %d = page %d, want %d", len(pages)-1-i, pg, pages[i])
+		}
+	}
+	p.Commit()
+}
+
+func TestFreeRollsBack(t *testing.T) {
+	p, _, _ := newPager(t)
+	p.Begin()
+	pg, buf, _ := p.Allocate()
+	copy(buf, "payload")
+	p.Commit()
+
+	p.Begin()
+	p.Free(pg)
+	p.Rollback()
+	if n, _ := p.FreePageCount(); n != 0 {
+		t.Fatalf("rolled-back free left %d freelist entries", n)
+	}
+	got, _ := p.Get(pg)
+	if !bytes.Equal(got[:7], []byte("payload")) {
+		t.Fatal("rolled-back free corrupted page content")
+	}
+}
+
+func TestFreeInvalidPages(t *testing.T) {
+	p, _, _ := newPager(t)
+	if err := p.Free(2); err == nil {
+		t.Fatal("Free outside txn accepted")
+	}
+	p.Begin()
+	if err := p.Free(1); err == nil {
+		t.Fatal("freeing the header page accepted")
+	}
+	p.Rollback()
+}
+
+func TestFreelistSurvivesReopen(t *testing.T) {
+	j, f := newFakeJournal(), newFakeDBFile()
+	p1, _ := Open(f, j)
+	p1.Begin()
+	pg, _, _ := p1.Allocate()
+	p1.Commit()
+	p1.Begin()
+	p1.Free(pg)
+	p1.Commit()
+
+	p2, err := Open(f, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := p2.FreePageCount(); n != 1 {
+		t.Fatalf("freelist lost across reopen: %d", n)
+	}
+	p2.Begin()
+	got, _, _ := p2.Allocate()
+	if got != pg {
+		t.Fatalf("reopened pager allocated %d, want %d", got, pg)
+	}
+	p2.Commit()
+}
+
+func TestFrameOrderDeterministic(t *testing.T) {
+	frames := []Frame{{Pgno: 9}, {Pgno: 2}, {Pgno: 5}}
+	sortFrames(frames)
+	if frames[0].Pgno != 2 || frames[1].Pgno != 5 || frames[2].Pgno != 9 {
+		t.Fatalf("sortFrames = %v", frames)
+	}
+}

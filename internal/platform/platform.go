@@ -1,0 +1,120 @@
+// Package platform assembles the simulated hardware the paper evaluates
+// on: the Tuna NVRAM-emulation board (ARM Cortex-A9, 32-byte cache
+// lines, adjustable 400–2000 ns NVRAM write latency) and the Nexus 5
+// smartphone (Snapdragon 800, 64-byte cache lines, eMMC flash, NVRAM
+// emulated in a reserved DRAM range with nop-injected latency).
+//
+// A Platform wires one virtual clock and one metrics sink through the
+// NVRAM device, the Heapo heap manager, the flash block device and the
+// EXT4 file system, so experiments read consistent end-to-end virtual
+// time. PowerFail/Reboot crash and recover the whole machine.
+package platform
+
+import (
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/ext4"
+	"repro/internal/heapo"
+	"repro/internal/memsim"
+	"repro/internal/metrics"
+	"repro/internal/nvram"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// Platform is one assembled machine.
+type Platform struct {
+	Clock   *simclock.Clock
+	Metrics *metrics.Counters
+	Trace   *trace.Recorder
+	NVRAM   *nvram.Device
+	Heap    *heapo.Manager
+	Flash   *blockdev.Device
+	FS      *ext4.FS
+}
+
+// Config selects the hardware parameters.
+type Config struct {
+	NVRAM nvram.Config
+	Flash blockdev.Config
+	// EnableTrace attaches a block-trace recorder (Figure 8).
+	EnableTrace bool
+}
+
+// New assembles a platform from explicit hardware parameters.
+func New(cfg Config) (*Platform, error) {
+	p := &Platform{
+		Clock:   simclock.New(),
+		Metrics: &metrics.Counters{},
+	}
+	if cfg.EnableTrace {
+		p.Trace = trace.New()
+	}
+	p.NVRAM = nvram.NewDevice(cfg.NVRAM, p.Clock, p.Metrics)
+	h, err := heapo.Format(p.NVRAM)
+	if err != nil {
+		return nil, err
+	}
+	p.Heap = h
+	p.Flash = blockdev.New(cfg.Flash, p.Clock, p.Metrics, p.Trace)
+	p.FS = ext4.New(p.Flash)
+	return p, nil
+}
+
+// NewTuna builds the Tuna NVRAM-emulation board of §5: 32-byte cache
+// lines and the default 500 ns NVRAM write latency used by the ordering
+// experiments (adjustable via SetNVRAMLatency for Figure 7).
+func NewTuna() (*Platform, error) {
+	return New(Config{
+		NVRAM: nvram.Config{
+			Size:              64 << 20,
+			CacheLineSize:     32,
+			NVRAMWriteLatency: 500 * time.Nanosecond,
+		},
+	})
+}
+
+// NewNexus5 builds the Nexus 5 of §5.4: 64-byte cache lines, NVRAM
+// emulated at a configurable latency, and eMMC flash behind EXT4. The
+// paper emulates NVRAM latency there by inserting nop delays after each
+// clflush — a mostly serial path — so the simulated controller gets
+// only 2 banks (the Tuna board's FPGA DDR3 controller gets 4). Block
+// tracing is enabled (Figure 8 runs on this platform).
+func NewNexus5() (*Platform, error) {
+	return New(Config{
+		NVRAM: nvram.Config{
+			Size:              64 << 20,
+			CacheLineSize:     64,
+			NVRAMWriteLatency: 2 * time.Microsecond,
+			NVRAMBanks:        2,
+		},
+		EnableTrace: true,
+	})
+}
+
+// SetNVRAMLatency adjusts the emulated NVRAM write latency, the
+// independent variable of Figures 7 and 9.
+func (p *Platform) SetNVRAMLatency(w time.Duration) { p.NVRAM.SetWriteLatency(w) }
+
+// PowerFail crashes the whole machine under the given NVRAM line-
+// survival policy: the NVRAM cache hierarchy and the flash write buffer
+// lose their volatile contents.
+func (p *Platform) PowerFail(policy memsim.FailPolicy, seed int64) {
+	p.NVRAM.PowerFail(policy, seed)
+	p.FS.PowerFail()
+}
+
+// Reboot recovers the machine after PowerFail: the NVRAM domain comes
+// back serving persisted content, the heap manager reattaches and
+// reclaims pending blocks. The caller re-opens databases afterwards.
+func (p *Platform) Reboot() error {
+	p.NVRAM.Recover()
+	h, err := heapo.Attach(p.NVRAM)
+	if err != nil {
+		return err
+	}
+	h.ReclaimPending()
+	p.Heap = h
+	return nil
+}

@@ -1,0 +1,212 @@
+// Package rollback implements SQLite's classic rollback-journal mode
+// (DELETE journaling), the pre-WAL scheme §1 and §2 contrast
+// write-ahead logging against: before a transaction modifies the
+// database file in place, the original content of every page it will
+// touch is saved to a separate <db>-journal file; commit deletes the
+// journal, and crash recovery replays it to undo a torn transaction.
+//
+// The mode exists here as a baseline: it journals *two* files (the
+// database and the rollback journal) and needs more fsyncs per commit
+// than WAL — "WAL needs fewer fsync() calls as it modifies a single log
+// file instead of two" (§1) — which the baselines experiment
+// quantifies.
+package rollback
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+
+	"repro/internal/ext4"
+	"repro/internal/metrics"
+	"repro/internal/pager"
+)
+
+// On-file journal layout:
+//
+//	header: magic(8) | pageSize(4) | count(4)
+//	record: pgno(4) | original page | crc64(8) over pgno+page
+const (
+	headerSize    = 16
+	recordExtra   = 12
+	journalSuffix = "-journal"
+)
+
+var (
+	journalMagic = []byte("SQLTRJN1")
+	crcTable     = crc64.MakeTable(crc64.ISO)
+)
+
+// ErrJournal reports an unusable journal during recovery.
+var ErrJournal = errors.New("rollback: corrupt journal")
+
+// Journal is a rollback-journal "journal" in the pager.Journal sense:
+// commits write the database file in place under journal protection.
+type Journal struct {
+	fs       *ext4.FS
+	db       pager.DBFile
+	name     string // journal file name
+	pageSize int
+	m        *metrics.Counters
+}
+
+// Open attaches rollback journaling for the database file dbName. A hot
+// journal left by a crash is rolled back immediately.
+func Open(fs *ext4.FS, dbName string, db pager.DBFile, m *metrics.Counters) (*Journal, error) {
+	if m == nil {
+		m = &metrics.Counters{}
+	}
+	j := &Journal{fs: fs, db: db, name: dbName + journalSuffix, pageSize: db.PageSize(), m: m}
+	if fs.Exists(j.name) {
+		if err := j.rollbackHot(); err != nil {
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// CommitTransaction implements pager.Journal:
+//
+//  1. save the original images of all pages to the journal and fsync it
+//     (the undo log must be durable before the database is touched);
+//  2. write the new pages into the database file and fsync it;
+//  3. delete the journal — the commit point — and make the deletion
+//     durable.
+func (j *Journal) CommitTransaction(frames []pager.Frame) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	if err := j.writeUndoLog(frames); err != nil {
+		return err
+	}
+
+	for _, fr := range frames {
+		if err := j.db.WritePage(fr.Pgno, fr.Data); err != nil {
+			return err
+		}
+	}
+	if err := j.db.Sync(); err != nil { // fsync #2: database durable
+		return err
+	}
+
+	// Commit point: remove the journal and persist the metadata change
+	// (the directory-fsync of DELETE mode).
+	if err := j.fs.Remove(j.name); err != nil {
+		return err
+	}
+	if err := j.db.Sync(); err != nil { // fsync #3: journal deletion durable
+		return err
+	}
+	j.m.Inc(metrics.Transactions, 1)
+	return nil
+}
+
+// writeUndoLog saves the original images of the pages frames will
+// overwrite into the journal file and fsyncs it (commit step 1).
+func (j *Journal) writeUndoLog(frames []pager.Frame) error {
+	jf, err := j.fs.OpenOrCreate(j.name, "journal-file")
+	if err != nil {
+		return err
+	}
+	jf.Truncate(0)
+	hdr := make([]byte, headerSize)
+	copy(hdr, journalMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(j.pageSize))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(frames)))
+	if _, err := jf.WriteAt(hdr, 0); err != nil {
+		return err
+	}
+	off := int64(headerSize)
+	orig := make([]byte, j.pageSize)
+	for _, fr := range frames {
+		if err := j.db.ReadPage(fr.Pgno, orig); err != nil {
+			return err
+		}
+		rec := make([]byte, recordExtra+j.pageSize)
+		binary.LittleEndian.PutUint32(rec, fr.Pgno)
+		copy(rec[4:], orig)
+		sum := crc64.Checksum(rec[:4+j.pageSize], crcTable)
+		binary.LittleEndian.PutUint64(rec[4+j.pageSize:], sum)
+		if _, err := jf.WriteAt(rec, off); err != nil {
+			return err
+		}
+		off += int64(len(rec))
+	}
+	jf.Fsync() // fsync #1: undo log durable
+	return nil
+}
+
+// rollbackHot undoes a torn transaction found at open: every journaled
+// original page is restored. A journal that fails validation was never
+// fsynced (the database is untouched) and is simply discarded.
+func (j *Journal) rollbackHot() error {
+	jf, err := j.fs.Open(j.name)
+	if err != nil {
+		return err
+	}
+	restore, err := j.readJournal(jf)
+	if err == nil {
+		for _, r := range restore {
+			if err := j.db.WritePage(r.pgno, r.data); err != nil {
+				return err
+			}
+		}
+		if err := j.db.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := j.fs.Remove(j.name); err != nil {
+		return err
+	}
+	return j.db.Sync()
+}
+
+type undoRecord struct {
+	pgno uint32
+	data []byte
+}
+
+// readJournal parses and validates the journal, returning the undo
+// records, or ErrJournal when the journal is torn (not fully fsynced).
+func (j *Journal) readJournal(jf *ext4.File) ([]undoRecord, error) {
+	hdr := make([]byte, headerSize)
+	if n, err := jf.ReadAt(hdr, 0); err != nil && n < headerSize {
+		return nil, ErrJournal
+	}
+	if string(hdr[:8]) != string(journalMagic) {
+		return nil, ErrJournal
+	}
+	if int(binary.LittleEndian.Uint32(hdr[8:])) != j.pageSize {
+		return nil, fmt.Errorf("%w: page size mismatch", ErrJournal)
+	}
+	count := int(binary.LittleEndian.Uint32(hdr[12:]))
+	recSize := recordExtra + j.pageSize
+	out := make([]undoRecord, 0, count)
+	for i := 0; i < count; i++ {
+		rec := make([]byte, recSize)
+		off := int64(headerSize + i*recSize)
+		if n, err := jf.ReadAt(rec, off); err != nil && n < recSize {
+			return nil, ErrJournal
+		}
+		sum := crc64.Checksum(rec[:4+j.pageSize], crcTable)
+		if sum != binary.LittleEndian.Uint64(rec[4+j.pageSize:]) {
+			return nil, ErrJournal
+		}
+		data := make([]byte, j.pageSize)
+		copy(data, rec[4:])
+		out = append(out, undoRecord{pgno: binary.LittleEndian.Uint32(rec), data: data})
+	}
+	return out, nil
+}
+
+// PageVersion implements pager.Journal: the database file always holds
+// the latest committed content in rollback mode.
+func (j *Journal) PageVersion(uint32) ([]byte, bool) { return nil, false }
+
+// FramesSinceCheckpoint implements pager.Journal: rollback mode has no
+// log to truncate.
+func (j *Journal) FramesSinceCheckpoint() int { return 0 }
+
+// Checkpoint implements pager.Journal as a no-op.
+func (j *Journal) Checkpoint() error { return nil }

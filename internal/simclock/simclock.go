@@ -1,0 +1,89 @@
+// Package simclock provides a deterministic virtual clock used by every
+// simulated device in this repository.
+//
+// The paper's evaluation runs on an NVRAM emulation board whose write
+// latency is dialed in hardware. We have no such hardware, so instead of
+// sleeping, every simulated component *charges* its latency to a shared
+// Clock. Throughput numbers are then computed from virtual time, which
+// makes every experiment exactly reproducible.
+package simclock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a monotonically advancing virtual clock. The zero value is
+// ready to use and starts at time zero.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// New returns a clock starting at virtual time zero.
+func New() *Clock { return &Clock{} }
+
+// Now returns the current virtual time as a duration since the clock's
+// origin.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d. Negative durations are ignored:
+// simulated time never runs backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// Reset rewinds the clock to zero. Intended for test and benchmark set-up
+// only; devices sharing the clock must be reset together.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	c.now = 0
+	c.mu.Unlock()
+}
+
+// Since returns the virtual time elapsed since the given instant.
+func (c *Clock) Since(start time.Duration) time.Duration {
+	return c.Now() - start
+}
+
+// Stopwatch measures a span of virtual time on a clock.
+type Stopwatch struct {
+	clock *Clock
+	start time.Duration
+}
+
+// StartStopwatch begins measuring virtual time on c.
+func StartStopwatch(c *Clock) Stopwatch {
+	return Stopwatch{clock: c, start: c.Now()}
+}
+
+// Elapsed reports the virtual time accumulated since the stopwatch
+// started.
+func (s Stopwatch) Elapsed() time.Duration {
+	return s.clock.Now() - s.start
+}
+
+// Throughput converts an operation count over a span of virtual time into
+// operations per second. It returns 0 for a non-positive elapsed time.
+func Throughput(ops int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / elapsed.Seconds()
+}
+
+// FormatThroughput renders a throughput value the way the paper reports
+// them (integer transactions per second).
+func FormatThroughput(ops int, elapsed time.Duration) string {
+	return fmt.Sprintf("%.0f", Throughput(ops, elapsed))
+}

@@ -1,0 +1,463 @@
+package sql
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/db"
+)
+
+// catalogTable stores one schema blob per user table.
+const catalogTable = "__schema"
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns and Rows are set for SELECT.
+	Columns []string
+	Rows    [][]Value
+	// RowsAffected is set for INSERT/UPDATE/DELETE.
+	RowsAffected int
+}
+
+// Errors.
+var (
+	ErrNoTable    = errors.New("sql: no such table")
+	ErrConstraint = errors.New("sql: UNIQUE constraint failed")
+	ErrTxnState   = errors.New("sql: invalid transaction state")
+)
+
+// Conn is one SQL session over the embedded database. Like SQLite, one
+// write transaction may be open at a time.
+type Conn struct {
+	d       *db.DB
+	tx      *db.Tx
+	schemas map[string]*Schema
+}
+
+// Open attaches a SQL session, creating the schema catalog on first
+// use.
+func Open(d *db.DB) (*Conn, error) {
+	if !d.HasTable(catalogTable) {
+		if err := d.CreateTable(catalogTable); err != nil {
+			return nil, err
+		}
+	}
+	return &Conn{d: d, schemas: make(map[string]*Schema)}, nil
+}
+
+// InTransaction reports whether an explicit transaction is open.
+func (c *Conn) InTransaction() bool { return c.tx != nil }
+
+// Exec parses and executes one statement.
+func (c *Conn) Exec(query string) (*Result, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	switch st := stmt.(type) {
+	case CreateTableStmt:
+		return c.execCreate(st)
+	case DropTableStmt:
+		return c.execDrop(st)
+	case InsertStmt:
+		return c.execInsert(st)
+	case SelectStmt:
+		return c.execSelect(st)
+	case UpdateStmt:
+		return c.execUpdate(st)
+	case DeleteStmt:
+		return c.execDelete(st)
+	case BeginStmt:
+		if c.tx != nil {
+			return nil, fmt.Errorf("%w: transaction already open", ErrTxnState)
+		}
+		tx, err := c.d.Begin()
+		if err != nil {
+			return nil, err
+		}
+		c.tx = tx
+		return &Result{}, nil
+	case CommitStmt:
+		if c.tx == nil {
+			return nil, fmt.Errorf("%w: no open transaction", ErrTxnState)
+		}
+		err := c.tx.Commit()
+		c.tx = nil
+		return &Result{}, err
+	case RollbackStmt:
+		if c.tx == nil {
+			return nil, fmt.Errorf("%w: no open transaction", ErrTxnState)
+		}
+		c.tx.Rollback()
+		c.tx = nil
+		return &Result{}, nil
+	}
+	return nil, fmt.Errorf("sql: unhandled statement %T", stmt)
+}
+
+// withTx runs fn in the open transaction, or an auto-commit one.
+func (c *Conn) withTx(fn func(tx *db.Tx) error) error {
+	if c.tx != nil {
+		return fn(c.tx)
+	}
+	tx, err := c.d.Begin()
+	if err != nil {
+		return err
+	}
+	if err := fn(tx); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// schema resolves a table's schema through the cache.
+func (c *Conn) schema(table string) (*Schema, error) {
+	if s, ok := c.schemas[table]; ok {
+		return s, nil
+	}
+	var blob []byte
+	var found bool
+	read := func() error {
+		var err error
+		if c.tx != nil {
+			blob, found, err = c.tx.Get(catalogTable, []byte(table))
+		} else {
+			blob, found, err = c.d.Get(catalogTable, []byte(table))
+		}
+		return err
+	}
+	if err := read(); err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, table)
+	}
+	s, err := decodeSchema(table, blob)
+	if err != nil {
+		return nil, err
+	}
+	c.schemas[table] = s
+	return s, nil
+}
+
+func (c *Conn) execCreate(st CreateTableStmt) (*Result, error) {
+	if c.tx != nil {
+		return nil, fmt.Errorf("%w: CREATE TABLE inside a transaction is not supported", ErrTxnState)
+	}
+	if st.Schema.Table == catalogTable {
+		return nil, fmt.Errorf("sql: reserved table name %q", catalogTable)
+	}
+	if c.d.HasTable(st.Schema.Table) {
+		return nil, fmt.Errorf("sql: table %q already exists", st.Schema.Table)
+	}
+	if err := c.d.CreateTable(st.Schema.Table); err != nil {
+		return nil, err
+	}
+	s := st.Schema
+	err := c.withTx(func(tx *db.Tx) error {
+		return tx.Insert(catalogTable, []byte(s.Table), encodeSchema(&s))
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.schemas[s.Table] = &s
+	return &Result{}, nil
+}
+
+func (c *Conn) execDrop(st DropTableStmt) (*Result, error) {
+	if c.tx != nil {
+		return nil, fmt.Errorf("%w: DROP TABLE inside a transaction is not supported", ErrTxnState)
+	}
+	if _, err := c.schema(st.Table); err != nil {
+		return nil, err
+	}
+	if err := c.d.DropTable(st.Table); err != nil {
+		return nil, err
+	}
+	err := c.withTx(func(tx *db.Tx) error {
+		_, err := tx.Delete(catalogTable, []byte(st.Table))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	delete(c.schemas, st.Table)
+	return &Result{}, nil
+}
+
+func (c *Conn) execInsert(st InsertStmt) (*Result, error) {
+	s, err := c.schema(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Map the statement's column order onto schema positions.
+	order := make([]int, 0, len(s.Columns))
+	if st.Columns == nil {
+		for i := range s.Columns {
+			order = append(order, i)
+		}
+	} else {
+		seen := map[int]bool{}
+		for _, name := range st.Columns {
+			i := s.ColumnIndex(name)
+			if i < 0 {
+				return nil, fmt.Errorf("sql: table %q has no column %q", st.Table, name)
+			}
+			if seen[i] {
+				return nil, fmt.Errorf("sql: duplicate column %q", name)
+			}
+			seen[i] = true
+			order = append(order, i)
+		}
+		if len(order) != len(s.Columns) {
+			return nil, fmt.Errorf("sql: INSERT must provide every column (no NULLs in this subset)")
+		}
+	}
+	affected := 0
+	err = c.withTx(func(tx *db.Tx) error {
+		for _, vals := range st.Rows {
+			if len(vals) != len(order) {
+				return fmt.Errorf("sql: %d values for %d columns", len(vals), len(order))
+			}
+			row := make([]Value, len(s.Columns))
+			for j, v := range vals {
+				i := order[j]
+				if v.Type != s.Columns[i].Type {
+					return fmt.Errorf("sql: column %q expects %s, got %s",
+						s.Columns[i].Name, s.Columns[i].Type, v.Type)
+				}
+				row[i] = v
+			}
+			key := encodeKey(row[s.PKIndex])
+			if _, exists, err := tx.Get(st.Table, key); err != nil {
+				return err
+			} else if exists {
+				return fmt.Errorf("%w: %s.%s", ErrConstraint, st.Table, s.Columns[s.PKIndex].Name)
+			}
+			if err := tx.Insert(st.Table, key, encodeRow(s, row)); err != nil {
+				return err
+			}
+			affected++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: affected}, nil
+}
+
+// planRange splits a WHERE conjunction into a primary-key scan range
+// plus residual predicates evaluated per row.
+func planRange(s *Schema, preds []Pred) (start, end []byte, residual []Pred, err error) {
+	pkName := s.Columns[s.PKIndex].Name
+	for _, p := range preds {
+		i := s.ColumnIndex(p.Column)
+		if i < 0 {
+			return nil, nil, nil, fmt.Errorf("sql: table %q has no column %q", s.Table, p.Column)
+		}
+		if p.Value.Type != s.Columns[i].Type {
+			return nil, nil, nil, fmt.Errorf("sql: column %q expects %s, got %s",
+				p.Column, s.Columns[i].Type, p.Value.Type)
+		}
+		if p.Column != pkName || p.Op == "!=" {
+			residual = append(residual, p)
+			continue
+		}
+		k := encodeKey(p.Value)
+		switch p.Op {
+		case "=":
+			start = maxKey(start, k)
+			end = minKey(end, next(k))
+		case ">":
+			start = maxKey(start, next(k))
+		case ">=":
+			start = maxKey(start, k)
+		case "<":
+			end = minKey(end, k)
+		case "<=":
+			end = minKey(end, next(k))
+		}
+	}
+	return start, end, residual, nil
+}
+
+// next returns the immediate bytewise successor of k.
+func next(k []byte) []byte {
+	out := make([]byte, len(k)+1)
+	copy(out, k)
+	return out
+}
+
+func maxKey(a, b []byte) []byte {
+	if a == nil || bytes.Compare(b, a) > 0 {
+		return b
+	}
+	return a
+}
+
+func minKey(a, b []byte) []byte {
+	if a == nil || bytes.Compare(b, a) < 0 {
+		return b
+	}
+	return a
+}
+
+// scanMatches walks the planned range and yields decoded rows passing
+// the residual predicates.
+func (c *Conn) scanMatches(s *Schema, preds []Pred, fn func(key []byte, row []Value) bool) error {
+	start, end, residual, err := planRange(s, preds)
+	if err != nil {
+		return err
+	}
+	var inner error
+	err = c.d.ScanRange(s.Table, start, end, func(k, v []byte) bool {
+		row, derr := decodeRow(s, k, v)
+		if derr != nil {
+			inner = derr
+			return false
+		}
+		for _, p := range residual {
+			if !p.Matches(row[s.ColumnIndex(p.Column)]) {
+				return true
+			}
+		}
+		kc := make([]byte, len(k))
+		copy(kc, k)
+		return fn(kc, row)
+	})
+	if inner != nil {
+		return inner
+	}
+	return err
+}
+
+func (c *Conn) execSelect(st SelectStmt) (*Result, error) {
+	s, err := c.schema(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	if st.Count {
+		n := 0
+		err := c.scanMatches(s, st.Where, func(_ []byte, _ []Value) bool {
+			n++
+			return st.Limit < 0 || n < st.Limit
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Columns: []string{"count(*)"}, Rows: [][]Value{{IntValue(int64(n))}}}, nil
+	}
+	proj := make([]int, 0, len(s.Columns))
+	res := &Result{}
+	if st.Columns == nil {
+		for i, col := range s.Columns {
+			proj = append(proj, i)
+			res.Columns = append(res.Columns, col.Name)
+		}
+	} else {
+		for _, name := range st.Columns {
+			i := s.ColumnIndex(name)
+			if i < 0 {
+				return nil, fmt.Errorf("sql: table %q has no column %q", st.Table, name)
+			}
+			proj = append(proj, i)
+			res.Columns = append(res.Columns, name)
+		}
+	}
+	err = c.scanMatches(s, st.Where, func(_ []byte, row []Value) bool {
+		out := make([]Value, len(proj))
+		for j, i := range proj {
+			out[j] = row[i]
+		}
+		res.Rows = append(res.Rows, out)
+		return st.Limit < 0 || len(res.Rows) < st.Limit
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (c *Conn) execUpdate(st UpdateStmt) (*Result, error) {
+	s, err := c.schema(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	for name, v := range st.Set {
+		i := s.ColumnIndex(name)
+		if i < 0 {
+			return nil, fmt.Errorf("sql: table %q has no column %q", st.Table, name)
+		}
+		if v.Type != s.Columns[i].Type {
+			return nil, fmt.Errorf("sql: column %q expects %s, got %s", name, s.Columns[i].Type, v.Type)
+		}
+	}
+	type match struct {
+		key []byte
+		row []Value
+	}
+	var matches []match
+	if err := c.scanMatches(s, st.Where, func(k []byte, row []Value) bool {
+		matches = append(matches, match{k, row})
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	err = c.withTx(func(tx *db.Tx) error {
+		for _, m := range matches {
+			row := m.row
+			for name, v := range st.Set {
+				row[s.ColumnIndex(name)] = v
+			}
+			newKey := encodeKey(row[s.PKIndex])
+			if !bytes.Equal(newKey, m.key) {
+				// Primary key changed: move the record.
+				if _, exists, err := tx.Get(st.Table, newKey); err != nil {
+					return err
+				} else if exists {
+					return fmt.Errorf("%w: %s.%s", ErrConstraint, st.Table, s.Columns[s.PKIndex].Name)
+				}
+				if _, err := tx.Delete(st.Table, m.key); err != nil {
+					return err
+				}
+			}
+			if err := tx.Insert(st.Table, newKey, encodeRow(s, row)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: len(matches)}, nil
+}
+
+func (c *Conn) execDelete(st DeleteStmt) (*Result, error) {
+	s, err := c.schema(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	var keys [][]byte
+	if err := c.scanMatches(s, st.Where, func(k []byte, _ []Value) bool {
+		keys = append(keys, k)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	err = c.withTx(func(tx *db.Tx) error {
+		for _, k := range keys {
+			if _, err := tx.Delete(st.Table, k); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: len(keys)}, nil
+}

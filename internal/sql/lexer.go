@@ -1,0 +1,104 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // ( ) , * = != < <= > >=
+)
+
+type token struct {
+	kind tokKind
+	text string // identifiers lower-cased; strings unquoted
+	pos  int
+}
+
+// lex tokenizes a statement. SQL keywords are returned as tokIdent and
+// matched case-insensitively by the parser.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(src) {
+					return nil, fmt.Errorf("sql: unterminated string at %d", i)
+				}
+				if src[j] == '\'' {
+					if j+1 < len(src) && src[j+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case c == '-' && i+1 < len(src) && isDigit(src[i+1]), isDigit(c):
+			j := i + 1
+			for j < len(src) && isDigit(src[j]) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, strings.ToLower(src[i:j]), i})
+			i = j
+		case strings.ContainsRune("(),*;", rune(c)):
+			if c == ';' { // statement terminator: ignore
+				i++
+				continue
+			}
+			toks = append(toks, token{tokPunct, string(c), i})
+			i++
+		case c == '=' || c == '<' || c == '>' || c == '!':
+			op := string(c)
+			if i+1 < len(src) && src[i+1] == '=' {
+				op += "="
+				i++
+			}
+			if op == "!" {
+				return nil, fmt.Errorf("sql: stray '!' at %d", i)
+			}
+			toks = append(toks, token{tokPunct, op, i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

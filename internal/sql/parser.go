@@ -1,0 +1,420 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Statement AST.
+type (
+	// CreateTableStmt is CREATE TABLE.
+	CreateTableStmt struct {
+		Schema Schema
+	}
+	// InsertStmt is INSERT INTO ... VALUES.
+	InsertStmt struct {
+		Table   string
+		Columns []string // nil = all columns in schema order
+		Rows    [][]Value
+	}
+	// SelectStmt is SELECT ... FROM ... [WHERE] [LIMIT].
+	SelectStmt struct {
+		Table   string
+		Columns []string // nil = *
+		Count   bool     // SELECT COUNT(*)
+		Where   []Pred
+		Limit   int // -1 = none
+	}
+	// DropTableStmt is DROP TABLE.
+	DropTableStmt struct {
+		Table string
+	}
+	// UpdateStmt is UPDATE ... SET ... [WHERE].
+	UpdateStmt struct {
+		Table string
+		Set   map[string]Value
+		Where []Pred
+	}
+	// DeleteStmt is DELETE FROM ... [WHERE].
+	DeleteStmt struct {
+		Table string
+		Where []Pred
+	}
+	// BeginStmt, CommitStmt, RollbackStmt control transactions.
+	BeginStmt    struct{}
+	CommitStmt   struct{}
+	RollbackStmt struct{}
+)
+
+// Pred is one comparison in a WHERE conjunction.
+type Pred struct {
+	Column string
+	Op     string // = != < <= > >=
+	Value  Value
+}
+
+// Matches evaluates the predicate against a value.
+func (p Pred) Matches(v Value) bool {
+	c := v.Compare(p.Value)
+	switch p.Op {
+	case "=":
+		return c == 0
+	case "!=":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+// Parse parses one SQL statement.
+func Parse(src string) (any, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		t := p.cur()
+		p.pos++
+		return t, nil
+	}
+	want := text
+	if want == "" {
+		want = map[tokKind]string{tokIdent: "identifier", tokNumber: "number", tokString: "string"}[kind]
+	}
+	return token{}, p.errf("expected %s, found %q", want, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: parse error at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) statement() (any, error) {
+	switch {
+	case p.accept(tokIdent, "create"):
+		return p.createTable()
+	case p.accept(tokIdent, "drop"):
+		if _, err := p.expect(tokIdent, "table"); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		return DropTableStmt{Table: name.text}, nil
+	case p.accept(tokIdent, "insert"):
+		return p.insert()
+	case p.accept(tokIdent, "select"):
+		return p.selectStmt()
+	case p.accept(tokIdent, "update"):
+		return p.update()
+	case p.accept(tokIdent, "delete"):
+		return p.delete()
+	case p.accept(tokIdent, "begin"):
+		return BeginStmt{}, nil
+	case p.accept(tokIdent, "commit"):
+		return CommitStmt{}, nil
+	case p.accept(tokIdent, "rollback"):
+		return RollbackStmt{}, nil
+	}
+	return nil, p.errf("unknown statement %q", p.cur().text)
+}
+
+func (p *parser) createTable() (any, error) {
+	if _, err := p.expect(tokIdent, "table"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	s := Schema{Table: name.text, PKIndex: -1}
+	for {
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		typTok, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		var typ Type
+		switch typTok.text {
+		case "integer", "int":
+			typ = TypeInteger
+		case "text", "varchar", "blob":
+			typ = TypeText
+		default:
+			return nil, p.errf("unknown type %q", typTok.text)
+		}
+		if s.ColumnIndex(col.text) >= 0 {
+			return nil, p.errf("duplicate column %q", col.text)
+		}
+		s.Columns = append(s.Columns, Column{Name: col.text, Type: typ})
+		if p.accept(tokIdent, "primary") {
+			if _, err := p.expect(tokIdent, "key"); err != nil {
+				return nil, err
+			}
+			if s.PKIndex >= 0 {
+				return nil, p.errf("multiple primary keys")
+			}
+			s.PKIndex = len(s.Columns) - 1
+		}
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	if s.PKIndex < 0 {
+		s.PKIndex = 0 // first column by default
+	}
+	return CreateTableStmt{Schema: s}, nil
+}
+
+func (p *parser) insert() (any, error) {
+	if _, err := p.expect(tokIdent, "into"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st := InsertStmt{Table: name.text}
+	if p.accept(tokPunct, "(") {
+		for {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, col.text)
+			if p.accept(tokPunct, ",") {
+				continue
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	if _, err := p.expect(tokIdent, "values"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		var row []Value
+		for {
+			v, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if p.accept(tokPunct, ",") {
+				continue
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) selectStmt() (any, error) {
+	st := SelectStmt{Limit: -1}
+	switch {
+	case p.accept(tokPunct, "*"):
+		// all columns
+	case p.at(tokIdent, "count") && p.pos+1 < len(p.toks) && p.toks[p.pos+1].text == "(":
+		p.pos++ // count
+		p.pos++ // (
+		if _, err := p.expect(tokPunct, "*"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		st.Count = true
+	default:
+		for {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, col.text)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokIdent, "from"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name.text
+	if st.Where, err = p.where(); err != nil {
+		return nil, err
+	}
+	if p.accept(tokIdent, "limit") {
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		st.Limit, err = strconv.Atoi(n.text)
+		if err != nil || st.Limit < 0 {
+			return nil, p.errf("bad LIMIT %q", n.text)
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) update() (any, error) {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "set"); err != nil {
+		return nil, err
+	}
+	st := UpdateStmt{Table: name.text, Set: map[string]Value{}}
+	for {
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		st.Set[col.text] = v
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if st.Where, err = p.where(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) delete() (any, error) {
+	if _, err := p.expect(tokIdent, "from"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st := DeleteStmt{Table: name.text}
+	var err2 error
+	if st.Where, err2 = p.where(); err2 != nil {
+		return nil, err2
+	}
+	return st, nil
+}
+
+// where parses an optional WHERE conjunction.
+func (p *parser) where() ([]Pred, error) {
+	if !p.accept(tokIdent, "where") {
+		return nil, nil
+	}
+	var preds []Pred
+	for {
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		opTok := p.cur()
+		if opTok.kind != tokPunct {
+			return nil, p.errf("expected comparison operator, found %q", opTok.text)
+		}
+		switch opTok.text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.pos++
+		default:
+			return nil, p.errf("unsupported operator %q", opTok.text)
+		}
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, Pred{Column: col.text, Op: opTok.text, Value: v})
+		if !p.accept(tokIdent, "and") {
+			break
+		}
+	}
+	return preds, nil
+}
+
+func (p *parser) literal() (Value, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Value{}, p.errf("bad number %q", t.text)
+		}
+		return IntValue(n), nil
+	case tokString:
+		p.pos++
+		return TextValue(t.text), nil
+	}
+	return Value{}, p.errf("expected literal, found %q", t.text)
+}

@@ -1,0 +1,451 @@
+package sql
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/memsim"
+	"repro/internal/platform"
+)
+
+func newConn(t testing.TB) (*Conn, *platform.Platform) {
+	t.Helper()
+	plat, err := platform.NewNexus5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.Open(plat, "sql.db", db.Options{
+		Journal: db.JournalNVWAL,
+		NVWAL:   core.VariantUHLSDiff(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, plat
+}
+
+func mustExec(t testing.TB, c *Conn, q string) *Result {
+	t.Helper()
+	r, err := c.Exec(q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	return r
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	c, _ := newConn(t)
+	mustExec(t, c, "CREATE TABLE users (id INTEGER PRIMARY KEY, name TEXT, age INTEGER)")
+	r := mustExec(t, c, "INSERT INTO users VALUES (1, 'alice', 30), (2, 'bob', 25)")
+	if r.RowsAffected != 2 {
+		t.Fatalf("RowsAffected = %d", r.RowsAffected)
+	}
+	r = mustExec(t, c, "SELECT * FROM users")
+	if len(r.Rows) != 2 || r.Columns[1] != "name" {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Rows[0][1].Str != "alice" || r.Rows[1][2].Int != 25 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+}
+
+func TestSelectProjectionAndWhere(t *testing.T) {
+	c, _ := newConn(t)
+	mustExec(t, c, "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, age INTEGER)")
+	mustExec(t, c, "INSERT INTO t VALUES (1,'a',10),(2,'b',20),(3,'c',30),(4,'d',40)")
+	r := mustExec(t, c, "SELECT name FROM t WHERE age >= 20 AND age < 40")
+	if len(r.Rows) != 2 || r.Rows[0][0].Str != "b" || r.Rows[1][0].Str != "c" {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if len(r.Columns) != 1 || r.Columns[0] != "name" {
+		t.Fatalf("columns = %v", r.Columns)
+	}
+}
+
+func TestPrimaryKeyRangeScan(t *testing.T) {
+	c, _ := newConn(t)
+	mustExec(t, c, "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+	for i := -5; i <= 5; i++ {
+		mustExec(t, c, fmt.Sprintf("INSERT INTO t VALUES (%d, 'v%d')", i, i))
+	}
+	// Negative integers order correctly under the key encoding.
+	r := mustExec(t, c, "SELECT id FROM t WHERE id >= -3 AND id <= 2")
+	if len(r.Rows) != 6 || r.Rows[0][0].Int != -3 || r.Rows[5][0].Int != 2 {
+		t.Fatalf("range = %v", r.Rows)
+	}
+	r = mustExec(t, c, "SELECT v FROM t WHERE id = 0")
+	if len(r.Rows) != 1 || r.Rows[0][0].Str != "v0" {
+		t.Fatalf("point = %v", r.Rows)
+	}
+	r = mustExec(t, c, "SELECT * FROM t WHERE id > 100")
+	if len(r.Rows) != 0 {
+		t.Fatalf("empty range = %v", r.Rows)
+	}
+}
+
+func TestTextPrimaryKey(t *testing.T) {
+	c, _ := newConn(t)
+	mustExec(t, c, "CREATE TABLE kv (k TEXT PRIMARY KEY, v INTEGER)")
+	mustExec(t, c, "INSERT INTO kv VALUES ('banana', 2), ('apple', 1), ('cherry', 3)")
+	r := mustExec(t, c, "SELECT k FROM kv")
+	if r.Rows[0][0].Str != "apple" || r.Rows[2][0].Str != "cherry" {
+		t.Fatalf("text PK order = %v", r.Rows)
+	}
+	r = mustExec(t, c, "SELECT v FROM kv WHERE k >= 'b'")
+	if len(r.Rows) != 2 {
+		t.Fatalf("text range = %v", r.Rows)
+	}
+}
+
+func TestInsertColumnSubsetOrder(t *testing.T) {
+	c, _ := newConn(t)
+	mustExec(t, c, "CREATE TABLE t (a INTEGER PRIMARY KEY, b TEXT, c INTEGER)")
+	mustExec(t, c, "INSERT INTO t (c, a, b) VALUES (30, 1, 'x')")
+	r := mustExec(t, c, "SELECT a, b, c FROM t")
+	if r.Rows[0][0].Int != 1 || r.Rows[0][1].Str != "x" || r.Rows[0][2].Int != 30 {
+		t.Fatalf("reordered insert = %v", r.Rows)
+	}
+	if _, err := c.Exec("INSERT INTO t (a, b) VALUES (2, 'y')"); err == nil {
+		t.Fatal("partial insert accepted (no NULL support)")
+	}
+}
+
+func TestUniqueConstraint(t *testing.T) {
+	c, _ := newConn(t)
+	mustExec(t, c, "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+	mustExec(t, c, "INSERT INTO t VALUES (1, 'a')")
+	if _, err := c.Exec("INSERT INTO t VALUES (1, 'b')"); err == nil {
+		t.Fatal("duplicate PK accepted")
+	}
+	// The failed auto-commit transaction must not leave partial state.
+	if _, err := c.Exec("INSERT INTO t VALUES (2, 'c'), (1, 'dup')"); err == nil {
+		t.Fatal("batch with duplicate accepted")
+	}
+	r := mustExec(t, c, "SELECT * FROM t")
+	if len(r.Rows) != 1 {
+		t.Fatalf("failed batch left %d rows", len(r.Rows))
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	c, _ := newConn(t)
+	mustExec(t, c, "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, age INTEGER)")
+	mustExec(t, c, "INSERT INTO t VALUES (1,'a',10),(2,'b',20),(3,'c',30)")
+	r := mustExec(t, c, "UPDATE t SET age = 99 WHERE id >= 2")
+	if r.RowsAffected != 2 {
+		t.Fatalf("RowsAffected = %d", r.RowsAffected)
+	}
+	res := mustExec(t, c, "SELECT age FROM t WHERE id = 3")
+	if res.Rows[0][0].Int != 99 {
+		t.Fatalf("update missed: %v", res.Rows)
+	}
+	// PK-changing update moves the row.
+	mustExec(t, c, "UPDATE t SET id = 10 WHERE id = 1")
+	if r := mustExec(t, c, "SELECT * FROM t WHERE id = 1"); len(r.Rows) != 0 {
+		t.Fatal("old PK still present")
+	}
+	if r := mustExec(t, c, "SELECT name FROM t WHERE id = 10"); len(r.Rows) != 1 || r.Rows[0][0].Str != "a" {
+		t.Fatal("moved row lost")
+	}
+	// PK collision on update is rejected.
+	if _, err := c.Exec("UPDATE t SET id = 2 WHERE id = 3"); err == nil {
+		t.Fatal("PK-colliding update accepted")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c, _ := newConn(t)
+	mustExec(t, c, "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+	mustExec(t, c, "INSERT INTO t VALUES (1,'a'),(2,'b'),(3,'c')")
+	r := mustExec(t, c, "DELETE FROM t WHERE id != 2")
+	if r.RowsAffected != 2 {
+		t.Fatalf("RowsAffected = %d", r.RowsAffected)
+	}
+	res := mustExec(t, c, "SELECT * FROM t")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 2 {
+		t.Fatalf("remaining = %v", res.Rows)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	c, _ := newConn(t)
+	mustExec(t, c, "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+	for i := 0; i < 20; i++ {
+		mustExec(t, c, fmt.Sprintf("INSERT INTO t VALUES (%d, 'x')", i))
+	}
+	r := mustExec(t, c, "SELECT id FROM t LIMIT 5")
+	if len(r.Rows) != 5 || r.Rows[4][0].Int != 4 {
+		t.Fatalf("limit = %v", r.Rows)
+	}
+}
+
+func TestExplicitTransactions(t *testing.T) {
+	c, _ := newConn(t)
+	mustExec(t, c, "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+	mustExec(t, c, "BEGIN")
+	mustExec(t, c, "INSERT INTO t VALUES (1, 'inside')")
+	// Visible within the transaction.
+	if r := mustExec(t, c, "SELECT * FROM t"); len(r.Rows) != 1 {
+		t.Fatal("own write invisible in txn")
+	}
+	mustExec(t, c, "ROLLBACK")
+	if r := mustExec(t, c, "SELECT * FROM t"); len(r.Rows) != 0 {
+		t.Fatal("rolled-back row visible")
+	}
+	mustExec(t, c, "BEGIN")
+	mustExec(t, c, "INSERT INTO t VALUES (2, 'kept')")
+	mustExec(t, c, "COMMIT")
+	if r := mustExec(t, c, "SELECT * FROM t"); len(r.Rows) != 1 {
+		t.Fatal("committed row lost")
+	}
+	if _, err := c.Exec("COMMIT"); err == nil {
+		t.Fatal("COMMIT without BEGIN accepted")
+	}
+	if _, err := c.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("BEGIN"); err == nil {
+		t.Fatal("nested BEGIN accepted")
+	}
+	mustExec(t, c, "ROLLBACK")
+}
+
+func TestErrors(t *testing.T) {
+	c, _ := newConn(t)
+	cases := []string{
+		"SELECT * FROM missing",
+		"CREATE TABLE __schema (a INTEGER)",
+		"INSERT INTO missing VALUES (1)",
+		"SELECT nope FROM missing",
+		"FROB THE KNOB",
+		"SELECT * FROM",
+		"CREATE TABLE t (a WIBBLE)",
+		"INSERT INTO t VALUES (1",
+	}
+	for _, q := range cases {
+		if _, err := c.Exec(q); err == nil {
+			t.Errorf("%q: expected error", q)
+		}
+	}
+	mustExec(t, c, "CREATE TABLE t (a INTEGER PRIMARY KEY, b TEXT)")
+	typeCases := []string{
+		"INSERT INTO t VALUES ('text-for-int', 'x')",
+		"SELECT * FROM t WHERE a = 'text'",
+		"UPDATE t SET b = 5",
+		"SELECT * FROM t WHERE nosuch = 1",
+	}
+	for _, q := range typeCases {
+		if _, err := c.Exec(q); err == nil {
+			t.Errorf("%q: expected type/column error", q)
+		}
+	}
+	if _, err := c.Exec("CREATE TABLE t (a INTEGER)"); err == nil {
+		t.Error("duplicate table accepted")
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	c, _ := newConn(t)
+	mustExec(t, c, "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+	mustExec(t, c, "INSERT INTO t VALUES (1, 'it''s quoted')")
+	r := mustExec(t, c, "SELECT v FROM t WHERE id = 1")
+	if r.Rows[0][0].Str != "it's quoted" {
+		t.Fatalf("escaped string = %q", r.Rows[0][0].Str)
+	}
+}
+
+func TestSchemaPersistsAcrossReopen(t *testing.T) {
+	plat, err := platform.NewNexus5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := db.Options{Journal: db.JournalNVWAL, NVWAL: core.VariantUHLSDiff()}
+	d, err := db.Open(plat, "p.db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, c, "CREATE TABLE notes (id INTEGER PRIMARY KEY, body TEXT)")
+	mustExec(t, c, "INSERT INTO notes VALUES (7, 'survives')")
+
+	plat.PowerFail(memsim.FailDropAll, 3)
+	if err := plat.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := db.Open(plat, "p.db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mustExec(t, c2, "SELECT body FROM notes WHERE id = 7")
+	if len(r.Rows) != 1 || r.Rows[0][0].Str != "survives" {
+		t.Fatalf("post-crash SQL = %v", r.Rows)
+	}
+}
+
+// Property: SQL execution over the engine matches an in-memory model
+// under random insert/update/delete/select sequences.
+func TestPropertySQLMatchesModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, _ := newConn(t)
+		if _, err := c.Exec("CREATE TABLE m (id INTEGER PRIMARY KEY, v TEXT)"); err != nil {
+			return false
+		}
+		model := map[int64]string{}
+		for op := 0; op < 150; op++ {
+			id := int64(rng.Intn(40))
+			switch rng.Intn(4) {
+			case 0, 1:
+				v := fmt.Sprintf("v%d", op)
+				_, err := c.Exec(fmt.Sprintf("INSERT INTO m VALUES (%d, '%s')", id, v))
+				if _, exists := model[id]; exists {
+					if err == nil {
+						return false // duplicate must fail
+					}
+				} else {
+					if err != nil {
+						return false
+					}
+					model[id] = v
+				}
+			case 2:
+				v := fmt.Sprintf("u%d", op)
+				r, err := c.Exec(fmt.Sprintf("UPDATE m SET v = '%s' WHERE id = %d", v, id))
+				if err != nil {
+					return false
+				}
+				if _, exists := model[id]; exists {
+					if r.RowsAffected != 1 {
+						return false
+					}
+					model[id] = v
+				} else if r.RowsAffected != 0 {
+					return false
+				}
+			case 3:
+				r, err := c.Exec(fmt.Sprintf("DELETE FROM m WHERE id = %d", id))
+				if err != nil {
+					return false
+				}
+				_, exists := model[id]
+				if (r.RowsAffected == 1) != exists {
+					return false
+				}
+				delete(model, id)
+			}
+		}
+		r, err := c.Exec("SELECT id, v FROM m")
+		if err != nil || len(r.Rows) != len(model) {
+			return false
+		}
+		prev := int64(-1)
+		for _, row := range r.Rows {
+			id, v := row[0].Int, row[1].Str
+			if id <= prev || model[id] != v {
+				return false
+			}
+			prev = id
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountStar(t *testing.T) {
+	c, _ := newConn(t)
+	mustExec(t, c, "CREATE TABLE t (id INTEGER PRIMARY KEY, age INTEGER)")
+	mustExec(t, c, "INSERT INTO t VALUES (1,10),(2,20),(3,30)")
+	r := mustExec(t, c, "SELECT COUNT(*) FROM t")
+	if len(r.Rows) != 1 || r.Rows[0][0].Int != 3 {
+		t.Fatalf("count = %v", r.Rows)
+	}
+	r = mustExec(t, c, "SELECT COUNT(*) FROM t WHERE age > 10")
+	if r.Rows[0][0].Int != 2 {
+		t.Fatalf("filtered count = %v", r.Rows)
+	}
+	// A column genuinely named count still selects.
+	mustExec(t, c, "CREATE TABLE c (count INTEGER PRIMARY KEY)")
+	mustExec(t, c, "INSERT INTO c VALUES (9)")
+	r = mustExec(t, c, "SELECT count FROM c")
+	if r.Rows[0][0].Int != 9 {
+		t.Fatalf("count column = %v", r.Rows)
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	c, _ := newConn(t)
+	mustExec(t, c, "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+	mustExec(t, c, "INSERT INTO t VALUES (1,'x')")
+	mustExec(t, c, "DROP TABLE t")
+	if _, err := c.Exec("SELECT * FROM t"); err == nil {
+		t.Fatal("dropped table still queryable")
+	}
+	// The name can be reused with a different schema.
+	mustExec(t, c, "CREATE TABLE t (name TEXT PRIMARY KEY, n INTEGER)")
+	mustExec(t, c, "INSERT INTO t VALUES ('a', 1)")
+	r := mustExec(t, c, "SELECT n FROM t WHERE name = 'a'")
+	if len(r.Rows) != 1 || r.Rows[0][0].Int != 1 {
+		t.Fatalf("recreated table = %v", r.Rows)
+	}
+	if _, err := c.Exec("DROP TABLE missing"); err == nil {
+		t.Fatal("dropping a missing table succeeded")
+	}
+}
+
+func TestDropTableRecyclesPages(t *testing.T) {
+	c, _ := newConn(t)
+	mustExec(t, c, "CREATE TABLE big (id INTEGER PRIMARY KEY, v TEXT)")
+	// Fill enough to split across several pages.
+	for i := 0; i < 200; i++ {
+		mustExec(t, c, fmt.Sprintf("INSERT INTO big VALUES (%d, '%s')", i, strings.Repeat("x", 200)))
+	}
+	mustExec(t, c, "DROP TABLE big")
+	// The freed pages feed subsequent allocations; a new table fits
+	// without growing the database (observable indirectly: creating and
+	// filling works).
+	mustExec(t, c, "CREATE TABLE again (id INTEGER PRIMARY KEY, v TEXT)")
+	for i := 0; i < 50; i++ {
+		mustExec(t, c, fmt.Sprintf("INSERT INTO again VALUES (%d, 'y')", i))
+	}
+	r := mustExec(t, c, "SELECT COUNT(*) FROM again")
+	if r.Rows[0][0].Int != 50 {
+		t.Fatalf("count = %v", r.Rows)
+	}
+}
+
+func TestParseKeywordsCaseInsensitive(t *testing.T) {
+	c, _ := newConn(t)
+	mustExec(t, c, "create table T (Id integer primary key, V text)")
+	mustExec(t, c, "insert into t values (1, 'x')")
+	r := mustExec(t, c, "SeLeCt v FrOm T wHeRe iD = 1")
+	if len(r.Rows) != 1 || r.Rows[0][0].Str != "x" {
+		t.Fatalf("case-insensitive query failed: %v", r.Rows)
+	}
+}
+
+func TestResultStringRendering(t *testing.T) {
+	if IntValue(-5).String() != "-5" || TextValue("hi").String() != "hi" {
+		t.Fatal("Value.String broken")
+	}
+	if !strings.Contains(TypeInteger.String(), "INTEGER") {
+		t.Fatal("Type.String broken")
+	}
+}

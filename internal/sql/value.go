@@ -1,0 +1,238 @@
+// Package sql is a minimal SQL front-end over the embedded database —
+// the role SQLite's query layer plays above its B-tree. It supports the
+// statements the paper's workloads consist of:
+//
+//	CREATE TABLE t (a INTEGER PRIMARY KEY, b TEXT, ...)
+//	INSERT INTO t [(cols)] VALUES (v, ...) [, (...)]
+//	SELECT cols|* FROM t [WHERE conj] [LIMIT n]
+//	UPDATE t SET col = v [, ...] [WHERE conj]
+//	DELETE FROM t [WHERE conj]
+//	BEGIN / COMMIT / ROLLBACK
+//
+// WHERE clauses are conjunctions of <column> <op> <literal> comparisons;
+// predicates on the primary key become B-tree range scans, everything
+// else filters a full scan. Rows are stored with an order-preserving
+// primary-key encoding so ranges and ORDER-BY-PK come straight off the
+// tree.
+package sql
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Type is a column type.
+type Type int
+
+const (
+	// TypeInteger is a 64-bit signed integer.
+	TypeInteger Type = iota
+	// TypeText is a byte string.
+	TypeText
+)
+
+func (t Type) String() string {
+	if t == TypeText {
+		return "TEXT"
+	}
+	return "INTEGER"
+}
+
+// Value is one SQL value.
+type Value struct {
+	Type Type
+	Int  int64
+	Str  string
+}
+
+// IntValue builds an INTEGER value.
+func IntValue(v int64) Value { return Value{Type: TypeInteger, Int: v} }
+
+// TextValue builds a TEXT value.
+func TextValue(s string) Value { return Value{Type: TypeText, Str: s} }
+
+// String renders the value as SQL output.
+func (v Value) String() string {
+	if v.Type == TypeText {
+		return v.Str
+	}
+	return strconv.FormatInt(v.Int, 10)
+}
+
+// Compare orders two values of the same type: -1, 0, +1.
+func (v Value) Compare(o Value) int {
+	if v.Type == TypeInteger {
+		switch {
+		case v.Int < o.Int:
+			return -1
+		case v.Int > o.Int:
+			return 1
+		}
+		return 0
+	}
+	switch {
+	case v.Str < o.Str:
+		return -1
+	case v.Str > o.Str:
+		return 1
+	}
+	return 0
+}
+
+// Column is one column definition.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema describes a table: its columns and which one is the primary
+// key (always exactly one; it defaults to the first column).
+type Schema struct {
+	Table   string
+	Columns []Column
+	PKIndex int
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// encodeKey produces the order-preserving B-tree key for a primary-key
+// value: integers as sign-flipped big-endian (so byte order equals
+// numeric order), text as its raw bytes.
+func encodeKey(v Value) []byte {
+	if v.Type == TypeInteger {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(v.Int)^(1<<63))
+		return b[:]
+	}
+	return []byte(v.Str)
+}
+
+// decodeKey inverts encodeKey for the schema's primary-key type.
+func decodeKey(t Type, key []byte) (Value, error) {
+	if t == TypeInteger {
+		if len(key) != 8 {
+			return Value{}, fmt.Errorf("sql: malformed integer key of %d bytes", len(key))
+		}
+		return IntValue(int64(binary.BigEndian.Uint64(key) ^ (1 << 63))), nil
+	}
+	return TextValue(string(key)), nil
+}
+
+// Row payload encoding: for each non-PK column in schema order, a type
+// tag byte, then for integers 8 bytes little-endian, for text a uvarint
+// length + bytes.
+
+// encodeRow serializes the non-PK columns of row (full, schema order).
+func encodeRow(s *Schema, row []Value) []byte {
+	var out []byte
+	var scratch [binary.MaxVarintLen64]byte
+	for i, v := range row {
+		if i == s.PKIndex {
+			continue
+		}
+		out = append(out, byte(v.Type))
+		if v.Type == TypeInteger {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(v.Int))
+			out = append(out, b[:]...)
+		} else {
+			n := binary.PutUvarint(scratch[:], uint64(len(v.Str)))
+			out = append(out, scratch[:n]...)
+			out = append(out, v.Str...)
+		}
+	}
+	return out
+}
+
+// errCorruptRow reports an undecodable stored row.
+var errCorruptRow = errors.New("sql: corrupt row payload")
+
+// decodeRow reassembles the full row (schema order) from a stored key
+// and payload.
+func decodeRow(s *Schema, key, payload []byte) ([]Value, error) {
+	pk, err := decodeKey(s.Columns[s.PKIndex].Type, key)
+	if err != nil {
+		return nil, err
+	}
+	row := make([]Value, len(s.Columns))
+	row[s.PKIndex] = pk
+	pos := 0
+	for i := range s.Columns {
+		if i == s.PKIndex {
+			continue
+		}
+		if pos >= len(payload) {
+			return nil, errCorruptRow
+		}
+		t := Type(payload[pos])
+		pos++
+		switch t {
+		case TypeInteger:
+			if pos+8 > len(payload) {
+				return nil, errCorruptRow
+			}
+			row[i] = IntValue(int64(binary.LittleEndian.Uint64(payload[pos:])))
+			pos += 8
+		case TypeText:
+			n, used := binary.Uvarint(payload[pos:])
+			// Bound n before converting: a huge varint would overflow
+			// int and slip past the range check as a negative bound.
+			if used <= 0 || n > uint64(len(payload)) || pos+used+int(n) > len(payload) {
+				return nil, errCorruptRow
+			}
+			pos += used
+			row[i] = TextValue(string(payload[pos : pos+int(n)]))
+			pos += int(n)
+		default:
+			return nil, errCorruptRow
+		}
+	}
+	return row, nil
+}
+
+// encodeSchema serializes a schema for the catalog table.
+func encodeSchema(s *Schema) []byte {
+	var out []byte
+	out = append(out, byte(s.PKIndex))
+	for _, c := range s.Columns {
+		out = append(out, byte(c.Type), byte(len(c.Name)))
+		out = append(out, c.Name...)
+	}
+	return out
+}
+
+// decodeSchema inverts encodeSchema.
+func decodeSchema(table string, b []byte) (*Schema, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("sql: corrupt schema for %q", table)
+	}
+	s := &Schema{Table: table, PKIndex: int(b[0])}
+	pos := 1
+	for pos < len(b) {
+		if pos+2 > len(b) {
+			return nil, fmt.Errorf("sql: corrupt schema for %q", table)
+		}
+		t := Type(b[pos])
+		n := int(b[pos+1])
+		pos += 2
+		if pos+n > len(b) {
+			return nil, fmt.Errorf("sql: corrupt schema for %q", table)
+		}
+		s.Columns = append(s.Columns, Column{Name: string(b[pos : pos+n]), Type: t})
+		pos += n
+	}
+	if s.PKIndex < 0 || s.PKIndex >= len(s.Columns) {
+		return nil, fmt.Errorf("sql: corrupt schema for %q", table)
+	}
+	return s, nil
+}

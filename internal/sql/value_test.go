@@ -1,0 +1,125 @@
+package sql
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the integer key encoding preserves numeric order bytewise —
+// the invariant primary-key range scans depend on.
+func TestPropertyIntKeyOrderPreserving(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka, kb := encodeKey(IntValue(a)), encodeKey(IntValue(b))
+		cmp := bytes.Compare(ka, kb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: key encoding round-trips for both types.
+func TestPropertyKeyRoundTrip(t *testing.T) {
+	fInt := func(v int64) bool {
+		got, err := decodeKey(TypeInteger, encodeKey(IntValue(v)))
+		return err == nil && got.Int == v
+	}
+	if err := quick.Check(fInt, nil); err != nil {
+		t.Fatal(err)
+	}
+	fText := func(s string) bool {
+		got, err := decodeKey(TypeText, encodeKey(TextValue(s)))
+		return err == nil && got.Str == s
+	}
+	if err := quick.Check(fText, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: row encoding round-trips for arbitrary schemas and rows.
+func TestPropertyRowRoundTrip(t *testing.T) {
+	f := func(pk uint8, texts []string, ints []int64) bool {
+		s := &Schema{Table: "t"}
+		// Interleave text and integer columns.
+		for i := range texts {
+			s.Columns = append(s.Columns, Column{Name: string(rune('a' + len(s.Columns))), Type: TypeText})
+			_ = i
+		}
+		for i := range ints {
+			s.Columns = append(s.Columns, Column{Name: string(rune('a' + len(s.Columns))), Type: TypeInteger})
+			_ = i
+		}
+		if len(s.Columns) == 0 {
+			return true
+		}
+		s.PKIndex = int(pk) % len(s.Columns)
+		row := make([]Value, len(s.Columns))
+		for i := range texts {
+			row[i] = TextValue(texts[i])
+		}
+		for i := range ints {
+			row[len(texts)+i] = IntValue(ints[i])
+		}
+		// Text PKs cannot round-trip arbitrary... they can: raw bytes.
+		key := encodeKey(row[s.PKIndex])
+		payload := encodeRow(s, row)
+		got, err := decodeRow(s, key, payload)
+		if err != nil {
+			return false
+		}
+		for i := range row {
+			if got[i].Type != row[i].Type || got[i].Int != row[i].Int || got[i].Str != row[i].Str {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRowCorruption(t *testing.T) {
+	s := &Schema{Table: "t", Columns: []Column{
+		{Name: "a", Type: TypeInteger}, {Name: "b", Type: TypeText},
+	}, PKIndex: 0}
+	key := encodeKey(IntValue(1))
+	if _, err := decodeRow(s, key, []byte{0xFF, 0x01}); err == nil {
+		t.Fatal("bad type tag accepted")
+	}
+	if _, err := decodeRow(s, key, []byte{byte(TypeText), 0xFF}); err == nil {
+		t.Fatal("truncated varint/bytes accepted")
+	}
+	if _, err := decodeRow(s, []byte{1, 2}, nil); err == nil {
+		t.Fatal("malformed integer key accepted")
+	}
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	s := &Schema{Table: "t", PKIndex: 1, Columns: []Column{
+		{Name: "alpha", Type: TypeText},
+		{Name: "beta", Type: TypeInteger},
+	}}
+	got, err := decodeSchema("t", encodeSchema(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PKIndex != 1 || len(got.Columns) != 2 || got.Columns[0].Name != "alpha" ||
+		got.Columns[1].Type != TypeInteger {
+		t.Fatalf("schema round trip = %+v", got)
+	}
+	if _, err := decodeSchema("t", []byte{9}); err == nil {
+		t.Fatal("corrupt schema accepted")
+	}
+	if _, err := decodeSchema("t", nil); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+}

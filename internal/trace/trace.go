@@ -1,0 +1,84 @@
+// Package trace records block-level I/O events so the Figure 8 block
+// trace of the paper (block address over time, split by EXT4 journal /
+// .db-wal / .db traffic) can be regenerated.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one block write: which device page, when (virtual time), and
+// which stream it belongs to ("db", "db-wal", "journal", ...).
+type Event struct {
+	T     time.Duration
+	Block int
+	Tag   string
+	Bytes int
+}
+
+// Recorder accumulates events. A nil *Recorder is valid and discards
+// everything, so devices can be wired unconditionally.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Record appends one event. No-op on a nil recorder.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of all recorded events in record order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = nil
+	r.mu.Unlock()
+}
+
+// BytesByTag sums written bytes per stream tag.
+func (r *Recorder) BytesByTag() map[string]int {
+	out := make(map[string]int)
+	for _, e := range r.Events() {
+		out[e.Tag] += e.Bytes
+	}
+	return out
+}
+
+// String renders the trace as "time_us block tag" lines sorted by time,
+// the format the Figure 8 harness prints.
+func (r *Recorder) String() string {
+	evs := r.Events()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+	var b strings.Builder
+	for _, e := range evs {
+		fmt.Fprintf(&b, "%10.1f %8d %s\n", float64(e.T.Microseconds()), e.Block, e.Tag)
+	}
+	return b.String()
+}

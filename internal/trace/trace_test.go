@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	r := New()
+	r.Record(Event{T: time.Microsecond, Block: 3, Tag: "db", Bytes: 4096})
+	r.Record(Event{T: 2 * time.Microsecond, Block: 4, Tag: "journal", Bytes: 4096})
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Block != 3 || evs[1].Tag != "journal" {
+		t.Fatalf("Events = %+v", evs)
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{})
+	if got := r.Events(); got != nil {
+		t.Fatalf("nil recorder returned events: %v", got)
+	}
+	r.Reset()
+}
+
+func TestBytesByTag(t *testing.T) {
+	r := New()
+	r.Record(Event{Tag: "db-wal", Bytes: 4096})
+	r.Record(Event{Tag: "db-wal", Bytes: 4096})
+	r.Record(Event{Tag: "journal", Bytes: 4096})
+	by := r.BytesByTag()
+	if by["db-wal"] != 8192 || by["journal"] != 4096 {
+		t.Fatalf("BytesByTag = %v", by)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New()
+	r.Record(Event{Block: 1})
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Fatal("Reset did not clear events")
+	}
+}
+
+func TestStringSortedByTime(t *testing.T) {
+	r := New()
+	r.Record(Event{T: 5 * time.Microsecond, Block: 2, Tag: "b"})
+	r.Record(Event{T: time.Microsecond, Block: 1, Tag: "a"})
+	s := r.String()
+	ia, ib := strings.Index(s, "a"), strings.Index(s, "b")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("String not time-sorted:\n%s", s)
+	}
+}
+
+func TestEventsCopyIsolated(t *testing.T) {
+	r := New()
+	r.Record(Event{Block: 1})
+	evs := r.Events()
+	evs[0].Block = 99
+	if r.Events()[0].Block != 1 {
+		t.Fatal("Events copy aliases internal storage")
+	}
+}
