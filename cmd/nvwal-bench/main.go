@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	nvwal-bench [-txns N] table1|table2|fig5|fig6|fig7|fig8|fig9|all
+//	nvwal-bench [-txns N] table1|table2|fig5|fig6|fig7|fig8|fig9|...|concurrent|all
 //
 // Throughput numbers are virtual-time based and deterministic; see
 // EXPERIMENTS.md for the paper-versus-measured comparison.
@@ -21,7 +21,7 @@ import (
 func main() {
 	txns := flag.Int("txns", 0, "transactions per measurement (0 = experiment default)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: nvwal-bench [-txns N] table1|table2|fig5|fig6|fig7|fig8|fig9|persistency|prealloc|baselines|cschecksum|groupcommit|all")
+		fmt.Fprintln(os.Stderr, "usage: nvwal-bench [-txns N] table1|table2|fig5|fig6|fig7|fig8|fig9|persistency|prealloc|baselines|cschecksum|groupcommit|concurrent|all")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -113,8 +113,14 @@ func run(name string, txns int) error {
 			return err
 		}
 		r.Print(out)
+	case "concurrent":
+		r, err := experiments.Concurrent(txns)
+		if err != nil {
+			return err
+		}
+		r.Print(out)
 	case "all":
-		for _, sub := range []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "persistency", "prealloc", "baselines", "cschecksum", "groupcommit"} {
+		for _, sub := range []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "persistency", "prealloc", "baselines", "cschecksum", "groupcommit", "concurrent"} {
 			fmt.Fprintf(out, "==== %s ====\n", sub)
 			if err := run(sub, txns); err != nil {
 				return err

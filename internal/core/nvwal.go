@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sync"
 
 	"repro/internal/heapo"
 	"repro/internal/metrics"
@@ -206,7 +207,13 @@ type histFrame struct {
 	payload []byte
 }
 
-// NVWAL is a write-ahead log in NVRAM. It implements pager.Journal.
+// NVWAL is a write-ahead log in NVRAM. It implements pager.Journal,
+// pager.SnapshotJournal and pager.GroupJournal.
+//
+// All methods are safe for concurrent use: a reader-writer lock lets
+// snapshot readers reconstruct pages (PageVersionAt) concurrently with
+// each other while serializing against the single writer's WriteFrames
+// and Checkpoint — the wal-index reader/writer protocol of §2.
 type NVWAL struct {
 	heap *heapo.Manager
 	dev  *nvram.Device
@@ -217,6 +224,17 @@ type NVWAL struct {
 	pageSize   int
 	headerAddr uint64
 	salt       uint64
+
+	// mu guards the volatile state below. Writers (WriteFrames,
+	// Checkpoint) take it exclusively; the read-only views (PageVersion,
+	// PageVersionAt, Mark, FramesSinceCheckpoint, Blocks) share it.
+	mu sync.RWMutex
+	// broken latches the first WriteFrames error. The NVRAM log is
+	// append-only — a half-written frame cannot be overwritten like a
+	// file WAL slot — so continuing to append after a failure would
+	// break the recovery checksum chain behind later commits. Every
+	// subsequent write returns the latched error instead.
+	broken error
 
 	// Volatile state, rebuilt by recovery (the wal-index analogue).
 	blocks   []heapo.Block // log block chain in order
@@ -480,10 +498,50 @@ func (w *NVWAL) CommitTransaction(frames []pager.Frame) error {
 	return w.WriteFrames(frames, true)
 }
 
+// CommitGroup implements pager.GroupJournal: the groups' frames are
+// coalesced page-wise (the group commits atomically under one mark, so
+// only each page's final image needs logging) and written through a
+// single Algorithm 1 sequence — one flush batch, one persist barrier,
+// one commit-mark persist for the whole group.
+func (w *NVWAL) CommitGroup(groups [][]pager.Frame) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	coalesced := pager.CoalesceGroups(groups)
+	if len(coalesced) == 0 {
+		return nil
+	}
+	if err := w.writeFrames(coalesced, true); err != nil {
+		return err
+	}
+	// writeFrames counted one committed transaction; credit the rest of
+	// the group.
+	w.m.Inc(metrics.Transactions, int64(len(groups)-1))
+	w.m.Inc(metrics.GroupCommits, 1)
+	return nil
+}
+
 // WriteFrames is sqliteWriteWalFramesToNVRAM (Algorithm 1): log the
 // dirty pages, enforce the transaction-aware persistency guarantee, and
 // — when commit is set — write and persist the commit mark.
 func (w *NVWAL) WriteFrames(frames []pager.Frame, commit bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writeFrames(frames, commit)
+}
+
+// writeFrames is WriteFrames with w.mu held.
+func (w *NVWAL) writeFrames(frames []pager.Frame, commit bool) error {
+	if w.broken != nil {
+		return w.broken
+	}
+	if err := w.writeFramesLog(frames, commit); err != nil {
+		w.broken = err
+		return err
+	}
+	return nil
+}
+
+func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
 	if len(frames) == 0 {
 		return nil
 	}
@@ -614,6 +672,8 @@ func (w *NVWAL) WriteFrames(frames []pager.Frame, commit bool) error {
 
 // PageVersion implements pager.Journal.
 func (w *NVWAL) PageVersion(pgno uint32) ([]byte, bool) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	img, ok := w.versions[pgno]
 	if !ok {
 		return nil, false
@@ -624,15 +684,25 @@ func (w *NVWAL) PageVersion(pgno uint32) ([]byte, bool) {
 }
 
 // FramesSinceCheckpoint implements pager.Journal.
-func (w *NVWAL) FramesSinceCheckpoint() int { return w.frames }
+func (w *NVWAL) FramesSinceCheckpoint() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.frames
+}
 
 // Mark implements pager.SnapshotJournal.
-func (w *NVWAL) Mark() int { return w.frames }
+func (w *NVWAL) Mark() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.frames
+}
 
 // PageVersionAt implements pager.SnapshotJournal: replay pgno's frames
 // up to the mark (the first one is always a full frame, §3.3 rule, so
 // reconstruction starts from a zero image).
 func (w *NVWAL) PageVersionAt(pgno uint32, mark int) ([]byte, bool) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	if mark > len(w.history) {
 		mark = len(w.history)
 	}
@@ -668,6 +738,8 @@ func (w *NVWAL) PageVersionAt(pgno uint32, mark int) ([]byte, bool) {
 //     frames, which recovery walks and frees (no leak), or a dangling
 //     reference to an already-freed block, which recovery clears.
 func (w *NVWAL) Checkpoint() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.frames == 0 {
 		return nil
 	}
@@ -711,4 +783,8 @@ func (w *NVWAL) Config() Config { return w.cfg }
 
 // Blocks reports the number of live NVRAM log blocks (for the §3.3
 // frames-per-block statistic).
-func (w *NVWAL) Blocks() int { return len(w.blocks) }
+func (w *NVWAL) Blocks() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.blocks)
+}

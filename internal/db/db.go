@@ -20,7 +20,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/btree"
@@ -97,6 +100,25 @@ type Options struct {
 	CPU CPUProfile
 	// PageSize defaults to 4096.
 	PageSize int
+	// Concurrent enables the goroutine-safe multi-reader/single-writer
+	// protocol: Begin blocks until the writer slot frees (instead of
+	// returning ErrTxnOpen), non-snapshot reads serialize against the
+	// writer, and snapshot ReadTxs stay lock-free. Off, the engine keeps
+	// its legacy single-goroutine contract: a second Begin while a
+	// transaction is open is a programming error reported as ErrTxnOpen.
+	Concurrent bool
+	// GroupCommit batches up to this many concurrently committing write
+	// transactions into one journal flush — Algorithm 1's commit flag:
+	// all the group's frames are logged, only the final one carries the
+	// commit mark, so one flush batch, one persist barrier and one
+	// commit-mark persist cover the whole group. Atomicity coarsens to
+	// the group: a crash loses the whole in-flight group, never a prefix.
+	// Values <= 1 commit each transaction individually. Requires
+	// Concurrent; groups only form among registered Writer sessions (or
+	// overlapping anonymous writers), and a group flushes as soon as
+	// every registered writer is waiting in it, so K writers never wait
+	// for an absent (K+1)th.
+	GroupCommit int
 }
 
 // DefaultCheckpointLimit matches SQLite's 1000-frame threshold (§2).
@@ -108,6 +130,11 @@ var (
 	ErrNoTxn       = errors.New("db: no open transaction")
 	ErrNoTable     = errors.New("db: no such table")
 	ErrTableExists = errors.New("db: table already exists")
+	// ErrCheckpointDeferred wraps an auto-checkpoint failure after a
+	// successful commit. The transaction IS durable in the log — callers
+	// must not treat it as aborted; the checkpoint will be retried after
+	// a later commit or can be run explicitly.
+	ErrCheckpointDeferred = errors.New("db: transaction committed, auto-checkpoint deferred")
 )
 
 // Catalog layout within page 1, after the pager's reserved header:
@@ -124,17 +151,38 @@ const (
 func maxTables(pageSize int) int { return (pageSize - catalogOff - 2) / tableEntry }
 
 // DB is one open database.
+//
+// Lock order (see DESIGN.md §8): writer slot → ckptMu → gc.mu → the
+// journal's internal lock. Snapshot ReadTxs never take the writer slot;
+// they touch only the journal (read-locked) and the database file.
 type DB struct {
 	plat *platform.Platform
 	opts Options
 	name string
 
-	dbf     *dbfile.File
-	jrn     pager.Journal
-	pg      *pager.Pager
-	trees   map[string]*btree.Tree
-	inTxn   bool
-	readers int // open snapshot read transactions
+	dbf *dbfile.File
+	jrn pager.Journal
+	pg  *pager.Pager
+
+	// treeMu guards the trees cache; the *btree.Tree values themselves
+	// are only used while holding the writer slot.
+	treeMu sync.Mutex
+	trees  map[string]*btree.Tree
+
+	// slot is the writer slot: whoever holds the token owns the pager
+	// and may run a write transaction, a catalog change, a non-snapshot
+	// read, or a checkpoint. Legacy mode try-acquires it (ErrTxnOpen
+	// when busy); Concurrent mode blocks.
+	slot chan struct{}
+	// readers counts open snapshot read transactions; a positive count
+	// pins the log against checkpointing.
+	readers atomic.Int64
+	// ckptMu makes BeginRead's register-and-mark atomic against
+	// Checkpoint's reader-check-and-truncate, so a reader can never take
+	// a mark that a concurrent checkpoint immediately invalidates.
+	ckptMu sync.Mutex
+	// gc is the writer queue implementing group commit.
+	gc *groupCommitter
 }
 
 // Open opens (creating if necessary) the database file name on the
@@ -148,6 +196,9 @@ func Open(plat *platform.Platform, name string, opts Options) (*DB, error) {
 	if opts.CheckpointLimit == 0 {
 		opts.CheckpointLimit = DefaultCheckpointLimit
 	}
+	if opts.GroupCommit > 1 && !opts.Concurrent {
+		return nil, errors.New("db: GroupCommit > 1 requires Concurrent mode")
+	}
 	f, err := plat.FS.OpenOrCreate(name, "db")
 	if err != nil {
 		return nil, err
@@ -158,6 +209,7 @@ func Open(plat *platform.Platform, name string, opts Options) (*DB, error) {
 		name:  name,
 		dbf:   dbfile.New(f, opts.PageSize),
 		trees: make(map[string]*btree.Tree),
+		slot:  make(chan struct{}, 1),
 	}
 	switch opts.Journal {
 	case JournalNVWAL:
@@ -181,7 +233,51 @@ func Open(plat *platform.Platform, name string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	size := opts.GroupCommit
+	if size < 1 {
+		size = 1
+	}
+	d.gc = &groupCommitter{jrn: d.jrn, size: size}
 	return d, nil
+}
+
+// acquireSlot claims the writer slot: blocking in Concurrent mode,
+// try-only (ErrTxnOpen) in the legacy single-goroutine mode.
+func (d *DB) acquireSlot() error {
+	if d.opts.Concurrent {
+		d.slot <- struct{}{}
+		return nil
+	}
+	select {
+	case d.slot <- struct{}{}:
+		return nil
+	default:
+		return ErrTxnOpen
+	}
+}
+
+// tryAcquireSlot claims the slot only if it is free.
+func (d *DB) tryAcquireSlot() bool {
+	select {
+	case d.slot <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (d *DB) releaseSlot() { <-d.slot }
+
+// readLock serializes a non-snapshot read against the writer in
+// Concurrent mode. Legacy mode returns a no-op release: single-
+// goroutine callers traditionally read mid-transaction (the SQL layer
+// scans inside its own statements), and nothing runs concurrently.
+func (d *DB) readLock() func() {
+	if !d.opts.Concurrent {
+		return func() {}
+	}
+	d.slot <- struct{}{}
+	return d.releaseSlot
 }
 
 // reserved returns the B+tree per-page reserve. The early-split
@@ -233,9 +329,13 @@ func (d *DB) readCatalog() (map[string]uint32, error) {
 	return out, nil
 }
 
-// tree returns the B+tree handle for a table.
+// tree returns the B+tree handle for a table. Callers hold the writer
+// slot (or run in the legacy single-goroutine mode).
 func (d *DB) tree(table string) (*btree.Tree, error) {
-	if t, ok := d.trees[table]; ok {
+	d.treeMu.Lock()
+	t, ok := d.trees[table]
+	d.treeMu.Unlock()
+	if ok {
 		return t, nil
 	}
 	cat, err := d.readCatalog()
@@ -246,39 +346,64 @@ func (d *DB) tree(table string) (*btree.Tree, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoTable, table)
 	}
-	t := btree.New(d.pg, root, btree.Config{Reserved: d.reserved()})
+	t = btree.New(d.pg, root, btree.Config{Reserved: d.reserved()})
+	d.treeMu.Lock()
 	d.trees[table] = t
+	d.treeMu.Unlock()
 	return t, nil
 }
 
+func (d *DB) cacheTree(table string, t *btree.Tree) {
+	d.treeMu.Lock()
+	d.trees[table] = t
+	d.treeMu.Unlock()
+}
+
+func (d *DB) uncacheTree(table string) {
+	d.treeMu.Lock()
+	delete(d.trees, table)
+	d.treeMu.Unlock()
+}
+
 // CreateTable creates a table in its own transaction. It cannot run
-// inside an open write transaction.
+// inside an open write transaction (legacy mode reports ErrTxnOpen;
+// Concurrent mode waits for the writer slot).
 func (d *DB) CreateTable(table string) error {
-	if d.inTxn {
-		return ErrTxnOpen
+	if err := d.acquireSlot(); err != nil {
+		return err
+	}
+	if err := d.gc.bail(); err != nil {
+		d.releaseSlot()
+		return err
 	}
 	if len(table) == 0 || len(table) > tableNameLen {
+		d.releaseSlot()
 		return fmt.Errorf("db: table name must be 1..%d bytes", tableNameLen)
 	}
 	cat, err := d.readCatalog()
 	if err != nil {
+		d.releaseSlot()
 		return err
 	}
 	if _, ok := cat[table]; ok {
+		d.releaseSlot()
 		return fmt.Errorf("%w: %q", ErrTableExists, table)
 	}
 	if len(cat) >= maxTables(d.opts.PageSize) {
+		d.releaseSlot()
 		return errors.New("db: catalog full")
 	}
 	d.pg.Begin()
 	t, err := btree.Create(d.pg, btree.Config{Reserved: d.reserved()})
 	if err != nil {
 		d.pg.Rollback()
+		d.releaseSlot()
 		return err
 	}
 	hdr, err := d.pg.Get(1)
 	if err != nil {
 		d.pg.Rollback()
+		d.releaseSlot()
 		return err
 	}
 	d.pg.MarkDirty(1)
@@ -288,11 +413,12 @@ func (d *DB) CreateTable(table string) error {
 	copy(hdr[off:], table)
 	binary.LittleEndian.PutUint32(hdr[off+tableNameLen:], t.Root())
 	binary.LittleEndian.PutUint16(hdr[catalogOff:], uint16(n+1))
-	if err := d.pg.Commit(); err != nil {
-		d.pg.Rollback()
+	d.chargeCPU(d.opts.CPU.TxnFixed)
+	d.cacheTree(table, t)
+	if err := d.commitHeldTxn(); err != nil { // releases the slot
+		d.uncacheTree(table)
 		return err
 	}
-	d.trees[table] = t
 	return nil
 }
 
@@ -300,29 +426,38 @@ func (d *DB) CreateTable(table string) error {
 // its pages to the freelist. It cannot run inside an open write
 // transaction.
 func (d *DB) DropTable(table string) error {
-	if d.inTxn {
-		return ErrTxnOpen
+	if err := d.acquireSlot(); err != nil {
+		return err
+	}
+	if err := d.gc.bail(); err != nil {
+		d.releaseSlot()
+		return err
 	}
 	cat, err := d.readCatalog()
 	if err != nil {
+		d.releaseSlot()
 		return err
 	}
 	if _, ok := cat[table]; !ok {
+		d.releaseSlot()
 		return fmt.Errorf("%w: %q", ErrNoTable, table)
 	}
 	t, err := d.tree(table)
 	if err != nil {
+		d.releaseSlot()
 		return err
 	}
 	d.pg.Begin()
 	if err := t.Drop(); err != nil {
 		d.pg.Rollback()
+		d.releaseSlot()
 		return err
 	}
 	// Remove the catalog entry, compacting the table list.
 	hdr, err := d.pg.Get(1)
 	if err != nil {
 		d.pg.Rollback()
+		d.releaseSlot()
 		return err
 	}
 	d.pg.MarkDirty(1)
@@ -341,16 +476,14 @@ func (d *DB) DropTable(table string) error {
 		binary.LittleEndian.PutUint16(hdr[catalogOff:], uint16(n-1))
 		break
 	}
-	if err := d.pg.Commit(); err != nil {
-		d.pg.Rollback()
-		return err
-	}
-	delete(d.trees, table)
-	return nil
+	d.chargeCPU(d.opts.CPU.TxnFixed)
+	d.uncacheTree(table)
+	return d.commitHeldTxn() // releases the slot
 }
 
-// Tables lists the catalog.
+// Tables lists the catalog in sorted name order.
 func (d *DB) Tables() ([]string, error) {
+	defer d.readLock()()
 	cat, err := d.readCatalog()
 	if err != nil {
 		return nil, err
@@ -359,11 +492,13 @@ func (d *DB) Tables() ([]string, error) {
 	for name := range cat {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out, nil
 }
 
 // HasTable reports whether a table exists.
 func (d *DB) HasTable(table string) bool {
+	defer d.readLock()()
 	cat, err := d.readCatalog()
 	if err != nil {
 		return false
@@ -373,20 +508,73 @@ func (d *DB) HasTable(table string) bool {
 }
 
 // Tx is one write transaction. SQLite allows a single writer at a time
-// (§4.1), which Begin enforces.
+// (§4.1), which Begin enforces: the transaction holds the writer slot
+// from Begin until Commit or Rollback.
 type Tx struct {
-	db   *DB
-	done bool
+	db     *DB
+	done   bool
+	ownReg bool // this txn registered itself with the group committer
 }
 
-// Begin opens a write transaction.
+// Begin opens a write transaction. In Concurrent mode it blocks until
+// the current writer finishes; in legacy mode it returns ErrTxnOpen.
 func (d *DB) Begin() (*Tx, error) {
-	if d.inTxn {
-		return nil, ErrTxnOpen
+	// Register before contending for the slot, so a group waiting for
+	// stragglers knows this writer is on its way.
+	d.gc.register()
+	if err := d.acquireSlot(); err != nil {
+		d.gc.unregister()
+		return nil, err
 	}
-	d.inTxn = true
+	if err := d.gc.bail(); err != nil {
+		d.releaseSlot()
+		d.gc.unregister()
+		return nil, err
+	}
 	d.pg.Begin()
-	return &Tx{db: d}, nil
+	return &Tx{db: d, ownReg: true}, nil
+}
+
+// Writer is a registered long-lived writer session. Registration is
+// what makes group commit deterministic: the group committer flushes
+// once every registered writer is waiting in the queue, so K sessions
+// running transaction loops produce groups of exactly min(K, GroupCommit)
+// regardless of goroutine scheduling. A session must keep committing
+// (or Close) — an idle registered session stalls a waiting group.
+type Writer struct {
+	d      *DB
+	closed bool
+}
+
+// Writer registers a writer session with the group committer.
+func (d *DB) Writer() *Writer {
+	d.gc.register()
+	return &Writer{d: d}
+}
+
+// Begin opens a write transaction owned by the session.
+func (w *Writer) Begin() (*Tx, error) {
+	if w.closed {
+		return nil, errors.New("db: writer session closed")
+	}
+	if err := w.d.acquireSlot(); err != nil {
+		return nil, err
+	}
+	if err := w.d.gc.bail(); err != nil {
+		w.d.releaseSlot()
+		return nil, err
+	}
+	w.d.pg.Begin()
+	return &Tx{db: w.d}, nil
+}
+
+// Close unregisters the session, releasing any group waiting on it.
+func (w *Writer) Close() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	w.d.gc.unregister()
 }
 
 func (tx *Tx) guard() error {
@@ -447,25 +635,80 @@ func (tx *Tx) Get(table string, key []byte) ([]byte, bool, error) {
 	return t.Get(key)
 }
 
-// Commit durably commits the transaction through the journal, then
-// auto-checkpoints if the log passed the frame limit.
+// Scan visits table's records (including the transaction's own writes)
+// in ascending key order until fn returns false.
+func (tx *Tx) Scan(table string, fn func(key, value []byte) bool) error {
+	if err := tx.guard(); err != nil {
+		return err
+	}
+	t, err := tx.db.tree(table)
+	if err != nil {
+		return err
+	}
+	return t.Scan(fn)
+}
+
+// ScanRange visits records with start <= key < end (nil end = no upper
+// bound), including the transaction's own writes.
+func (tx *Tx) ScanRange(table string, start, end []byte, fn func(key, value []byte) bool) error {
+	if err := tx.guard(); err != nil {
+		return err
+	}
+	t, err := tx.db.tree(table)
+	if err != nil {
+		return err
+	}
+	return t.ScanRange(start, end, fn)
+}
+
+// ScanPrefix visits records whose key begins with prefix, including the
+// transaction's own writes.
+func (tx *Tx) ScanPrefix(table string, prefix []byte, fn func(key, value []byte) bool) error {
+	if err := tx.guard(); err != nil {
+		return err
+	}
+	t, err := tx.db.tree(table)
+	if err != nil {
+		return err
+	}
+	return t.ScanPrefix(prefix, fn)
+}
+
+// Count returns the number of records in table as the transaction sees
+// it.
+func (tx *Tx) Count(table string) (int, error) {
+	if err := tx.guard(); err != nil {
+		return 0, err
+	}
+	t, err := tx.db.tree(table)
+	if err != nil {
+		return 0, err
+	}
+	return t.Count()
+}
+
+// Commit durably commits the transaction through the journal (solo, or
+// batched with concurrent committers when group commit is on), then
+// auto-checkpoints if the log passed the frame limit. A journal failure
+// rolls the transaction back — its dirty pages can never leak into the
+// next transaction. An auto-checkpoint failure after a successful
+// commit is reported wrapped in ErrCheckpointDeferred: the transaction
+// IS durable.
 func (tx *Tx) Commit() error {
 	if err := tx.guard(); err != nil {
 		return err
 	}
 	tx.done = true
-	tx.db.inTxn = false
-	tx.db.chargeCPU(tx.db.opts.CPU.TxnFixed)
-	if err := tx.db.pg.Commit(); err != nil {
+	d := tx.db
+	d.chargeCPU(d.opts.CPU.TxnFixed)
+	err := d.commitHeldTxn() // releases the slot
+	if tx.ownReg {
+		d.gc.unregister()
+	}
+	if err != nil {
 		return err
 	}
-	// Auto-checkpoint, unless open read transactions pin the log (the
-	// SQLite behaviour: checkpointing cannot pass a reader's mark).
-	if lim := tx.db.opts.CheckpointLimit; lim > 0 && tx.db.readers == 0 &&
-		tx.db.jrn.FramesSinceCheckpoint() >= lim {
-		return tx.db.Checkpoint()
-	}
-	return nil
+	return d.maybeAutoCheckpoint()
 }
 
 // Rollback abandons the transaction, restoring all pages.
@@ -474,15 +717,89 @@ func (tx *Tx) Rollback() {
 		return
 	}
 	tx.done = true
-	tx.db.inTxn = false
 	tx.db.pg.Rollback()
+	tx.db.releaseSlot()
+	if tx.ownReg {
+		tx.db.gc.unregister()
+	}
 }
 
-// Get reads a record outside any transaction.
-func (d *DB) Get(table string, key []byte) ([]byte, bool, error) {
-	if d.inTxn {
-		return nil, false, ErrTxnOpen
+// commitHeldTxn durably commits the pager's open write transaction.
+// Called with the writer slot held; the slot is released by the time it
+// returns (the grouped path must free it so the rest of the group can
+// enqueue behind it).
+func (d *DB) commitHeldTxn() error {
+	gc := d.gc
+	gc.mu.Lock()
+	if gc.failed != nil {
+		err := gc.failed
+		gc.mu.Unlock()
+		d.pg.Rollback()
+		d.releaseSlot()
+		return err
 	}
+	if len(gc.queue) == 0 && (gc.size <= 1 || gc.writers <= 1) {
+		// Solo fast path: no group to join and no peer on the way.
+		// Flush synchronously while the pager transaction is still open,
+		// so a journal failure rolls it back cleanly.
+		gc.mu.Unlock()
+		err := d.pg.Commit()
+		d.releaseSlot()
+		return err
+	}
+	// Grouped path: hand the frames to the queue, close the pager
+	// transaction (later writers build on its cache), free the slot, and
+	// wait for a leader to flush the group.
+	frames, err := d.pg.PrepareCommit()
+	if err != nil {
+		gc.mu.Unlock()
+		d.pg.Rollback()
+		d.releaseSlot()
+		return err
+	}
+	req := &commitReq{frames: cloneFrames(frames), done: make(chan struct{})}
+	d.pg.FinishCommit()
+	gc.queue = append(gc.queue, req)
+	if len(gc.queue) >= gc.size || len(gc.queue) >= gc.writers {
+		gc.flushLocked()
+	}
+	gc.mu.Unlock()
+	d.releaseSlot()
+	<-req.done
+	return req.err
+}
+
+// maybeAutoCheckpoint runs the post-commit checkpoint when the log
+// passed the frame limit. It is best-effort: a busy writer slot or an
+// open snapshot defers it silently to a later commit (the SQLite
+// behaviour: checkpointing cannot pass a reader's mark); a real
+// checkpoint failure is reported wrapped in ErrCheckpointDeferred.
+func (d *DB) maybeAutoCheckpoint() error {
+	lim := d.opts.CheckpointLimit
+	if lim <= 0 || d.readers.Load() > 0 || d.jrn.FramesSinceCheckpoint() < lim {
+		return nil
+	}
+	if !d.tryAcquireSlot() {
+		return nil
+	}
+	defer d.releaseSlot()
+	if err := d.checkpointLocked(); err != nil {
+		if errors.Is(err, ErrBusySnapshot) {
+			return nil
+		}
+		return fmt.Errorf("%w: %w", ErrCheckpointDeferred, err)
+	}
+	return nil
+}
+
+// Get reads a record outside any transaction. In Concurrent mode it
+// waits for the writer slot; in legacy mode an open write transaction
+// is reported as ErrTxnOpen.
+func (d *DB) Get(table string, key []byte) ([]byte, bool, error) {
+	if err := d.acquireSlot(); err != nil {
+		return nil, false, err
+	}
+	defer d.releaseSlot()
 	t, err := d.tree(table)
 	if err != nil {
 		return nil, false, err
@@ -491,8 +808,11 @@ func (d *DB) Get(table string, key []byte) ([]byte, bool, error) {
 }
 
 // Scan visits table's records in ascending key order until fn returns
-// false.
+// false. Inside an open transaction use Tx.Scan (legacy single-
+// goroutine code may keep calling this mid-transaction; Concurrent mode
+// serializes it against the writer).
 func (d *DB) Scan(table string, fn func(key, value []byte) bool) error {
+	defer d.readLock()()
 	t, err := d.tree(table)
 	if err != nil {
 		return err
@@ -503,6 +823,7 @@ func (d *DB) Scan(table string, fn func(key, value []byte) bool) error {
 // ScanRange visits records with start <= key < end (nil end = no upper
 // bound) in ascending order until fn returns false.
 func (d *DB) ScanRange(table string, start, end []byte, fn func(key, value []byte) bool) error {
+	defer d.readLock()()
 	t, err := d.tree(table)
 	if err != nil {
 		return err
@@ -513,6 +834,7 @@ func (d *DB) ScanRange(table string, start, end []byte, fn func(key, value []byt
 // ScanPrefix visits records whose key begins with prefix, in ascending
 // order until fn returns false.
 func (d *DB) ScanPrefix(table string, prefix []byte, fn func(key, value []byte) bool) error {
+	defer d.readLock()()
 	t, err := d.tree(table)
 	if err != nil {
 		return err
@@ -522,6 +844,7 @@ func (d *DB) ScanPrefix(table string, prefix []byte, fn func(key, value []byte) 
 
 // Count returns the number of records in table.
 func (d *DB) Count(table string) (int, error) {
+	defer d.readLock()()
 	t, err := d.tree(table)
 	if err != nil {
 		return 0, err
@@ -531,11 +854,27 @@ func (d *DB) Count(table string) (int, error) {
 
 // Checkpoint flushes the log into the database file and truncates it.
 func (d *DB) Checkpoint() error {
-	if d.inTxn {
-		return ErrTxnOpen
+	if err := d.acquireSlot(); err != nil {
+		return err
 	}
-	if d.readers > 0 {
+	defer d.releaseSlot()
+	return d.checkpointLocked()
+}
+
+// checkpointLocked checkpoints with the writer slot held. ckptMu pairs
+// it with BeginRead: between the reader count check and the journal
+// truncation no new snapshot can take a mark.
+func (d *DB) checkpointLocked() error {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	if d.readers.Load() > 0 {
 		return ErrBusySnapshot
+	}
+	// Flush any group still waiting in the queue: its transactions'
+	// pages live only in the pager cache and the queue, so the journal
+	// must absorb them before it is truncated.
+	if err := d.gc.flushPending(); err != nil {
+		return err
 	}
 	sw := d.plat.Clock.Now()
 	if err := d.jrn.Checkpoint(); err != nil {
@@ -548,14 +887,12 @@ func (d *DB) Checkpoint() error {
 // Close checkpoints and releases the database. SQLite checkpoints when
 // the last session closes (§2).
 func (d *DB) Close() error {
-	if d.inTxn {
-		return ErrTxnOpen
-	}
 	return d.Checkpoint()
 }
 
 // Check verifies the structural invariants of every table's tree.
 func (d *DB) Check() error {
+	defer d.readLock()()
 	cat, err := d.readCatalog()
 	if err != nil {
 		return err

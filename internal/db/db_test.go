@@ -560,3 +560,48 @@ func TestLargeWorkloadAllModes(t *testing.T) {
 		})
 	}
 }
+
+func TestTablesSorted(t *testing.T) {
+	d, _ := newDB(t, Options{Journal: JournalOptimizedWAL})
+	// Created deliberately out of lexical order: the listing must not
+	// depend on catalog map iteration.
+	for _, name := range []string{"zebra", "alpha", "mango", "delta"} {
+		if err := d.CreateTable(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"alpha", "delta", "mango", "zebra"}
+	for i := 0; i < 10; i++ {
+		got, err := d.Tables()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Tables = %v, want %v", got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("Tables = %v, want sorted %v", got, want)
+			}
+		}
+	}
+}
+
+func TestCatalogOpsChargeCPU(t *testing.T) {
+	opts := Options{Journal: JournalNVWAL, NVWAL: core.VariantUHLSDiff(), CPU: CPUNexus5}
+	d, plat := newDB(t, opts)
+	before := plat.Clock.Now()
+	if err := d.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := plat.Clock.Now() - before; elapsed < CPUNexus5.TxnFixed {
+		t.Fatalf("CreateTable charged %v, want at least TxnFixed %v", elapsed, CPUNexus5.TxnFixed)
+	}
+	before = plat.Clock.Now()
+	if err := d.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := plat.Clock.Now() - before; elapsed < CPUNexus5.TxnFixed {
+		t.Fatalf("DropTable charged %v, want at least TxnFixed %v", elapsed, CPUNexus5.TxnFixed)
+	}
+}

@@ -1,0 +1,133 @@
+package db
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/pager"
+)
+
+// commitReq is one transaction waiting in the group-commit queue: its
+// frame set (deep-copied — the pager reuses its cache buffers as soon
+// as the next writer runs) and the channel its committer blocks on
+// until a leader flushes the group.
+type commitReq struct {
+	frames []pager.Frame
+	done   chan struct{}
+	err    error
+}
+
+// groupCommitter is the writer queue behind Tx.Commit. Committing
+// transactions enqueue their frames and wait; the transaction whose
+// arrival completes the group — GroupCommit entries, or one entry per
+// registered writer, whichever is smaller — flushes every queued frame
+// set through the journal as a single unit (pager.GroupJournal when the
+// journal supports it, else back-to-back single commits).
+//
+// The flush rule "len(queue) >= size || len(queue) >= writers" is what
+// keeps the engine deterministic AND deadlock-free: a group never waits
+// for a writer that is not registered, so min(GroupCommit, writers)
+// bounds both the group size and the wait.
+type groupCommitter struct {
+	jrn  pager.Journal
+	size int
+
+	mu      sync.Mutex
+	writers int          // registered writers (sessions + in-flight anonymous txns)
+	queue   []*commitReq // committed transactions awaiting a flush
+	// failed latches a grouped-flush error. By the time a group flushes,
+	// its pre-images are gone and later transactions have built on its
+	// pages in the pager cache, so the failure cannot be rolled back —
+	// the engine refuses further writes instead of corrupting state.
+	failed error
+}
+
+// register announces a writer that will commit transactions.
+func (gc *groupCommitter) register() {
+	gc.mu.Lock()
+	gc.writers++
+	gc.mu.Unlock()
+}
+
+// unregister retires a writer. If every remaining writer is already
+// waiting in the queue, the group can no longer grow — flush it.
+func (gc *groupCommitter) unregister() {
+	gc.mu.Lock()
+	gc.writers--
+	if len(gc.queue) > 0 && len(gc.queue) >= gc.writers {
+		gc.flushLocked()
+	}
+	gc.mu.Unlock()
+}
+
+// bail reports the latched flush failure, if any.
+func (gc *groupCommitter) bail() error {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.failed
+}
+
+// flushPending flushes whatever is queued. Called with the writer slot
+// held (checkpointing), so no new request can enqueue concurrently.
+func (gc *groupCommitter) flushPending() error {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	gc.flushLocked()
+	return gc.failed
+}
+
+// flushLocked drains the queue through the journal and wakes every
+// waiter. Called with gc.mu held.
+func (gc *groupCommitter) flushLocked() {
+	if len(gc.queue) == 0 {
+		return
+	}
+	reqs := gc.queue
+	gc.queue = nil
+	err := gc.failed
+	if err == nil {
+		if err = gc.flush(reqs); err != nil {
+			gc.failed = fmt.Errorf("db: group commit failed, engine disabled: %w", err)
+			err = gc.failed
+		}
+	}
+	for _, r := range reqs {
+		r.err = err
+		close(r.done)
+	}
+}
+
+// flush writes the queued frame sets to the journal: one atomic group
+// when the journal supports it, else one commit per transaction in
+// queue (= logical commit) order.
+func (gc *groupCommitter) flush(reqs []*commitReq) error {
+	groups := make([][]pager.Frame, 0, len(reqs))
+	for _, r := range reqs {
+		if len(r.frames) > 0 {
+			groups = append(groups, r.frames)
+		}
+	}
+	if len(groups) == 0 {
+		return nil
+	}
+	if gj, ok := gc.jrn.(pager.GroupJournal); ok && len(groups) > 1 {
+		return gj.CommitGroup(groups)
+	}
+	for _, g := range groups {
+		if err := gc.jrn.CommitTransaction(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cloneFrames deep-copies a frame set out of the pager's cache buffers.
+func cloneFrames(frames []pager.Frame) []pager.Frame {
+	out := make([]pager.Frame, len(frames))
+	for i, fr := range frames {
+		data := make([]byte, len(fr.Data))
+		copy(data, fr.Data)
+		out[i] = pager.Frame{Pgno: fr.Pgno, Data: data}
+	}
+	return out
+}

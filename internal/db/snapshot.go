@@ -34,19 +34,29 @@ type ReadTx struct {
 
 // BeginRead opens a read transaction at the current committed state.
 // Read transactions may be interleaved with write transactions and
-// commits; they block checkpointing until closed.
+// commits; they block checkpointing until closed. BeginRead never takes
+// the writer slot (a writer may open a snapshot mid-transaction), and
+// ReadTx methods run concurrently with the writer and with each other —
+// the WAL reader/writer property the engine exists to provide. One
+// ReadTx must not be shared between goroutines.
 func (d *DB) BeginRead() (*ReadTx, error) {
 	sj, ok := d.jrn.(pager.SnapshotJournal)
 	if !ok {
 		return nil, ErrNoSnapshots
 	}
-	d.readers++
+	// ckptMu makes register-and-mark atomic against the checkpoint's
+	// reader-check-and-truncate, so the mark can never straddle a log
+	// truncation.
+	d.ckptMu.Lock()
+	d.readers.Add(1)
+	mark := sj.Mark()
+	d.ckptMu.Unlock()
 	return &ReadTx{
 		d: d,
 		store: &snapshotStore{
 			jrn:   sj,
 			dbf:   d.dbf,
-			mark:  sj.Mark(),
+			mark:  mark,
 			pages: make(map[uint32][]byte),
 		},
 		trees: make(map[string]*btree.Tree),
@@ -59,7 +69,7 @@ func (r *ReadTx) Close() {
 		return
 	}
 	r.done = true
-	r.d.readers--
+	r.d.readers.Add(-1)
 }
 
 // snapshotCatalog parses the table catalog as of the snapshot.

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/metrics"
+)
+
+// ConcurrentRow is one (writer count, group size) cell of the sweep.
+type ConcurrentRow struct {
+	Writers     int
+	GroupSize   int
+	Txns        int
+	BarriersTxn float64 // persist barriers per transaction
+	Groups      int64   // batched flushes taken
+	Throughput  float64 // transactions per virtual second
+}
+
+// ConcurrentResult holds the writers × group-size sweep.
+type ConcurrentResult struct {
+	Latency time.Duration
+	Rows    []ConcurrentRow
+}
+
+// Concurrent measures group commit on the real engine under goroutine
+// concurrency — the end-to-end version of the GroupCommit ablation.
+// W writer sessions run single-insert transaction loops against one
+// Concurrent-mode NVWAL database; the group committer batches the
+// overlapping commits through one Algorithm 1 sequence per group
+// (Figure: persist barriers per transaction fall toward 1/min(W, K) of
+// the solo cost as the group widens).
+//
+// The board is Tuna at the slow end of the NVRAM latency range, where
+// ordering overhead is most visible (§5.2), with auto-checkpointing off
+// so the commit path dominates.
+func Concurrent(txns int) (*ConcurrentResult, error) {
+	if txns <= 0 {
+		txns = 240
+	}
+	const latency = 1942 * time.Nanosecond
+	res := &ConcurrentResult{Latency: latency}
+	for _, writers := range []int{1, 2, 4, 8} {
+		for _, group := range []int{1, 4, 8} {
+			row, err := runConcurrent(writers, group, txns, latency)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+func runConcurrent(writers, group, txns int, latency time.Duration) (ConcurrentRow, error) {
+	plat, err := Tuna.newPlatform()
+	if err != nil {
+		return ConcurrentRow{}, err
+	}
+	plat.SetNVRAMLatency(latency)
+	d, err := db.Open(plat, "bench.db", db.Options{
+		Journal:         db.JournalNVWAL,
+		NVWAL:           core.VariantUHLSDiff(),
+		CPU:             Tuna.cpu(),
+		CheckpointLimit: -1,
+		Concurrent:      true,
+		GroupCommit:     group,
+	})
+	if err != nil {
+		return ConcurrentRow{}, err
+	}
+	if err := d.CreateTable("bench"); err != nil {
+		return ConcurrentRow{}, err
+	}
+
+	perWriter := txns / writers
+	total := perWriter * writers
+	// Register every session before the first commit so the group
+	// committer forms deterministic groups of min(writers, group).
+	sessions := make([]*db.Writer, writers)
+	for i := range sessions {
+		sessions[i] = d.Writer()
+	}
+	before := plat.Metrics.Snapshot()
+	start := plat.Clock.Now()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for s := 0; s < writers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sess := sessions[s]
+			defer sess.Close()
+			val := make([]byte, 100)
+			for i := 0; i < perWriter; i++ {
+				tx, err := sess.Begin()
+				if err != nil {
+					errs <- err
+					return
+				}
+				key := []byte(fmt.Sprintf("w%02d-%06d", s, i))
+				if err := tx.Insert("bench", key, val); err != nil {
+					errs <- err
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return ConcurrentRow{}, err
+	}
+
+	delta := plat.Metrics.Snapshot().Sub(before)
+	elapsed := plat.Clock.Now() - start
+	return ConcurrentRow{
+		Writers:     writers,
+		GroupSize:   group,
+		Txns:        total,
+		BarriersTxn: float64(delta.Count(metrics.PersistBarrier)) / float64(total),
+		Groups:      delta.Count(metrics.GroupCommits),
+		Throughput:  float64(total) / elapsed.Seconds(),
+	}, nil
+}
+
+// BarriersPerTxn returns the measurement for (writers, group), or 0.
+func (r *ConcurrentResult) BarriersPerTxn(writers, group int) float64 {
+	for _, row := range r.Rows {
+		if row.Writers == writers && row.GroupSize == group {
+			return row.BarriersTxn
+		}
+	}
+	return 0
+}
+
+// Print renders the sweep.
+func (r *ConcurrentResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Concurrent group commit (NVWAL UH+LS+Diff, Tuna @ %v NVRAM latency)\n", r.Latency)
+	fmt.Fprintf(w, "%-8s %-6s %-6s %14s %8s %12s\n",
+		"writers", "K", "txns", "barriers/txn", "groups", "txn/sec")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-8d %-6d %-6d %14.2f %8d %12.0f\n",
+			row.Writers, row.GroupSize, row.Txns, row.BarriersTxn, row.Groups, row.Throughput)
+	}
+	fmt.Fprintln(w, "groups of min(writers, K) share one flush batch + one commit-mark persist")
+}

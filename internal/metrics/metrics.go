@@ -38,6 +38,7 @@ const (
 	JournalWrite    = "journal_write"     // EXT4 journal block writes
 	WALFrames       = "wal_frames"        // log frames appended
 	Transactions    = "transactions"      // committed transactions
+	GroupCommits    = "group_commits"     // batched group-commit flushes
 	Checkpoints     = "checkpoints"       // checkpoint rounds
 )
 

@@ -37,6 +37,46 @@ type Journal interface {
 	Checkpoint() error
 }
 
+// GroupJournal is implemented by journals that can persist several
+// transactions' frame sets under a single commit mark — the group
+// commit enabled by Algorithm 1's commit flag: every transaction's
+// frames are logged, but only the final frame carries the commit mark,
+// so one flush batch and one persist barrier cover the whole group.
+// Atomicity coarsens to the group: a crash loses the entire in-flight
+// group, never a prefix of it.
+type GroupJournal interface {
+	Journal
+	// CommitGroup durably logs every group's frames as one atomic unit.
+	// Later groups override earlier ones on the same page.
+	CommitGroup(groups [][]Frame) error
+}
+
+// CoalesceGroups flattens a group commit's per-transaction frame sets
+// into one frame list holding a single image per page, ordered by page
+// number. Because the group persists atomically under one commit mark,
+// intermediate page versions are never visible to recovery — only each
+// page's final image needs logging, and later groups override earlier
+// ones. Journals implementing GroupJournal use this before handing the
+// merged set to their single-transaction path.
+func CoalesceGroups(groups [][]Frame) []Frame {
+	latest := make(map[uint32][]byte)
+	n := 0
+	for _, frames := range groups {
+		for _, fr := range frames {
+			if _, ok := latest[fr.Pgno]; !ok {
+				n++
+			}
+			latest[fr.Pgno] = fr.Data
+		}
+	}
+	out := make([]Frame, 0, n)
+	for pgno, data := range latest {
+		out = append(out, Frame{Pgno: pgno, Data: data})
+	}
+	sortFrames(out)
+	return out
+}
+
 // SnapshotJournal is implemented by journals that can serve point-in-
 // time reads — the WAL property that lets readers proceed against a
 // stable snapshot while the writer appends (SQLite's wal-index "mxFrame"
@@ -296,10 +336,14 @@ func (p *Pager) Begin() {
 // InTransaction reports whether a write transaction is open.
 func (p *Pager) InTransaction() bool { return p.inTxn }
 
-// Commit hands all dirty pages to the journal and ends the transaction.
-func (p *Pager) Commit() error {
+// PrepareCommit collects the transaction's dirty pages as journal
+// frames without ending the transaction. The caller either hands the
+// frames to the journal itself (deferring durability, as group commit
+// does) and then calls FinishCommit, or calls Rollback to abandon the
+// transaction — the pre-images are still intact.
+func (p *Pager) PrepareCommit() ([]Frame, error) {
 	if !p.inTxn {
-		return ErrNoTxn
+		return nil, ErrNoTxn
 	}
 	frames := make([]Frame, 0, len(p.dirty))
 	for pgno := range p.dirty {
@@ -307,9 +351,31 @@ func (p *Pager) Commit() error {
 	}
 	// Deterministic frame order keeps experiments reproducible.
 	sortFrames(frames)
+	return frames, nil
+}
+
+// FinishCommit ends the transaction after its frames have been handed
+// off, discarding the rollback pre-images.
+func (p *Pager) FinishCommit() {
+	if !p.inTxn {
+		return
+	}
+	p.endTxn()
+}
+
+// Commit hands all dirty pages to the journal and ends the transaction.
+// A journal failure rolls the transaction back — every dirtied page is
+// restored to its committed pre-image — so the failed transaction's
+// dirty set can never leak into the next one.
+func (p *Pager) Commit() error {
+	frames, err := p.PrepareCommit()
+	if err != nil {
+		return err
+	}
 	if len(frames) > 0 {
 		if err := p.jrn.CommitTransaction(frames); err != nil {
-			return err
+			p.Rollback()
+			return fmt.Errorf("pager: commit failed, transaction rolled back: %w", err)
 		}
 	}
 	p.endTxn()
@@ -341,6 +407,16 @@ func (p *Pager) endTxn() {
 	p.fresh = make(map[uint32]bool)
 	p.orig = make(map[uint32][]byte)
 	p.inTxn = false
+}
+
+// SetJournal swaps the journal the pager commits through. It exists so
+// fault-injection harnesses can wrap the journal with a failing stub;
+// swapping mid-transaction is a programming error.
+func (p *Pager) SetJournal(jrn Journal) {
+	if p.inTxn {
+		panic("pager: SetJournal inside a transaction")
+	}
+	p.jrn = jrn
 }
 
 // DropCache empties the page cache (after recovery, or to simulate a

@@ -221,7 +221,7 @@ func TestGetPageZeroRejected(t *testing.T) {
 	}
 }
 
-func TestCommitFailurePreservesTxnState(t *testing.T) {
+func TestCommitFailureRollsBack(t *testing.T) {
 	p, j, _ := newPager(t)
 	p.Begin()
 	_, buf, _ := p.Allocate()
@@ -230,13 +230,25 @@ func TestCommitFailurePreservesTxnState(t *testing.T) {
 	if err := p.Commit(); err == nil {
 		t.Fatal("commit did not propagate journal failure")
 	}
-	// The transaction is still open; rollback cleans up.
-	if !p.InTransaction() {
-		t.Fatal("failed commit closed the transaction")
+	// The failed transaction was rolled back: it is closed, its dirty
+	// set is empty, and its page allocation was undone — nothing can
+	// leak into the next transaction.
+	if p.InTransaction() {
+		t.Fatal("failed commit left the transaction open")
 	}
-	p.Rollback()
+	if n := p.DirtyPages(); n != 0 {
+		t.Fatalf("DirtyPages = %d after failed commit, want 0", n)
+	}
 	if n, _ := p.PageCount(); n != 1 {
 		t.Fatalf("PageCount = %d after failed-commit rollback", n)
+	}
+	// The next transaction starts clean and commits nothing extra.
+	p.Begin()
+	if err := p.Commit(); err != nil {
+		t.Fatalf("empty follow-up commit: %v", err)
+	}
+	if j.commits != 1 {
+		t.Fatalf("journal saw %d commits, want only the initial header commit", j.commits)
 	}
 }
 

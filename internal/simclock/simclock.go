@@ -10,15 +10,16 @@ package simclock
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Clock is a monotonically advancing virtual clock. The zero value is
-// ready to use and starts at time zero.
+// ready to use and starts at time zero. All methods are safe for
+// concurrent use; the counter is a single atomic word, so every device
+// on a hot commit path can charge latency without lock contention.
 type Clock struct {
-	mu  sync.Mutex
-	now time.Duration
+	now atomic.Int64 // nanoseconds of virtual time
 }
 
 // New returns a clock starting at virtual time zero.
@@ -27,9 +28,7 @@ func New() *Clock { return &Clock{} }
 // Now returns the current virtual time as a duration since the clock's
 // origin.
 func (c *Clock) Now() time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
+	return time.Duration(c.now.Load())
 }
 
 // Advance moves the clock forward by d. Negative durations are ignored:
@@ -38,17 +37,13 @@ func (c *Clock) Advance(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	c.mu.Lock()
-	c.now += d
-	c.mu.Unlock()
+	c.now.Add(int64(d))
 }
 
 // Reset rewinds the clock to zero. Intended for test and benchmark set-up
 // only; devices sharing the clock must be reset together.
 func (c *Clock) Reset() {
-	c.mu.Lock()
-	c.now = 0
-	c.mu.Unlock()
+	c.now.Store(0)
 }
 
 // Since returns the virtual time elapsed since the given instant.

@@ -313,7 +313,14 @@ func (c *Conn) scanMatches(s *Schema, preds []Pred, fn func(key []byte, row []Va
 		return err
 	}
 	var inner error
-	err = c.d.ScanRange(s.Table, start, end, func(k, v []byte) bool {
+	// Route through the open transaction when there is one: it sees its
+	// own uncommitted writes, and in Concurrent mode a connection-level
+	// scan would wait on the writer slot the transaction itself holds.
+	scan := c.d.ScanRange
+	if c.tx != nil {
+		scan = c.tx.ScanRange
+	}
+	err = scan(s.Table, start, end, func(k, v []byte) bool {
 		row, derr := decodeRow(s, k, v)
 		if derr != nil {
 			inner = derr

@@ -449,3 +449,45 @@ func TestResultStringRendering(t *testing.T) {
 		t.Fatal("Type.String broken")
 	}
 }
+
+// TestExplicitTxnOnConcurrentDB runs statements inside BEGIN/COMMIT on
+// a Concurrent-mode engine. SELECT while the transaction holds the
+// writer slot must route scans through the transaction (db.Tx methods)
+// — going through DB.ScanRange would block on the slot the transaction
+// itself holds.
+func TestExplicitTxnOnConcurrentDB(t *testing.T) {
+	plat, err := platform.NewNexus5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.Open(plat, "csql.db", db.Options{
+		Journal:     db.JournalNVWAL,
+		NVWAL:       core.VariantUHLSDiff(),
+		Concurrent:  true,
+		GroupCommit: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, c, "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT)")
+	mustExec(t, c, "BEGIN")
+	mustExec(t, c, "INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+	r := mustExec(t, c, "SELECT name FROM t WHERE id = 2") // would deadlock pre-fix
+	if len(r.Rows) != 1 || r.Rows[0][0].Str != "b" {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	mustExec(t, c, "UPDATE t SET name = 'bee' WHERE id = 2")
+	r = mustExec(t, c, "SELECT name FROM t")
+	if len(r.Rows) != 2 || r.Rows[1][0].Str != "bee" {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	mustExec(t, c, "COMMIT")
+	r = mustExec(t, c, "SELECT COUNT(*) FROM t")
+	if r.Rows[0][0].Int != 2 {
+		t.Fatalf("count = %v", r.Rows)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc64"
+	"sync"
 
 	"repro/internal/ext4"
 	"repro/internal/metrics"
@@ -77,7 +78,10 @@ type frameInfo struct {
 	commit bool
 }
 
-// WAL is one write-ahead log file. It implements pager.Journal.
+// WAL is one write-ahead log file. It implements pager.Journal,
+// pager.SnapshotJournal and pager.GroupJournal. All methods are safe
+// for concurrent use: snapshot readers share a reader-writer lock that
+// CommitTransaction, CommitGroup and Checkpoint take exclusively.
 type WAL struct {
 	file     *ext4.File
 	db       pager.DBFile
@@ -85,6 +89,8 @@ type WAL struct {
 	opts     Options
 	m        *metrics.Counters
 
+	// mu guards the volatile log index below.
+	mu       sync.RWMutex
 	salt     uint64
 	frames   []frameInfo
 	index    map[uint32]int // pgno -> latest committed frame
@@ -263,6 +269,34 @@ func (w *WAL) recover() error {
 // CommitTransaction implements pager.Journal: append one frame per
 // dirty page, the last carrying the commit mark, then fsync once.
 func (w *WAL) CommitTransaction(frames []pager.Frame) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.commitFrames(frames)
+}
+
+// CommitGroup implements pager.GroupJournal: the groups' frames are
+// coalesced page-wise and appended under a single commit mark, so the
+// whole group shares one fsync. A mid-append failure leaves the frame
+// slots unreferenced (w.frames never advanced); they are simply
+// overwritten by the next commit.
+func (w *WAL) CommitGroup(groups [][]pager.Frame) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	coalesced := pager.CoalesceGroups(groups)
+	if len(coalesced) == 0 {
+		return nil
+	}
+	if err := w.commitFrames(coalesced); err != nil {
+		return err
+	}
+	// commitFrames counted one committed transaction; credit the rest.
+	w.m.Inc(metrics.Transactions, int64(len(groups)-1))
+	w.m.Inc(metrics.GroupCommits, 1)
+	return nil
+}
+
+// commitFrames is CommitTransaction with w.mu held.
+func (w *WAL) commitFrames(frames []pager.Frame) error {
 	if len(frames) == 0 {
 		return nil
 	}
@@ -305,6 +339,12 @@ func (w *WAL) ensurePrealloc(frameCount int) {
 // PageVersion implements pager.Journal: reconstruct the latest committed
 // image of pgno from its newest frame.
 func (w *WAL) PageVersion(pgno uint32) ([]byte, bool) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.pageVersionLocked(pgno)
+}
+
+func (w *WAL) pageVersionLocked(pgno uint32) ([]byte, bool) {
 	i, ok := w.index[pgno]
 	if !ok {
 		return nil, false
@@ -319,15 +359,25 @@ func (w *WAL) PageVersion(pgno uint32) ([]byte, bool) {
 }
 
 // FramesSinceCheckpoint implements pager.Journal.
-func (w *WAL) FramesSinceCheckpoint() int { return len(w.frames) }
+func (w *WAL) FramesSinceCheckpoint() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.frames)
+}
 
 // Mark implements pager.SnapshotJournal: the end of the committed log.
-func (w *WAL) Mark() int { return len(w.frames) }
+func (w *WAL) Mark() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.frames)
+}
 
 // PageVersionAt implements pager.SnapshotJournal: the newest frame for
 // pgno at or before the mark wins (every file-WAL frame is a full page
 // image).
 func (w *WAL) PageVersionAt(pgno uint32, mark int) ([]byte, bool) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	if mark > len(w.frames) {
 		mark = len(w.frames)
 	}
@@ -350,11 +400,13 @@ func (w *WAL) PageVersionAt(pgno uint32, mark int) ([]byte, bool) {
 // committed frame into the database file, fsync it, and reset the log
 // with a fresh salt (§2, §4.3).
 func (w *WAL) Checkpoint() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if len(w.frames) == 0 {
 		return nil
 	}
 	for pgno := range w.index {
-		img, ok := w.PageVersion(pgno)
+		img, ok := w.pageVersionLocked(pgno)
 		if !ok {
 			return fmt.Errorf("wal: lost frame for page %d during checkpoint", pgno)
 		}
