@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,8 +21,9 @@ import (
 
 func main() {
 	txns := flag.Int("txns", 0, "transactions per measurement (0 = experiment default)")
+	jsonOut := flag.String("json", "", "also write the experiment's result as JSON to this file (checkpoint only)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: nvwal-bench [-txns N] table1|table2|fig5|fig6|fig7|fig8|fig9|persistency|prealloc|baselines|cschecksum|groupcommit|concurrent|all")
+		fmt.Fprintln(os.Stderr, "usage: nvwal-bench [-txns N] [-json FILE] table1|table2|fig5|fig6|fig7|fig8|fig9|persistency|prealloc|baselines|cschecksum|groupcommit|concurrent|checkpoint|all")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -29,13 +31,22 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *txns); err != nil {
+	if err := run(flag.Arg(0), *txns, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "nvwal-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name string, txns int) error {
+// writeJSON dumps v indented to path.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func run(name string, txns int, jsonOut string) error {
 	out := os.Stdout
 	switch name {
 	case "table1":
@@ -119,10 +130,21 @@ func run(name string, txns int) error {
 			return err
 		}
 		r.Print(out)
+	case "checkpoint":
+		r, err := experiments.CheckpointStall(txns)
+		if err != nil {
+			return err
+		}
+		r.Print(out)
+		if jsonOut != "" {
+			if err := writeJSON(jsonOut, r); err != nil {
+				return err
+			}
+		}
 	case "all":
-		for _, sub := range []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "persistency", "prealloc", "baselines", "cschecksum", "groupcommit", "concurrent"} {
+		for _, sub := range []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "persistency", "prealloc", "baselines", "cschecksum", "groupcommit", "concurrent", "checkpoint"} {
 			fmt.Fprintf(out, "==== %s ====\n", sub)
-			if err := run(sub, txns); err != nil {
+			if err := run(sub, txns, jsonOut); err != nil {
 				return err
 			}
 			fmt.Fprintln(out)

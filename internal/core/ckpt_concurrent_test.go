@@ -1,0 +1,181 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/pager"
+)
+
+// TestCommitsProceedDuringBackfill drives the tentpole property with
+// real goroutines (so the race detector sees the interleaving): a
+// writer commits transactions while the checkpoint's phase B writeback
+// is in flight, and both the frozen generation and the overlapping
+// commits survive into the post-checkpoint state.
+func TestCommitsProceedDuringBackfill(t *testing.T) {
+	e := newEnv(t)
+	cfg := VariantUHLSDiff()
+	w := e.open(t, cfg)
+
+	expect := make(map[uint32][]byte)
+	for i := 0; i < 4; i++ {
+		pgno := uint32(2 + i)
+		img := fullPage(byte(0x50 + i))
+		commitPages(t, w, map[uint32][]byte{pgno: img})
+		expect[pgno] = img
+	}
+
+	// The hook parks the checkpointer inside phase B (no lock held) and
+	// waits for the writer goroutine to land a commit — a deterministic
+	// overlap, not a sleep-and-hope race.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	w.SetCrashHook(func(s string) {
+		if s == StepCkptAfterPages {
+			close(entered)
+			<-release
+		}
+	})
+	overlap2 := patchedPage(expect[2], 1000, 80, 0x66)
+	overlap7 := fullPage(0x67)
+	commitDone := make(chan error, 1)
+	go func() {
+		<-entered
+		commitDone <- w.CommitTransaction([]pager.Frame{
+			{Pgno: 2, Data: overlap2},
+			{Pgno: 7, Data: overlap7},
+		})
+		close(release)
+	}()
+	if err := w.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	w.SetCrashHook(nil)
+	if err := <-commitDone; err != nil {
+		t.Fatalf("overlapping commit: %v", err)
+	}
+	expect[2] = overlap2
+	expect[7] = overlap7
+
+	// The overlapping frames were carried past the watermark: they are
+	// still in the log, and every page reads back current.
+	if w.FramesSinceCheckpoint() == 0 {
+		t.Fatal("overlapping commit's frames were dropped by the checkpoint")
+	}
+	for pgno, img := range expect {
+		v, ok := w.PageVersion(pgno)
+		if !ok || !bytes.Equal(v, img) {
+			t.Fatalf("page %d wrong after overlapped checkpoint", pgno)
+		}
+	}
+	// A second round drains the carried-over frames.
+	if err := w.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if n := w.FramesSinceCheckpoint(); n != 0 {
+		t.Fatalf("frames after second checkpoint = %d, want 0", n)
+	}
+	for pgno, img := range expect {
+		buf := make([]byte, 4096)
+		if err := e.db.ReadPage(pgno, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, img) {
+			t.Fatalf("database file stale for page %d after full drain", pgno)
+		}
+	}
+}
+
+// TestReaderMarkSurvivesCheckpoint pins a snapshot mark taken while a
+// checkpoint's phase B is parked, then verifies PageVersionAt at that
+// mark still resolves after the round completes — the watermark
+// carried the reader's frames.
+func TestReaderMarkSurvivesCheckpoint(t *testing.T) {
+	e := newEnv(t)
+	w := e.open(t, VariantUHLSDiff())
+
+	img1 := fullPage(0x11)
+	commitPages(t, w, map[uint32][]byte{2: img1})
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	w.SetCrashHook(func(s string) {
+		if s == StepCkptAfterPages {
+			close(entered)
+			<-release
+		}
+	})
+	type markRead struct {
+		mark int
+		img  []byte
+		ok   bool
+	}
+	got := make(chan markRead, 1)
+	go func() {
+		<-entered
+		// Reader opens mid-checkpoint: its mark covers the frozen
+		// generation's frames plus nothing new.
+		mark := w.Mark()
+		close(release)
+		v, ok := w.PageVersionAt(2, mark)
+		got <- markRead{mark, v, ok}
+	}()
+	if err := w.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	w.SetCrashHook(nil)
+	r := <-got
+	if r.ok && !bytes.Equal(r.img, img1) {
+		t.Fatal("mid-checkpoint read returned a wrong image")
+	}
+	// After the round, the same mark must still resolve correctly:
+	// either from surviving frames, or as a miss whose database-file
+	// fallback the backfill made exact.
+	v, ok := w.PageVersionAt(2, r.mark)
+	if !ok {
+		v = make([]byte, 4096)
+		if err := e.db.ReadPage(2, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(v, img1) {
+		t.Fatal("reader's mark invalidated by the checkpoint round")
+	}
+}
+
+// BenchmarkPageVersionAt shows the per-page index at work: resolving a
+// page with a fixed number of its own frames costs the same whether the
+// rest of the log holds 64 or 4096 unrelated frames. Before the index,
+// PageVersionAt scanned the whole history and the large case was ~64x
+// slower.
+func BenchmarkPageVersionAt(b *testing.B) {
+	for _, unrelated := range []int{64, 1024, 4096} {
+		b.Run(fmt.Sprintf("unrelated=%d", unrelated), func(b *testing.B) {
+			e := newEnv(b)
+			w := e.open(b, VariantUHLSDiff())
+
+			target := fullPage(0xAA)
+			commitPages(b, w, map[uint32][]byte{2: target})
+			for i := 0; i < 8; i++ {
+				target = patchedPage(target, (i*97)%4000, 32, byte(i))
+				commitPages(b, w, map[uint32][]byte{2: target})
+			}
+			// Unrelated churn on other pages, small diffs to keep the
+			// log within the simulated device.
+			base := fullPage(0xBB)
+			commitPages(b, w, map[uint32][]byte{3: base})
+			for i := 0; i < unrelated; i++ {
+				base = patchedPage(base, (i*131)%4000, 24, byte(i))
+				commitPages(b, w, map[uint32][]byte{3: base})
+			}
+			mark := w.Mark()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := w.PageVersionAt(2, mark); !ok {
+					b.Fatal("target page missing")
+				}
+			}
+		})
+	}
+}

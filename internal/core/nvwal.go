@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/heapo"
 	"repro/internal/metrics"
@@ -136,9 +138,17 @@ func (c Config) Label() string {
 //	[0:8)   magic
 //	[8:12)  page size
 //	[12:16) format version
-//	[16:24) checkpoint id (salt) — incremented by every checkpoint so
-//	        stale frames in recycled blocks can never validate
+//	[16:24) checkpoint id (salt) of the live generation — incremented by
+//	        every checkpoint so stale frames in recycled blocks can
+//	        never validate
 //	[24:32) first log block address (0 = empty log)
+//	[32:40) checkpoint record: first block of the generation frozen by
+//	        an in-flight incremental checkpoint (0 = none)
+//	[40:48) checkpoint record: the frozen generation's salt
+//	[48:56) checkpoint record: phase — ckptBackfilling while its pages
+//	        may not be durable in the database file yet (recovery must
+//	        replay the frozen generation), ckptFreeing once they are
+//	        (recovery only frees the frozen blocks)
 //
 // Log block (BlockSize bytes from the user heap, or a per-frame block):
 //
@@ -150,21 +160,36 @@ func (c Config) Label() string {
 //	[0:8)   commit mark — written last, 8-byte-atomically (§4.1)
 //	[8:16)  checkpoint id (salt)
 //	[16:20) page number
-//	[20:24) in-page offset
+//	[20:24) in-page offset; bit 31 flags a full frame (replay resets
+//	        the page to zero before applying the payload, which has its
+//	        trailing clean bytes truncated — without the flag, recovery
+//	        over a database-file base could resurrect stale tail bytes)
 //	[24:28) frame (payload) size
 //	[28:32) chained CRC32 over [8:28) plus payload
 const (
 	headerMagic     = 0x4E56_5741_4C48_4452 // "NVWALHDR"
-	formatVersion   = 1
+	formatVersion   = 2
 	hdrPageSizeOff  = 8
 	hdrVersionOff   = 12
 	hdrSaltOff      = 16
 	hdrFirstBlkOff  = 24
+	hdrCkptBlkOff   = 32
+	hdrCkptSaltOff  = 40
+	hdrCkptStateOff = 48
 	headerBlockSize = 4096
 
 	blockLinkSize = 8
 	frameHdrSize  = 32
 	commitValue   = 1
+
+	offFullFlag = uint32(1) << 31
+)
+
+// Checkpoint record phases.
+const (
+	ckptNone        = 0
+	ckptBackfilling = 1
+	ckptFreeing     = 2
 )
 
 // RecommendedPageReserve is the per-page tail reserve the database
@@ -200,11 +225,32 @@ type frameRef struct {
 }
 
 // histFrame is the in-DRAM record of one logged frame, kept for
-// snapshot reads.
+// snapshot reads. A full frame resets the page to zero before its
+// payload applies; a differential frame patches the prior image.
 type histFrame struct {
 	pgno    uint32
 	off     int
+	full    bool
 	payload []byte
+}
+
+// ckptState is one in-flight incremental checkpoint round: the frozen
+// generation's identity and the page images at its watermark. It is
+// built under w.mu in phase A and owned by the single checkpointer
+// (serialized by w.ckptMu) afterwards.
+type ckptState struct {
+	watermark int               // absolute frame index the round covers
+	pages     map[uint32][]byte // images at the watermark (shared, immutable)
+	blocks    []heapo.Block     // the frozen generation's chain, head first
+	salt      uint64            // the frozen generation's salt
+	synced    bool              // phase B done: pages durable in the DB file
+}
+
+func (st *ckptState) firstAddr() uint64 {
+	if len(st.blocks) == 0 {
+		return 0
+	}
+	return st.blocks[0].Addr
 }
 
 // NVWAL is a write-ahead log in NVRAM. It implements pager.Journal,
@@ -225,10 +271,18 @@ type NVWAL struct {
 	headerAddr uint64
 	salt       uint64
 
-	// mu guards the volatile state below. Writers (WriteFrames,
-	// Checkpoint) take it exclusively; the read-only views (PageVersion,
-	// PageVersionAt, Mark, FramesSinceCheckpoint, Blocks) share it.
+	// mu guards the volatile state below. Writers (WriteFrames, the
+	// checkpoint's short critical sections) take it exclusively; the
+	// read-only views (PageVersion, PageVersionAt, Mark,
+	// FramesSinceCheckpoint, Blocks) share it. The checkpoint's page
+	// writeback and fsync run with mu RELEASED — that is the point of
+	// the incremental protocol.
 	mu sync.RWMutex
+	// ckptMu serializes checkpointers against each other (background
+	// goroutine vs. an explicit Checkpoint call) without ever blocking
+	// writers. Order: ckptMu before mu; mu is never held while taking
+	// ckptMu.
+	ckptMu sync.Mutex
 	// broken latches the first WriteFrames error. The NVRAM log is
 	// append-only — a half-written frame cannot be overwritten like a
 	// file WAL slot — so continuing to append after a failure would
@@ -237,14 +291,27 @@ type NVWAL struct {
 	broken error
 
 	// Volatile state, rebuilt by recovery (the wal-index analogue).
-	blocks   []heapo.Block // log block chain in order
+	blocks   []heapo.Block // live generation's block chain in order
 	tailUsed int           // bytes used in the tail block (including link)
 	chain    uint32        // running frame checksum
-	frames   int           // committed frames since checkpoint
 	versions map[uint32][]byte
-	// history records every logged frame (page, offset, payload) so
-	// snapshot readers can reconstruct any page as of a frame mark.
-	history []histFrame
+	// history records the frames not yet backfilled into the database
+	// file; history[i] is absolute frame histBase+i. histBase is the
+	// backfill watermark (SQLite's nBackfill): marks below it are
+	// invalid, which the database layer's reader gate guarantees.
+	history  []histFrame
+	histBase int
+	// byPage indexes history by page: ascending absolute frame indices.
+	// It is the per-page wal-index that makes PageVersionAt
+	// O(frames-for-that-page) instead of O(total history).
+	byPage map[uint32][]int
+	// base holds, for pages whose first unbackfilled frame is
+	// differential, the image that frame patches (the page's state at
+	// the frame's append time). Pages whose first frame is full need no
+	// base; replay starts from zero.
+	base map[uint32][]byte
+	// ckpt is the in-flight incremental checkpoint round, nil when none.
+	ckpt *ckptState
 
 	// hook, when non-nil, is invoked at named protocol steps so the
 	// crash-injection tests can fail power at every point of Algorithm 1
@@ -262,11 +329,13 @@ const (
 	StepAfterLogFlush    = "after_log_flush"      // line 28
 	StepAfterCommitWrite = "after_commit_write"   // line 31 (before flush)
 	StepAfterCommitFlush = "after_commit_persist" // line 35
-	StepCkptAfterPages   = "ckpt_after_pages"     // pages written, not synced
-	StepCkptAfterSync    = "ckpt_after_sync"      // db file durable
-	StepCkptAfterSalt    = "ckpt_after_salt"      // log logically empty, blocks live
-	StepCkptMidFree      = "ckpt_mid_free"        // some blocks freed
-	StepCkptAfterFree    = "ckpt_after_free"      // all blocks freed, header stale
+	StepCkptAfterRecord  = "ckpt_after_record"    // A1: record persisted, old generation still live
+	StepCkptAfterSalt    = "ckpt_after_salt"      // A2: new generation open, commits proceed
+	StepCkptAfterPages   = "ckpt_after_pages"     // B: pages written, not synced (no lock held)
+	StepCkptAfterSync    = "ckpt_after_sync"      // B: db file durable (no lock held)
+	StepCkptAfterState   = "ckpt_after_state"     // C1: record flipped to freeing
+	StepCkptMidFree      = "ckpt_mid_free"        // C2: some frozen blocks freed
+	StepCkptAfterFree    = "ckpt_after_free"      // C2: all frozen blocks freed, record stale
 )
 
 func (w *NVWAL) step(name string) {
@@ -289,9 +358,14 @@ func WriteSteps() []string {
 	}
 }
 
-// CheckpointSteps lists the checkpoint injection points.
+// CheckpointSteps lists the checkpoint injection points in execution
+// order (phase A record/handoff, phase B writeback, phase C free).
 func CheckpointSteps() []string {
-	return []string{StepCkptAfterPages, StepCkptAfterSync, StepCkptAfterSalt, StepCkptMidFree, StepCkptAfterFree}
+	return []string{
+		StepCkptAfterRecord, StepCkptAfterSalt,
+		StepCkptAfterPages, StepCkptAfterSync,
+		StepCkptAfterState, StepCkptMidFree, StepCkptAfterFree,
+	}
 }
 
 // Open attaches to (or creates) the NVWAL registered under cfg.Name in
@@ -314,6 +388,8 @@ func Open(h *heapo.Manager, db pager.DBFile, cfg Config, m *metrics.Counters) (*
 		m:        m,
 		pageSize: db.PageSize(),
 		versions: make(map[uint32][]byte),
+		byPage:   make(map[uint32][]int),
+		base:     make(map[uint32][]byte),
 	}
 	if addr, ok := h.GetRoot(cfg.Name); ok {
 		w.headerAddr = addr
@@ -329,6 +405,9 @@ func Open(h *heapo.Manager, db pager.DBFile, cfg Config, m *metrics.Counters) (*
 	w.headerAddr = blk.Addr
 	w.salt = 1
 	w.writeHeader()
+	// The freshly allocated header block may carry stale content from a
+	// previous life; the checkpoint record must read as "none".
+	w.writeCkptRecord(0, 0, ckptNone)
 	if err := h.SetRoot(cfg.Name, blk.Addr); err != nil {
 		return nil, err
 	}
@@ -364,7 +443,7 @@ func (w *NVWAL) persistRange(addr uint64, n int) {
 	w.dev.PersistBarrier()
 }
 
-// writeHeader persists the header block fields.
+// writeHeader persists the header block's live-generation fields.
 func (w *NVWAL) writeHeader() {
 	w.dev.PutUint64(w.headerAddr, headerMagic)
 	w.dev.PutUint32(w.headerAddr+hdrPageSizeOff, uint32(w.pageSize))
@@ -372,6 +451,16 @@ func (w *NVWAL) writeHeader() {
 	w.dev.PutUint64(w.headerAddr+hdrSaltOff, w.salt)
 	w.dev.PutUint64(w.headerAddr+hdrFirstBlkOff, w.firstBlockAddr())
 	w.persistRange(w.headerAddr, 32)
+}
+
+// writeCkptRecord persists the checkpoint record atomically enough for
+// the recovery state machine: the phase field is what recovery
+// dispatches on, and every transition writes all three fields.
+func (w *NVWAL) writeCkptRecord(firstBlk, salt, phase uint64) {
+	w.dev.PutUint64(w.headerAddr+hdrCkptBlkOff, firstBlk)
+	w.dev.PutUint64(w.headerAddr+hdrCkptSaltOff, salt)
+	w.dev.PutUint64(w.headerAddr+hdrCkptStateOff, phase)
+	w.persistRange(w.headerAddr+hdrCkptBlkOff, 24)
 }
 
 func (w *NVWAL) firstBlockAddr() uint64 {
@@ -478,19 +567,36 @@ func (w *NVWAL) allocFrameSpace(size, groupTotal int) (uint64, error) {
 }
 
 // encodeFrame builds the frame image (header + payload) with the commit
-// mark clear and advances the checksum chain.
-func (w *NVWAL) encodeFrame(pgno uint32, off int, payload []byte, prev uint32) ([]byte, uint32) {
+// mark clear and advances the checksum chain. full marks a frame whose
+// replay must reset the page to zero first (§3.2 truncated full page).
+func (w *NVWAL) encodeFrame(pgno uint32, off int, payload []byte, prev uint32, full bool) ([]byte, uint32) {
 	buf := make([]byte, frameHdrSize+len(payload))
 	binary.LittleEndian.PutUint64(buf[0:], 0) // commit mark written later
 	binary.LittleEndian.PutUint64(buf[8:], w.salt)
 	binary.LittleEndian.PutUint32(buf[16:], pgno)
-	binary.LittleEndian.PutUint32(buf[20:], uint32(off))
+	offWord := uint32(off)
+	if full {
+		offWord |= offFullFlag
+	}
+	binary.LittleEndian.PutUint32(buf[20:], offWord)
 	binary.LittleEndian.PutUint32(buf[24:], uint32(len(payload)))
 	copy(buf[frameHdrSize:], payload)
 	sum := crc32.Update(prev, crcTab, buf[8:28])
 	sum = crc32.Update(sum, crcTab, payload)
 	binary.LittleEndian.PutUint32(buf[28:], sum)
 	return buf, sum
+}
+
+// lockWriter takes the exclusive writer lock, charging the wait to the
+// commit-stall metric — the stall the incremental checkpoint exists to
+// shrink (wall time, not virtual: the simulated clock does not advance
+// while a goroutine merely waits on a mutex).
+func (w *NVWAL) lockWriter() {
+	start := time.Now()
+	w.mu.Lock()
+	if d := time.Since(start); d > 0 {
+		w.m.Inc(metrics.CommitStallNanos, d.Nanoseconds())
+	}
 }
 
 // CommitTransaction implements pager.Journal.
@@ -504,7 +610,7 @@ func (w *NVWAL) CommitTransaction(frames []pager.Frame) error {
 // single Algorithm 1 sequence — one flush batch, one persist barrier,
 // one commit-mark persist for the whole group.
 func (w *NVWAL) CommitGroup(groups [][]pager.Frame) error {
-	w.mu.Lock()
+	w.lockWriter()
 	defer w.mu.Unlock()
 	coalesced := pager.CoalesceGroups(groups)
 	if len(coalesced) == 0 {
@@ -524,7 +630,7 @@ func (w *NVWAL) CommitGroup(groups [][]pager.Frame) error {
 // dirty pages, enforce the transaction-aware persistency guarantee, and
 // — when commit is set — write and persist the commit mark.
 func (w *NVWAL) WriteFrames(frames []pager.Frame, commit bool) error {
-	w.mu.Lock()
+	w.lockWriter()
 	defer w.mu.Unlock()
 	return w.writeFrames(frames, commit)
 }
@@ -556,7 +662,10 @@ func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
 		}
 		// First-touch pages log a "full" frame; its trailing clean
 		// (zero) region is truncated per §3.2 so early-split pages fit
-		// the user-heap block layout.
+		// the user-heap block layout. Replay of a full frame resets the
+		// page to zero first, so the truncation can never resurrect
+		// stale tail bytes from an older database-file image.
+		full := true
 		extents := []Extent{{Off: 0, Len: w.pageSize - trailingZeros(fr.Data)}}
 		if extents[0].Len == 0 {
 			extents[0].Len = 8 // all-zero page: log a minimal frame
@@ -564,6 +673,7 @@ func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
 		if old, ok := w.versions[fr.Pgno]; ok && w.cfg.Differential {
 			// §3.2: the page already has frames in the log, so only the
 			// differences need to be logged.
+			full = false
 			extents = diffExtents(old, fr.Data, w.cfg.GapMerge)
 			if len(extents) == 0 {
 				// Identical image (e.g. a page dirtied and restored);
@@ -585,7 +695,7 @@ func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
 		}
 		for _, e := range extents {
 			payload := fr.Data[e.Off : e.Off+e.Len]
-			buf, next := w.encodeFrame(fr.Pgno, e.Off, payload, chain)
+			buf, next := w.encodeFrame(fr.Pgno, e.Off, payload, chain, full)
 			addr, err := w.allocFrameSpace(len(buf), groupTotal)
 			if err != nil {
 				return err
@@ -609,7 +719,7 @@ func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
 			written = append(written, frameRef{addr: addr, size: len(buf), pgno: fr.Pgno})
 			pl := make([]byte, len(payload))
 			copy(pl, payload)
-			hist = append(hist, histFrame{pgno: fr.Pgno, off: e.Off, payload: pl})
+			hist = append(hist, histFrame{pgno: fr.Pgno, off: e.Off, full: full, payload: pl})
 			chain = next
 			w.m.Inc(MetricLoggedBytes, int64(len(buf)))
 		}
@@ -658,8 +768,17 @@ func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
 	}
 
 	w.chain = chain
-	w.frames += len(written)
-	w.history = append(w.history, hist...)
+	for _, f := range hist {
+		if _, tracked := w.byPage[f.pgno]; !tracked && !f.full {
+			// The page's first unbackfilled frame is differential: record
+			// the image it patches (the pre-transaction version, which a
+			// completed checkpoint round has made durable). Version images
+			// are replaced wholesale, never mutated, so sharing is safe.
+			w.base[f.pgno] = w.versions[f.pgno]
+		}
+		w.byPage[f.pgno] = append(w.byPage[f.pgno], w.histBase+len(w.history))
+		w.history = append(w.history, f)
+	}
 	for pgno, img := range newVersions {
 		w.versions[pgno] = img
 	}
@@ -683,67 +802,183 @@ func (w *NVWAL) PageVersion(pgno uint32) ([]byte, bool) {
 	return out, true
 }
 
-// FramesSinceCheckpoint implements pager.Journal.
+// PageVersionInto implements pager.PageVersionInto: like PageVersion,
+// but copies the latest image straight into the caller's buffer,
+// skipping the intermediate allocation on the pager's read path.
+func (w *NVWAL) PageVersionInto(pgno uint32, buf []byte) bool {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	img, ok := w.versions[pgno]
+	if !ok {
+		return false
+	}
+	copy(buf, img)
+	return true
+}
+
+// FramesSinceCheckpoint implements pager.Journal: the count of frames
+// not yet backfilled into the database file.
 func (w *NVWAL) FramesSinceCheckpoint() int {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
-	return w.frames
+	return len(w.history)
 }
 
-// Mark implements pager.SnapshotJournal.
+// Mark implements pager.SnapshotJournal. Marks are absolute frame
+// indices and grow monotonically across checkpoints; the database
+// layer's reader gate keeps every open mark at or above the backfill
+// watermark, so the frames a mark needs are always still indexed.
 func (w *NVWAL) Mark() int {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
-	return w.frames
+	return w.histBase + len(w.history)
 }
 
 // PageVersionAt implements pager.SnapshotJournal: replay pgno's frames
-// up to the mark (the first one is always a full frame, §3.3 rule, so
-// reconstruction starts from a zero image).
+// below the mark, found through the per-page index — O(frames for this
+// page), independent of other pages' history. Replay starts from the
+// recorded base image when the page's first unbackfilled frame is
+// differential, or from zero otherwise; a full frame resets the image
+// before its payload applies.
 func (w *NVWAL) PageVersionAt(pgno uint32, mark int) ([]byte, bool) {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
-	if mark > len(w.history) {
-		mark = len(w.history)
+	idxs := w.byPage[pgno]
+	n := sort.SearchInts(idxs, mark)
+	if n == 0 {
+		// No frame for this page below the mark: its image at the mark
+		// is whatever the database file holds (the caller falls back).
+		return nil, false
 	}
-	var img []byte
-	for i := 0; i < mark; i++ {
-		f := w.history[i]
-		if f.pgno != pgno {
-			continue
-		}
-		if img == nil {
-			img = make([]byte, w.pageSize)
+	img := make([]byte, w.pageSize)
+	if base, ok := w.base[pgno]; ok {
+		copy(img, base)
+	}
+	for _, abs := range idxs[:n] {
+		f := w.history[abs-w.histBase]
+		if f.full {
+			for i := range img {
+				img[i] = 0
+			}
 		}
 		applyExtent(img, f.off, f.payload)
-	}
-	if img == nil {
-		return nil, false
 	}
 	return img, true
 }
 
-// Checkpoint implements pager.Journal: reconstructed dirty pages are
-// flushed to the database file, then the log is emptied (§4.3). The
-// crash-safe ordering is:
+// Checkpoint implements pager.Journal as a blocking alias: one full
+// incremental round with no reader gate.
+func (w *NVWAL) Checkpoint() error { return w.CheckpointIncremental(nil) }
+
+// CheckpointIncremental implements pager.IncrementalJournal: one round
+// of the non-blocking checkpoint pipeline (§4.3 made incremental).
 //
-//  1. write every page's latest image to the database file and fsync —
-//     a crash before this completes leaves the whole log intact, and
-//     recovery replays it;
-//  2. advance the checkpoint id (salt) in the header — every frame is
-//     now logically invalid, so a later crash can never serve stale
-//     log versions that would shadow the newer database file;
-//  3. free the NVRAM blocks from the end of the list to the beginning —
-//     a crash mid-way leaves a chain of in-use blocks with no valid
-//     frames, which recovery walks and frees (no leak), or a dangling
-//     reference to an already-freed block, which recovery clears.
-func (w *NVWAL) Checkpoint() error {
+// Phase A (short w.mu critical section): persist a checkpoint record
+// naming the current generation, then bump the salt and hand the block
+// chain off to the round — commits proceed into the new generation
+// immediately, and frames they log are carried over to the next round
+// instead of lost (the backfill-watermark protocol, SQLite's nBackfill).
+//
+// Phase B (no lock): write the frozen images to the database file and
+// fsync while the writer keeps appending.
+//
+// Phase C (short w.mu critical section): flip the record to "freeing",
+// release the frozen NVRAM blocks (to the heap's recycle pool under
+// UserHeap), retire the record, and drop the backfilled prefix from the
+// volatile per-page index.
+//
+// gate, when non-nil, is consulted with the candidate watermark before
+// the round freezes anything; returning false aborts the round with
+// pager.ErrCheckpointPending. The database layer uses it to keep open
+// snapshot readers' marks valid.
+func (w *NVWAL) CheckpointIncremental(gate func(watermark int) bool) error {
+	w.ckptMu.Lock()
+	defer w.ckptMu.Unlock()
+	st, err := w.beginCheckpoint(gate)
+	if err != nil || st == nil {
+		return err
+	}
+	if err := w.backfill(st); err != nil {
+		return err
+	}
+	return w.completeCheckpoint(st)
+}
+
+// beginCheckpoint runs phase A and returns the round's state, or
+// (nil, nil) when the log has nothing to backfill. Called with w.ckptMu
+// held.
+func (w *NVWAL) beginCheckpoint(gate func(watermark int) bool) (*ckptState, error) {
 	w.mu.Lock()
+	if st := w.ckpt; st != nil {
+		// Resume a round a previous call left half-done (a database-file
+		// write error during backfill). Its watermark was gated when the
+		// round froze it, and marks only grow, so no re-check is needed.
+		w.mu.Unlock()
+		return st, nil
+	}
+	if len(w.history) == 0 {
+		w.mu.Unlock()
+		return nil, nil
+	}
+	w.mu.Unlock()
+
+	// Consult the gate without w.mu held — the database layer takes its
+	// reader-registry lock inside, and readers hold that lock while
+	// calling Mark. Re-validate under w.mu and retry if a commit slipped
+	// in between: the snapshot below captures images at the CURRENT
+	// mark, so the gated watermark must match it exactly.
+	for attempt := 0; ; attempt++ {
+		end := w.Mark()
+		if gate != nil && !gate(end) {
+			return nil, pager.ErrCheckpointPending
+		}
+		w.mu.Lock()
+		if w.histBase+len(w.history) == end {
+			break
+		}
+		w.mu.Unlock()
+		if attempt >= 8 {
+			// A writer burst keeps moving the mark; let the caller retry.
+			return nil, pager.ErrCheckpointPending
+		}
+	}
 	defer w.mu.Unlock()
-	if w.frames == 0 {
+
+	st := &ckptState{
+		watermark: w.histBase + len(w.history),
+		pages:     make(map[uint32][]byte, len(w.byPage)),
+		blocks:    w.blocks,
+		salt:      w.salt,
+	}
+	for pgno := range w.byPage {
+		// Images at the watermark; shared, not copied — version images
+		// are replaced wholesale on commit, never mutated in place.
+		st.pages[pgno] = w.versions[pgno]
+	}
+	// A1: persist the record naming the generation about to freeze. A
+	// crash here is detected by ckptSalt == live salt and ignored.
+	w.writeCkptRecord(w.firstBlockAddr(), w.salt, ckptBackfilling)
+	w.step(StepCkptAfterRecord)
+	// A2: open the new generation. The salt bump fences every frozen
+	// frame; commits proceed into the fresh chain immediately.
+	w.salt++
+	w.blocks = nil
+	w.tailUsed = 0
+	w.chain = chainSeed(w.salt)
+	w.writeHeader()
+	w.ckpt = st
+	w.step(StepCkptAfterSalt)
+	return st, nil
+}
+
+// backfill runs phase B — the expensive page writeback + fsync — with
+// no lock held: commits and snapshot reads proceed concurrently.
+func (w *NVWAL) backfill(st *ckptState) error {
+	if st.synced {
 		return nil
 	}
-	for pgno, img := range w.versions {
+	start := time.Now()
+	for pgno, img := range st.pages {
 		if err := w.db.WritePage(pgno, img); err != nil {
 			return err
 		}
@@ -752,28 +987,66 @@ func (w *NVWAL) Checkpoint() error {
 	if err := w.db.Sync(); err != nil {
 		return err
 	}
+	st.synced = true
+	w.m.Inc(metrics.CheckpointPages, int64(len(st.pages)))
+	w.m.Inc(metrics.CheckpointNanos, time.Since(start).Nanoseconds())
 	w.step(StepCkptAfterSync)
-	// The header keeps referencing the chain so a post-crash recovery
-	// can find and free the blocks; the new salt fences their frames.
-	w.salt++
-	w.writeHeader()
-	w.step(StepCkptAfterSalt)
-	for i := len(w.blocks) - 1; i >= 0; i-- {
-		if err := w.heap.NVFree(w.blocks[i]); err != nil {
-			return err
+	return nil
+}
+
+// completeCheckpoint runs phase C: free the frozen generation and drop
+// the backfilled prefix from the volatile index. Frees are NVRAM
+// metadata writes (no block I/O), so the critical section stays short.
+func (w *NVWAL) completeCheckpoint(st *ckptState) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// C1: the images are durable — recovery no longer needs the frozen
+	// frames, only to finish freeing their blocks.
+	w.writeCkptRecord(st.firstAddr(), st.salt, ckptFreeing)
+	w.step(StepCkptAfterState)
+	// C2: free tail-first so recovery's head-first walk always sees a
+	// valid chain prefix; trim st.blocks as they go so an interrupted
+	// round resumed later cannot double-free. Frees are best-effort —
+	// a leaked block is reclaimable, a blocked checkpoint is not.
+	half := len(st.blocks) / 2
+	for i := len(st.blocks) - 1; i >= 0; i-- {
+		blk := st.blocks[i]
+		if w.cfg.UserHeap {
+			_ = w.heap.Recycle(blk)
+		} else {
+			_ = w.heap.NVFree(blk)
 		}
-		if i == len(w.blocks)/2 {
+		st.blocks = st.blocks[:i]
+		if i == half && half > 0 {
 			w.step(StepCkptMidFree)
 		}
 	}
 	w.step(StepCkptAfterFree)
-	w.blocks = nil
-	w.tailUsed = 0
-	w.writeHeader() // clears the first-block pointer
-	w.chain = chainSeed(w.salt)
-	w.frames = 0
-	w.versions = make(map[uint32][]byte)
-	w.history = nil
+	// C3: retire the record, then advance the backfill watermark.
+	w.writeCkptRecord(0, 0, ckptNone)
+	w.history = append([]histFrame(nil), w.history[st.watermark-w.histBase:]...)
+	w.histBase = st.watermark
+	for pgno, idxs := range w.byPage {
+		cut := sort.SearchInts(idxs, st.watermark)
+		if cut == 0 {
+			continue
+		}
+		if cut == len(idxs) {
+			delete(w.byPage, pgno)
+			delete(w.base, pgno)
+			continue
+		}
+		w.byPage[pgno] = append([]int(nil), idxs[cut:]...)
+		// The surviving frames now replay on top of the image this round
+		// just made durable (the page's state at the watermark) — the
+		// append-time base below the watermark is gone from history.
+		if w.history[w.byPage[pgno][0]-w.histBase].full {
+			delete(w.base, pgno)
+		} else {
+			w.base[pgno] = st.pages[pgno]
+		}
+	}
+	w.ckpt = nil
 	w.m.Inc(metrics.Checkpoints, 1)
 	return nil
 }
@@ -781,10 +1054,15 @@ func (w *NVWAL) Checkpoint() error {
 // Config returns the effective configuration.
 func (w *NVWAL) Config() Config { return w.cfg }
 
-// Blocks reports the number of live NVRAM log blocks (for the §3.3
-// frames-per-block statistic).
+// Blocks reports the number of live NVRAM log blocks, including a
+// frozen generation an in-flight checkpoint round has not freed yet
+// (for the §3.3 frames-per-block statistic).
 func (w *NVWAL) Blocks() int {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
-	return len(w.blocks)
+	n := len(w.blocks)
+	if w.ckpt != nil {
+		n += len(w.ckpt.blocks)
+	}
+	return n
 }

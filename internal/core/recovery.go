@@ -6,14 +6,19 @@ import (
 	"hash/crc32"
 
 	"repro/internal/heapo"
+	"repro/internal/metrics"
 )
 
 // scannedFrame is one frame parsed out of NVRAM during recovery.
 type scannedFrame struct {
 	pgno    uint32
 	off     int
+	full    bool
 	payload []byte
 	commit  bool
+	// chain value after this frame, for restoring w.chain at the
+	// resume point.
+	chainAfter uint32
 	// position of the frame header, for locating the resume point
 	blockIdx int
 	blockOff int
@@ -32,6 +37,19 @@ type scannedFrame struct {
 //     never committed and are discarded; blocks holding only such frames
 //     are freed.
 //
+// On top of that, the header's checkpoint record drives the incremental
+// checkpoint state machine:
+//
+//   - record salt == live salt: power failed between persisting the
+//     record (A1) and opening the new generation (A2); nothing was
+//     frozen, so the record is retired and recovery proceeds normally;
+//   - phase "freeing": the frozen generation's pages are already durable
+//     in the database file; recovery only finishes freeing its blocks;
+//   - phase "backfilling": the frozen generation's committed frames are
+//     replayed (they are all below the interrupted round's watermark),
+//     then the live generation on top, and the round is completed
+//     synchronously — backfill, free, retire.
+//
 // Recovery is also what gives the asynchronous-commit mode (§4.2) its
 // semantics: a commit mark whose transaction has a torn (checksum-
 // mismatched) frame invalidates the whole transaction.
@@ -44,49 +62,54 @@ func (w *NVWAL) recover() error {
 			w.dev.Uint32(w.headerAddr+hdrPageSizeOff), w.pageSize)
 	}
 	w.salt = w.dev.Uint64(w.headerAddr + hdrSaltOff)
-	w.chain = chainSeed(w.salt)
 	w.versions = make(map[uint32][]byte)
 	w.blocks = nil
-	w.frames = 0
 	w.history = nil
+	w.histBase = 0
+	w.byPage = make(map[uint32][]int)
+	w.base = make(map[uint32][]byte)
 
-	// Walk the block chain, collecting frames until the log ends.
-	var scanned []scannedFrame
-	chain := w.chain
-	addr := w.dev.Uint64(w.headerAddr + hdrFirstBlkOff)
-	prevLink := w.headerAddr + hdrFirstBlkOff
-	for addr != 0 {
-		blk, err := w.heap.BlockAt(addr)
-		if err != nil || w.heapStateInUse(addr) != nil {
-			// Dangling reference: the target was reclaimed as pending
-			// after a crash between persisting the link and marking the
-			// block in-use. Clear it (§4.3).
-			w.clearLink(prevLink)
-			break
-		}
-		w.blocks = append(w.blocks, blk)
-		// Frames are packed within the block; a frame that would not
-		// fit was placed at the start of the next block, so an invalid
-		// region here just ends this block's frames. The chained
-		// checksum makes a false continuation in the next block
-		// impossible.
-		off := blockLinkSize
-		for off+frameHdrSize <= blk.Size() {
-			fr, next, ok := w.readFrame(blk, off, chain)
-			if !ok {
-				break
-			}
-			fr.blockIdx = len(w.blocks) - 1
-			fr.blockOff = off
-			scanned = append(scanned, fr)
-			chain = next
-			off += align8(frameHdrSize + len(fr.payload))
-		}
-		prevLink = blk.Addr
-		addr = w.dev.Uint64(blk.Addr)
+	// Version-1 headers predate the checkpoint record; their [32:56)
+	// bytes are unwritten and must read as "no round in flight".
+	var ckBlk, ckSalt, ckPhase uint64
+	if w.dev.Uint32(w.headerAddr+hdrVersionOff) >= 2 {
+		ckBlk = w.dev.Uint64(w.headerAddr + hdrCkptBlkOff)
+		ckSalt = w.dev.Uint64(w.headerAddr + hdrCkptSaltOff)
+		ckPhase = w.dev.Uint64(w.headerAddr + hdrCkptStateOff)
+	}
+	switch {
+	case ckBlk == 0 || ckPhase == ckptNone:
+		ckBlk = 0
+	case ckSalt == w.salt:
+		// Crash between A1 and A2: the record names the still-live
+		// generation. Nothing was frozen; retire the record.
+		w.writeCkptRecord(0, 0, ckptNone)
+		ckBlk = 0
+	case ckPhase == ckptFreeing:
+		// The frozen pages are durable; only the frees remain.
+		w.freeOldChain(ckBlk, ckSalt)
+		w.writeCkptRecord(0, 0, ckptNone)
+		ckBlk = 0
 	}
 
-	// Keep only the committed prefix.
+	// An interrupted backfill round: replay the frozen generation's
+	// committed frames first — every one of them is below the round's
+	// watermark, so they update page images without entering history.
+	var frozenBlocks []heapo.Block
+	if ckBlk != 0 {
+		var frozenKept []scannedFrame
+		frozenBlocks, frozenKept = w.scanGeneration(ckBlk, ckSalt, w.headerAddr+hdrCkptBlkOff, false)
+		if err := w.replayFrames(frozenKept, false); err != nil {
+			return err
+		}
+	}
+
+	// Live generation: scan, keep the committed prefix, replay it into
+	// both the page images and the unbackfilled history index.
+	blocks, scanned := w.scanGeneration(
+		w.dev.Uint64(w.headerAddr+hdrFirstBlkOff), w.salt,
+		w.headerAddr+hdrFirstBlkOff, true)
+	w.blocks = blocks
 	lastCommit := -1
 	for i, fr := range scanned {
 		if fr.commit {
@@ -94,23 +117,12 @@ func (w *NVWAL) recover() error {
 		}
 	}
 	kept := scanned[:lastCommit+1]
-
-	// Rebuild page versions; every page's first frame must be a full
-	// frame (offset 0; its trailing clean region may be truncated, so
-	// the zero-initialized image completes it).
-	for _, fr := range kept {
-		img, ok := w.versions[fr.pgno]
-		if !ok {
-			if fr.off != 0 {
-				return fmt.Errorf("nvwal: page %d's first log frame is differential", fr.pgno)
-			}
-			img = make([]byte, w.pageSize)
-			w.versions[fr.pgno] = img
-		}
-		applyExtent(img, fr.off, fr.payload)
-		w.frames++
-		w.history = append(w.history, histFrame{pgno: fr.pgno, off: fr.off, payload: fr.payload})
-		w.chain = frameChain(w.chain, w.salt, fr)
+	if err := w.replayFrames(kept, true); err != nil {
+		return err
+	}
+	w.chain = chainSeed(w.salt)
+	if lastCommit >= 0 {
+		w.chain = kept[lastCommit].chainAfter
 	}
 
 	// Resume point: right after the last committed frame. Blocks beyond
@@ -121,24 +133,162 @@ func (w *NVWAL) recover() error {
 		if len(w.blocks) == 0 {
 			w.tailUsed = 0
 		}
-		return nil
+	} else {
+		last := kept[lastCommit]
+		resumeOff := last.blockOff + align8(frameHdrSize+len(last.payload))
+		w.truncateAfter(last.blockIdx)
+		w.tailUsed = resumeOff
+		// Discarded frames at the resume point are chain-valid continuations
+		// of the kept log. If they were left in place and the next commit
+		// happened to start in a fresh block, a later recovery would
+		// resurrect them — so the torn frame slot is invalidated physically.
+		tail := w.blocks[len(w.blocks)-1]
+		if resumeOff+frameHdrSize <= tail.Size() {
+			zero := make([]byte, frameHdrSize)
+			a := tail.Addr + uint64(resumeOff)
+			w.dev.Write(a, zero)
+			w.persistRange(a, frameHdrSize)
+		}
 	}
-	last := kept[lastCommit]
-	resumeOff := last.blockOff + align8(frameHdrSize+len(last.payload))
-	w.truncateAfter(last.blockIdx)
-	w.tailUsed = resumeOff
-	// Discarded frames at the resume point are chain-valid continuations
-	// of the kept log. If they were left in place and the next commit
-	// happened to start in a fresh block, a later recovery would
-	// resurrect them — so the torn frame slot is invalidated physically.
-	tail := w.blocks[len(w.blocks)-1]
-	if resumeOff+frameHdrSize <= tail.Size() {
-		zero := make([]byte, frameHdrSize)
-		a := tail.Addr + uint64(resumeOff)
-		w.dev.Write(a, zero)
-		w.persistRange(a, frameHdrSize)
+
+	if ckBlk != 0 {
+		return w.finishRecoveredCheckpoint(ckBlk, ckSalt, frozenBlocks)
 	}
 	return nil
+}
+
+// scanGeneration walks one generation's block chain from firstAddr,
+// collecting the frames that validate against its salt and checksum
+// chain. clearDangling enables the §4.3 dangling-reference repair, which
+// only the live generation needs: a frozen chain's links were all
+// persisted long before it froze.
+func (w *NVWAL) scanGeneration(firstAddr, salt uint64, prevLink uint64, clearDangling bool) ([]heapo.Block, []scannedFrame) {
+	var blocks []heapo.Block
+	var scanned []scannedFrame
+	chain := chainSeed(salt)
+	addr := firstAddr
+	for addr != 0 {
+		blk, err := w.heap.BlockAt(addr)
+		if err != nil || w.heapStateInUse(addr) != nil {
+			// Dangling reference: the target was reclaimed as pending
+			// after a crash between persisting the link and marking the
+			// block in-use. Clear it (§4.3).
+			if clearDangling {
+				w.clearLink(prevLink)
+			}
+			break
+		}
+		blocks = append(blocks, blk)
+		// Frames are packed within the block; a frame that would not
+		// fit was placed at the start of the next block, so an invalid
+		// region here just ends this block's frames. The chained
+		// checksum makes a false continuation in the next block
+		// impossible.
+		off := blockLinkSize
+		for off+frameHdrSize <= blk.Size() {
+			fr, next, ok := w.readFrame(blk, off, chain, salt)
+			if !ok {
+				break
+			}
+			fr.blockIdx = len(blocks) - 1
+			fr.blockOff = off
+			scanned = append(scanned, fr)
+			chain = next
+			off += align8(frameHdrSize + len(fr.payload))
+		}
+		prevLink = blk.Addr
+		addr = w.dev.Uint64(blk.Addr)
+	}
+	return blocks, scanned
+}
+
+// replayFrames applies kept frames to the page images. When record is
+// true the frames are not yet backfilled: they also enter the history
+// and the per-page index, capturing each page's replay base. A page
+// whose first frame is differential was backfilled by an earlier
+// checkpoint round, so its base comes from the database file.
+func (w *NVWAL) replayFrames(kept []scannedFrame, record bool) error {
+	for _, fr := range kept {
+		img, ok := w.versions[fr.pgno]
+		if !ok {
+			img = make([]byte, w.pageSize)
+			if !fr.full {
+				if err := w.db.ReadPage(fr.pgno, img); err != nil {
+					return fmt.Errorf("nvwal: reading backfilled base of page %d: %w", fr.pgno, err)
+				}
+			}
+			w.versions[fr.pgno] = img
+		}
+		if record {
+			if _, tracked := w.byPage[fr.pgno]; !tracked && !fr.full {
+				base := make([]byte, w.pageSize)
+				copy(base, img)
+				w.base[fr.pgno] = base
+			}
+			w.byPage[fr.pgno] = append(w.byPage[fr.pgno], w.histBase+len(w.history))
+			w.history = append(w.history, histFrame{pgno: fr.pgno, off: fr.off, full: fr.full, payload: fr.payload})
+		}
+		if fr.full {
+			for i := range img {
+				img[i] = 0
+			}
+		}
+		applyExtent(img, fr.off, fr.payload)
+	}
+	return nil
+}
+
+// finishRecoveredCheckpoint completes a round that power failure caught
+// in its backfill phase: make every recovered page image durable, then
+// run phase C's record flip + frees. Backfilling the live generation's
+// pages too is over-eager but harmless — replaying a differential frame
+// onto an image that already includes it is idempotent, and no reader
+// can hold a mark below the recovery point.
+func (w *NVWAL) finishRecoveredCheckpoint(firstBlk, salt uint64, blocks []heapo.Block) error {
+	for pgno, img := range w.versions {
+		if err := w.db.WritePage(pgno, img); err != nil {
+			return err
+		}
+	}
+	if err := w.db.Sync(); err != nil {
+		return err
+	}
+	w.writeCkptRecord(firstBlk, salt, ckptFreeing)
+	for i := len(blocks) - 1; i >= 0; i-- {
+		// Best effort; the live-generation scan may already have freed a
+		// block the interrupted round shared with a half-written header.
+		_ = w.heap.NVFree(blocks[i])
+	}
+	w.writeCkptRecord(0, 0, ckptNone)
+	w.m.Inc(metrics.Checkpoints, 1)
+	return nil
+}
+
+// freeOldChain finishes freeing a frozen generation whose pages are
+// already durable (phase "freeing"). Phase C frees tail-first, so the
+// head-first walk sees the still-allocated prefix; it stops at the
+// first block that is no longer in-use, or whose first frame does not
+// carry the frozen generation's salt (the block was freed and already
+// recycled into the new generation — freeing it again would corrupt the
+// live log; a conservatively leaked block is reclaimable, a freed live
+// block is not).
+func (w *NVWAL) freeOldChain(firstAddr, salt uint64) {
+	addr := firstAddr
+	for addr != 0 {
+		blk, err := w.heap.BlockAt(addr)
+		if err != nil || w.heapStateInUse(addr) != nil {
+			return
+		}
+		if blk.Size() >= blockLinkSize+frameHdrSize &&
+			w.dev.Uint64(blk.Addr+blockLinkSize+8) != salt {
+			return
+		}
+		next := w.dev.Uint64(blk.Addr)
+		if w.heap.NVFree(blk) != nil {
+			return
+		}
+		addr = next
+	}
 }
 
 // heapStateInUse verifies the block at addr is marked in-use.
@@ -172,20 +322,22 @@ func (w *NVWAL) truncateAfter(keepIdx int) {
 }
 
 // readFrame parses and validates the frame at offset off of blk against
-// the running checksum chain.
-func (w *NVWAL) readFrame(blk heapo.Block, off int, prev uint32) (scannedFrame, uint32, bool) {
+// the running checksum chain and the generation's salt.
+func (w *NVWAL) readFrame(blk heapo.Block, off int, prev uint32, salt uint64) (scannedFrame, uint32, bool) {
 	if off+frameHdrSize > blk.Size() {
 		return scannedFrame{}, 0, false
 	}
 	hdr := make([]byte, frameHdrSize)
 	w.dev.Read(blk.Addr+uint64(off), hdr)
 	mark := binary.LittleEndian.Uint64(hdr[0:])
-	salt := binary.LittleEndian.Uint64(hdr[8:])
+	frSalt := binary.LittleEndian.Uint64(hdr[8:])
 	pgno := binary.LittleEndian.Uint32(hdr[16:])
-	inOff := int(binary.LittleEndian.Uint32(hdr[20:]))
+	offWord := binary.LittleEndian.Uint32(hdr[20:])
+	full := offWord&offFullFlag != 0
+	inOff := int(offWord &^ offFullFlag)
 	size := int(binary.LittleEndian.Uint32(hdr[24:]))
 	stored := binary.LittleEndian.Uint32(hdr[28:])
-	if salt != w.salt || pgno == 0 || (mark != 0 && mark != commitValue) {
+	if frSalt != salt || pgno == 0 || (mark != 0 && mark != commitValue) {
 		return scannedFrame{}, 0, false
 	}
 	if size <= 0 || size > w.pageSize || inOff < 0 || inOff+size > w.pageSize {
@@ -202,21 +354,11 @@ func (w *NVWAL) readFrame(blk heapo.Block, off int, prev uint32) (scannedFrame, 
 		return scannedFrame{}, 0, false
 	}
 	return scannedFrame{
-		pgno:    pgno,
-		off:     inOff,
-		payload: payload,
-		commit:  mark == commitValue,
+		pgno:       pgno,
+		off:        inOff,
+		full:       full,
+		payload:    payload,
+		commit:     mark == commitValue,
+		chainAfter: sum,
 	}, sum, true
-}
-
-// frameChain recomputes the chain value a frame contributes (used to
-// restore w.chain while replaying kept frames).
-func frameChain(prev uint32, salt uint64, fr scannedFrame) uint32 {
-	hdr := make([]byte, 20)
-	binary.LittleEndian.PutUint64(hdr[0:], salt)
-	binary.LittleEndian.PutUint32(hdr[8:], fr.pgno)
-	binary.LittleEndian.PutUint32(hdr[12:], uint32(fr.off))
-	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(fr.payload)))
-	sum := crc32.Update(prev, crcTab, hdr)
-	return crc32.Update(sum, crcTab, fr.payload)
 }

@@ -119,6 +119,15 @@ type Options struct {
 	// every registered writer is waiting in it, so K writers never wait
 	// for an absent (K+1)th.
 	GroupCommit int
+	// BackgroundCheckpoint moves auto-checkpointing off the commit path:
+	// a dedicated goroutine runs the journal's incremental checkpoint
+	// (page writeback and fsync with no writer lock held) whenever the
+	// log passes CheckpointLimit, retrying when open snapshot readers
+	// defer it, instead of piggybacking blocking checkpoints on commits.
+	// Requires Concurrent and a journal mode with incremental checkpoint
+	// support (every WAL mode; not rollback). A background checkpoint
+	// failure is latched and reported by Close.
+	BackgroundCheckpoint bool
 }
 
 // DefaultCheckpointLimit matches SQLite's 1000-frame threshold (§2).
@@ -177,12 +186,28 @@ type DB struct {
 	// readers counts open snapshot read transactions; a positive count
 	// pins the log against checkpointing.
 	readers atomic.Int64
-	// ckptMu makes BeginRead's register-and-mark atomic against
-	// Checkpoint's reader-check-and-truncate, so a reader can never take
-	// a mark that a concurrent checkpoint immediately invalidates.
+	// ckptMu makes BeginRead's register-and-mark atomic against the
+	// checkpoint gate's mark scan, so a reader can never take a mark
+	// that a concurrent checkpoint immediately invalidates. It is never
+	// held across a journal call (the journal consults the gate, which
+	// takes it).
 	ckptMu sync.Mutex
+	// openMarks counts open snapshot readers per mark (guarded by
+	// ckptMu); the checkpoint gate refuses any watermark above an open
+	// mark.
+	openMarks map[int]int
 	// gc is the writer queue implementing group commit.
 	gc *groupCommitter
+
+	// Background checkpointer (Options.BackgroundCheckpoint): commits
+	// and closing readers kick the goroutine instead of checkpointing
+	// inline. A checkpoint error is latched into ckptErr.
+	ckptKick  chan struct{}
+	ckptQuit  chan struct{}
+	ckptDone  chan struct{}
+	closeOnce sync.Once
+	ckptErrMu sync.Mutex
+	ckptErr   error
 }
 
 // Open opens (creating if necessary) the database file name on the
@@ -199,17 +224,21 @@ func Open(plat *platform.Platform, name string, opts Options) (*DB, error) {
 	if opts.GroupCommit > 1 && !opts.Concurrent {
 		return nil, errors.New("db: GroupCommit > 1 requires Concurrent mode")
 	}
+	if opts.BackgroundCheckpoint && !opts.Concurrent {
+		return nil, errors.New("db: BackgroundCheckpoint requires Concurrent mode")
+	}
 	f, err := plat.FS.OpenOrCreate(name, "db")
 	if err != nil {
 		return nil, err
 	}
 	d := &DB{
-		plat:  plat,
-		opts:  opts,
-		name:  name,
-		dbf:   dbfile.New(f, opts.PageSize),
-		trees: make(map[string]*btree.Tree),
-		slot:  make(chan struct{}, 1),
+		plat:      plat,
+		opts:      opts,
+		name:      name,
+		dbf:       dbfile.New(f, opts.PageSize),
+		trees:     make(map[string]*btree.Tree),
+		slot:      make(chan struct{}, 1),
+		openMarks: make(map[int]int),
 	}
 	switch opts.Journal {
 	case JournalNVWAL:
@@ -238,6 +267,17 @@ func Open(plat *platform.Platform, name string, opts Options) (*DB, error) {
 		size = 1
 	}
 	d.gc = &groupCommitter{jrn: d.jrn, size: size}
+	if opts.BackgroundCheckpoint {
+		if _, ok := d.jrn.(pager.IncrementalJournal); !ok {
+			return nil, fmt.Errorf("db: journal mode %s does not support background checkpointing", opts.Journal)
+		}
+		if opts.CheckpointLimit > 0 {
+			d.ckptKick = make(chan struct{}, 1)
+			d.ckptQuit = make(chan struct{})
+			d.ckptDone = make(chan struct{})
+			go d.checkpointLoop()
+		}
+	}
 	return d, nil
 }
 
@@ -770,13 +810,22 @@ func (d *DB) commitHeldTxn() error {
 }
 
 // maybeAutoCheckpoint runs the post-commit checkpoint when the log
-// passed the frame limit. It is best-effort: a busy writer slot or an
-// open snapshot defers it silently to a later commit (the SQLite
-// behaviour: checkpointing cannot pass a reader's mark); a real
-// checkpoint failure is reported wrapped in ErrCheckpointDeferred.
+// passed the frame limit. With BackgroundCheckpoint it only kicks the
+// checkpointer goroutine — the commit path never carries checkpoint
+// I/O. Inline, it is best-effort: a busy writer slot or an open
+// snapshot defers it silently to a later commit (the SQLite behaviour:
+// checkpointing cannot pass a reader's mark); a real checkpoint failure
+// is reported wrapped in ErrCheckpointDeferred.
 func (d *DB) maybeAutoCheckpoint() error {
 	lim := d.opts.CheckpointLimit
-	if lim <= 0 || d.readers.Load() > 0 || d.jrn.FramesSinceCheckpoint() < lim {
+	if lim <= 0 || d.jrn.FramesSinceCheckpoint() < lim {
+		return nil
+	}
+	if d.ckptKick != nil {
+		d.kickCheckpoint()
+		return nil
+	}
+	if d.readers.Load() > 0 {
 		return nil
 	}
 	if !d.tryAcquireSlot() {
@@ -790,6 +839,65 @@ func (d *DB) maybeAutoCheckpoint() error {
 		return fmt.Errorf("%w: %w", ErrCheckpointDeferred, err)
 	}
 	return nil
+}
+
+// kickCheckpoint nudges the background checkpointer (no-op when the
+// kick buffer already holds a pending nudge, or in inline mode).
+func (d *DB) kickCheckpoint() {
+	if d.ckptKick == nil {
+		return
+	}
+	select {
+	case d.ckptKick <- struct{}{}:
+	default:
+	}
+}
+
+// ckptGate is the reader gate the incremental journals consult: a
+// checkpoint round may only cover frames below every open snapshot
+// mark. Probing one past the log's end doubles as an "any reader at
+// all?" check (used by the file WAL before a log reset).
+func (d *DB) ckptGate(watermark int) bool {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	for m := range d.openMarks {
+		if m < watermark {
+			return false
+		}
+	}
+	return true
+}
+
+// checkpointLoop is the background checkpointer: each kick drains the
+// log below the frame limit without ever taking the writer slot, so
+// commits overlap the checkpoint's page writeback and fsync. A round
+// deferred by an open reader waits for the next kick (readers kick on
+// Close); a real failure is latched for Close to report.
+func (d *DB) checkpointLoop() {
+	defer close(d.ckptDone)
+	ij := d.jrn.(pager.IncrementalJournal)
+	for {
+		select {
+		case <-d.ckptQuit:
+			return
+		case <-d.ckptKick:
+		}
+		for d.jrn.FramesSinceCheckpoint() >= d.opts.CheckpointLimit {
+			err := ij.CheckpointIncremental(d.ckptGate)
+			if err == nil {
+				continue
+			}
+			if errors.Is(err, pager.ErrCheckpointPending) {
+				break
+			}
+			d.ckptErrMu.Lock()
+			if d.ckptErr == nil {
+				d.ckptErr = err
+			}
+			d.ckptErrMu.Unlock()
+			return
+		}
+	}
 }
 
 // Get reads a record outside any transaction. In Concurrent mode it
@@ -861,33 +969,61 @@ func (d *DB) Checkpoint() error {
 	return d.checkpointLocked()
 }
 
-// checkpointLocked checkpoints with the writer slot held. ckptMu pairs
-// it with BeginRead: between the reader count check and the journal
-// truncation no new snapshot can take a mark.
+// checkpointLocked checkpoints with the writer slot held. Incremental
+// journals protect open readers through the gate (ckptMu is never held
+// across the journal call — the gate takes it, and readers hold it
+// while marking); the legacy path pairs ckptMu with BeginRead so no new
+// snapshot can take a mark between the reader check and the truncation.
 func (d *DB) checkpointLocked() error {
-	d.ckptMu.Lock()
-	defer d.ckptMu.Unlock()
-	if d.readers.Load() > 0 {
-		return ErrBusySnapshot
-	}
 	// Flush any group still waiting in the queue: its transactions'
 	// pages live only in the pager cache and the queue, so the journal
-	// must absorb them before it is truncated.
+	// must absorb them before checkpointing. The writer slot is held, so
+	// no new request can enqueue concurrently.
 	if err := d.gc.flushPending(); err != nil {
 		return err
 	}
 	sw := d.plat.Clock.Now()
-	if err := d.jrn.Checkpoint(); err != nil {
-		return err
+	if ij, ok := d.jrn.(pager.IncrementalJournal); ok {
+		err := ij.CheckpointIncremental(d.ckptGate)
+		if errors.Is(err, pager.ErrCheckpointPending) {
+			return ErrBusySnapshot
+		}
+		if err != nil {
+			return err
+		}
+	} else {
+		d.ckptMu.Lock()
+		busy := d.readers.Load() > 0
+		d.ckptMu.Unlock()
+		if busy {
+			return ErrBusySnapshot
+		}
+		if err := d.jrn.Checkpoint(); err != nil {
+			return err
+		}
 	}
 	d.plat.Metrics.AddTime(metrics.TimeCheckpnt, d.plat.Clock.Now()-sw)
 	return nil
 }
 
-// Close checkpoints and releases the database. SQLite checkpoints when
-// the last session closes (§2).
+// Close stops the background checkpointer, checkpoints, and releases
+// the database. SQLite checkpoints when the last session closes (§2). A
+// latched background-checkpoint failure is reported here.
 func (d *DB) Close() error {
-	return d.Checkpoint()
+	if d.ckptQuit != nil {
+		d.closeOnce.Do(func() {
+			close(d.ckptQuit)
+			<-d.ckptDone
+		})
+	}
+	err := d.Checkpoint()
+	d.ckptErrMu.Lock()
+	latched := d.ckptErr
+	d.ckptErrMu.Unlock()
+	if err == nil && latched != nil {
+		err = fmt.Errorf("db: background checkpoint failed: %w", latched)
+	}
+	return err
 }
 
 // Check verifies the structural invariants of every table's tree.

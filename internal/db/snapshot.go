@@ -44,12 +44,13 @@ func (d *DB) BeginRead() (*ReadTx, error) {
 	if !ok {
 		return nil, ErrNoSnapshots
 	}
-	// ckptMu makes register-and-mark atomic against the checkpoint's
-	// reader-check-and-truncate, so the mark can never straddle a log
-	// truncation.
+	// ckptMu makes register-and-mark atomic against the checkpoint
+	// gate's mark scan, so the mark can never straddle a round that
+	// would invalidate it.
 	d.ckptMu.Lock()
 	d.readers.Add(1)
 	mark := sj.Mark()
+	d.openMarks[mark]++
 	d.ckptMu.Unlock()
 	return &ReadTx{
 		d: d,
@@ -63,13 +64,23 @@ func (d *DB) BeginRead() (*ReadTx, error) {
 	}, nil
 }
 
-// Close releases the snapshot, unblocking checkpoints.
+// Close releases the snapshot, unblocking checkpoints. A background
+// checkpointer waiting out this reader's mark is kicked to retry.
 func (r *ReadTx) Close() {
 	if r.done {
 		return
 	}
 	r.done = true
-	r.d.readers.Add(-1)
+	d := r.d
+	d.ckptMu.Lock()
+	d.readers.Add(-1)
+	if n := d.openMarks[r.store.mark]; n <= 1 {
+		delete(d.openMarks, r.store.mark)
+	} else {
+		d.openMarks[r.store.mark] = n - 1
+	}
+	d.ckptMu.Unlock()
+	d.kickCheckpoint()
 }
 
 // snapshotCatalog parses the table catalog as of the snapshot.

@@ -85,8 +85,16 @@ func TestSnapshotBlocksCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The reader's mark covers the whole log, so a checkpoint at this
+	// watermark cannot invalidate it: it proceeds.
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint with up-to-date reader = %v, want nil", err)
+	}
+	// A commit past the reader's mark makes the next watermark exceed it;
+	// now checkpointing would steal frames the snapshot still needs.
+	mustCommitKV(t, d, "t", map[string]string{"b": "2"})
 	if err := d.Checkpoint(); err != ErrBusySnapshot {
-		t.Fatalf("Checkpoint with open reader = %v, want ErrBusySnapshot", err)
+		t.Fatalf("Checkpoint with stale reader = %v, want ErrBusySnapshot", err)
 	}
 	// Auto-checkpoint is skipped, not failed: commits keep working past
 	// the limit.

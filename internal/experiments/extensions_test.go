@@ -171,3 +171,37 @@ func TestConcurrentShapes(t *testing.T) {
 		t.Fatalf("8-wide groups cost no less than 4-wide at 8 writers: %+v", r.Rows)
 	}
 }
+
+func TestCheckpointStallShapes(t *testing.T) {
+	r, err := CheckpointStall(160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Txns == 0 || row.P99CommitNs == 0 {
+			t.Fatalf("empty measurement: %+v", row)
+		}
+		if row.P99CommitNs < row.P50CommitNs {
+			t.Fatalf("p99 below p50: %+v", row)
+		}
+	}
+	// The blocking baseline runs its rounds inline from the commit path,
+	// so its checkpoint count must be substantial (one per ~limit frames);
+	// the background mode must have checkpointed at least once too —
+	// otherwise the comparison measured nothing.
+	for _, row := range r.Rows {
+		if row.Checkpoints == 0 {
+			t.Fatalf("%s/%d writers ran no checkpoint rounds: %+v", row.Mode, row.Writers, row)
+		}
+	}
+	// Wall-clock latency comparisons are load-sensitive, so the shape
+	// check stays coarse: with one writer the background p99 must not be
+	// dramatically WORSE than blocking (it has strictly less work on the
+	// commit path). Allow 2x slack for scheduler noise.
+	if bg, bl := r.P99("background", 1), r.P99("blocking", 1); bg > 2*bl {
+		t.Fatalf("background p99 %dns > 2x blocking p99 %dns", bg, bl)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/metrics"
@@ -74,7 +75,14 @@ type Block struct {
 // Size returns the block's capacity in bytes.
 func (b Block) Size() int { return b.Pages * PageSize }
 
+// DefaultRecycleLimit caps the recycled free-block pool, in pages. 512
+// pages (2 MB) holds the block set of a full default-limit checkpoint
+// round, which is what steady-state recycling needs.
+const DefaultRecycleLimit = 512
+
 // Manager is the kernel heap manager instance attached to one device.
+// All public methods are safe for concurrent use: a background
+// checkpointer recycles blocks while the log writer allocates.
 type Manager struct {
 	dev       *nvram.Device
 	pageCount int
@@ -82,8 +90,18 @@ type Manager struct {
 	rootBase  uint64 // start of root table
 	heapBase  uint64 // start of heap pages
 
+	// mu serializes metadata scans and updates (and the volatile pool).
+	mu sync.Mutex
 	// freeHint is a volatile scan cursor; rebuilt state lives in NVRAM.
 	freeHint int
+	// recycled pools pending blocks by run length so NVPreMalloc can
+	// reuse a checkpoint-freed block without any kernel call: the block
+	// is already in the pending state, which is exactly what
+	// NVPreMalloc's contract hands out, and a crash loses nothing —
+	// recovery's ReclaimPending frees pending blocks anyway.
+	recycled      map[int][]Block
+	recycledPages int
+	recycleLimit  int
 }
 
 // Format initializes a heapo heap on the device, erasing any previous
@@ -122,7 +140,7 @@ func Attach(dev *nvram.Device) (*Manager, error) {
 
 // layout computes the address-space split for the device size.
 func layout(dev *nvram.Device) *Manager {
-	m := &Manager{dev: dev, metaBase: 16}
+	m := &Manager{dev: dev, metaBase: 16, recycleLimit: DefaultRecycleLimit}
 	size := uint64(dev.Size())
 	// Solve for the page count: 16 + 8P + rootTable + P*PageSize <= size.
 	fixed := m.metaBase + rootSlots*rootSlotLen
@@ -187,7 +205,8 @@ const KernelAllocCost = 20 * time.Microsecond
 
 // allocate finds a free run of n pages, marks it with the given head
 // state, persists the metadata, and returns the block. One kernel-mode
-// switch plus the kernel allocation cost is charged.
+// switch plus the kernel allocation cost is charged. Called with m.mu
+// held.
 func (m *Manager) allocate(bytes int, headState int) (Block, error) {
 	if bytes <= 0 {
 		return Block{}, fmt.Errorf("heapo: invalid allocation size %d", bytes)
@@ -243,19 +262,85 @@ func (m *Manager) findRun(need int) (int, bool) {
 // NVMalloc allocates a block and marks it in-use immediately — the
 // legacy path the non-user-heap NVWAL variants use once per WAL frame.
 func (m *Manager) NVMalloc(bytes int) (Block, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return m.allocate(bytes, StateInUse)
 }
 
 // NVPreMalloc allocates a block in the pending state: if the system
 // crashes before the application persists a reference to it and calls
-// NVMallocSetUsedFlag, recovery reclaims the block (§3.3).
+// NVMallocSetUsedFlag, recovery reclaims the block (§3.3). A block of
+// the exact size parked in the recycled pool is reused instead — it is
+// already pending, so the reuse costs no kernel call and no metadata
+// persist.
 func (m *Manager) NVPreMalloc(bytes int) (Block, error) {
+	if bytes <= 0 {
+		return Block{}, fmt.Errorf("heapo: invalid allocation size %d", bytes)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	need := (bytes + PageSize - 1) / PageSize
+	if pool := m.recycled[need]; len(pool) > 0 {
+		b := pool[len(pool)-1]
+		m.recycled[need] = pool[:len(pool)-1]
+		m.recycledPages -= need
+		m.dev.Metrics().Inc(metrics.HeapRecycleHits, 1)
+		return b, nil
+	}
 	return m.allocate(bytes, StatePending)
+}
+
+// Recycle retires an in-use block the way a checkpoint frees log
+// blocks: the block returns to the pending state (crash-safe — recovery
+// reclaims pending blocks) and is parked in the volatile pool for the
+// next NVPreMalloc of the same size, skipping the kernel allocation
+// path entirely. When the pool is full the block is freed normally.
+func (m *Manager) Recycle(b Block) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	page, err := m.pageOf(b.Addr)
+	if err != nil {
+		return err
+	}
+	st, run := m.readMeta(page)
+	if st != StateInUse {
+		return fmt.Errorf("%w: page %d is %s, want in-use", ErrBadState, page, stateName(st))
+	}
+	if m.recycledPages+run > m.recycleLimit {
+		return m.freeLocked(page, run)
+	}
+	m.dev.Syscall()
+	m.writeMeta(page, StatePending, run)
+	m.persistRange(m.metaAddr(page), m.metaAddr(page+1))
+	if m.recycled == nil {
+		m.recycled = make(map[int][]Block)
+	}
+	m.recycled[run] = append(m.recycled[run], Block{Addr: b.Addr, Pages: run})
+	m.recycledPages += run
+	m.dev.Metrics().Inc(metrics.HeapRecycled, 1)
+	return nil
+}
+
+// SetRecycleLimit bounds the recycled pool to n pages (0 disables
+// recycling; Recycle then behaves like NVFree).
+func (m *Manager) SetRecycleLimit(n int) {
+	m.mu.Lock()
+	m.recycleLimit = n
+	m.mu.Unlock()
+}
+
+// RecycledPages reports the pages parked in the recycled pool.
+func (m *Manager) RecycledPages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recycledPages
 }
 
 // NVMallocSetUsedFlag transitions a pending block to in-use, after the
 // application has persistently stored the block's address.
 func (m *Manager) NVMallocSetUsedFlag(b Block) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.dev.Syscall()
 	page, err := m.pageOf(b.Addr)
 	if err != nil {
@@ -272,7 +357,8 @@ func (m *Manager) NVMallocSetUsedFlag(b Block) error {
 
 // NVFree releases a block (pending or in-use) back to the free pool.
 func (m *Manager) NVFree(b Block) error {
-	m.dev.Syscall()
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	page, err := m.pageOf(b.Addr)
 	if err != nil {
 		return err
@@ -281,6 +367,13 @@ func (m *Manager) NVFree(b Block) error {
 	if st != StateInUse && st != StatePending {
 		return fmt.Errorf("%w: page %d is %s, want in-use or pending", ErrBadState, page, stateName(st))
 	}
+	return m.freeLocked(page, run)
+}
+
+// freeLocked clears a block's metadata run. Called with m.mu held and
+// the head state validated.
+func (m *Manager) freeLocked(page, run int) error {
+	m.dev.Syscall()
 	for i := page; i < page+run; i++ {
 		m.writeMeta(i, StateFree, 0)
 	}
@@ -296,6 +389,8 @@ func (m *Manager) NVFree(b Block) error {
 // it references an allocation head. Used by recovery code that walks a
 // linked list of block addresses out of NVRAM.
 func (m *Manager) BlockAt(addr uint64) (Block, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	page, err := m.pageOf(addr)
 	if err != nil {
 		return Block{}, err
@@ -309,6 +404,8 @@ func (m *Manager) BlockAt(addr uint64) (Block, error) {
 
 // StateOf reports the tri-state flag of the block at addr.
 func (m *Manager) StateOf(addr uint64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	page, err := m.pageOf(addr)
 	if err != nil {
 		return 0, err
@@ -322,6 +419,12 @@ func (m *Manager) StateOf(addr uint64) (int, error) {
 // any pending NVRAM blocks to prevent a memory leak"). It returns the
 // number of blocks reclaimed.
 func (m *Manager) ReclaimPending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Pool entries are pending blocks; reclaiming frees them, so the
+	// volatile pool must not hand them out afterwards.
+	m.recycled = nil
+	m.recycledPages = 0
 	m.dev.Syscall()
 	reclaimed := 0
 	for page := 0; page < m.pageCount; {
@@ -344,6 +447,8 @@ func (m *Manager) ReclaimPending() int {
 
 // FreePages reports the number of free heap pages.
 func (m *Manager) FreePages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	n := 0
 	for page := 0; page < m.pageCount; page++ {
 		if st, _ := m.readMeta(page); st == StateFree {
@@ -363,6 +468,8 @@ func (m *Manager) SetRoot(name string, addr uint64) error {
 	if len(name) >= nameLen {
 		return ErrNameTooLong
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.dev.Syscall()
 	slot, existing := m.findRoot(name)
 	if !existing {
@@ -381,6 +488,8 @@ func (m *Manager) SetRoot(name string, addr uint64) error {
 // GetRoot looks up a namespace binding. ok is false if the name is not
 // bound.
 func (m *Manager) GetRoot(name string) (addr uint64, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	slot, existing := m.findRoot(name)
 	if !existing {
 		return 0, false
@@ -390,6 +499,8 @@ func (m *Manager) GetRoot(name string) (addr uint64, ok bool) {
 
 // DeleteRoot removes a namespace binding if present.
 func (m *Manager) DeleteRoot(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	slot, existing := m.findRoot(name)
 	if !existing {
 		return

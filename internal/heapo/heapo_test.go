@@ -295,3 +295,109 @@ func TestPropertyNoOverlappingAllocations(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRecyclePoolHitSkipsKernelPath(t *testing.T) {
+	h, _, m := newHeap(t, 1<<20)
+	b, err := h.NVMalloc(2 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free0 := h.FreePages()
+	if err := h.Recycle(b); err != nil {
+		t.Fatalf("Recycle: %v", err)
+	}
+	if h.FreePages() != free0 {
+		t.Fatal("Recycle returned pages to the general free pool, want parked")
+	}
+	if h.RecycledPages() != 2 {
+		t.Fatalf("RecycledPages = %d, want 2", h.RecycledPages())
+	}
+	// The block is pending now: a crash before reuse reclaims it.
+	if st, _ := h.StateOf(b.Addr); st != StatePending {
+		t.Fatalf("recycled block state = %d, want pending", st)
+	}
+	sys0 := m.Count(metrics.Syscall)
+	hits0 := m.Count(metrics.HeapRecycleHits)
+	b2, err := h.NVPreMalloc(2 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Addr != b.Addr {
+		t.Fatalf("pool hit returned %#x, want recycled block %#x", b2.Addr, b.Addr)
+	}
+	if got := m.Count(metrics.Syscall); got != sys0 {
+		t.Fatalf("pool hit cost %d syscalls, want 0", got-sys0)
+	}
+	if m.Count(metrics.HeapRecycleHits) != hits0+1 {
+		t.Fatal("pool hit not counted")
+	}
+	if h.RecycledPages() != 0 {
+		t.Fatal("pool not drained by the hit")
+	}
+	// A different-size request misses the pool and allocates fresh.
+	b3, err := h.NVPreMalloc(PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b3.Addr == b.Addr {
+		t.Fatal("different-size request reused a 2-page block")
+	}
+}
+
+func TestRecycleOverflowFreesNormally(t *testing.T) {
+	h, _, _ := newHeap(t, 1<<20)
+	h.SetRecycleLimit(2)
+	free0 := h.FreePages()
+	a, _ := h.NVMalloc(2 * PageSize)
+	b, _ := h.NVMalloc(2 * PageSize)
+	if err := h.Recycle(a); err != nil {
+		t.Fatal(err)
+	}
+	// The second recycle would exceed the 2-page cap: it frees instead.
+	if err := h.Recycle(b); err != nil {
+		t.Fatal(err)
+	}
+	if h.RecycledPages() != 2 {
+		t.Fatalf("RecycledPages = %d, want 2 (cap)", h.RecycledPages())
+	}
+	if got := h.FreePages(); got != free0-2 {
+		t.Fatalf("FreePages = %d, want %d (overflow block freed)", got, free0-2)
+	}
+	if st, _ := h.StateOf(b.Addr); st != StateFree {
+		t.Fatal("overflow block not freed")
+	}
+}
+
+func TestRecycleRejectsNonInUse(t *testing.T) {
+	h, _, _ := newHeap(t, 1<<20)
+	b, _ := h.NVPreMalloc(PageSize)
+	if err := h.Recycle(b); err == nil {
+		t.Fatal("Recycle of a pending block succeeded")
+	}
+}
+
+func TestReclaimPendingClearsRecyclePool(t *testing.T) {
+	h, dev, _ := newHeap(t, 1<<20)
+	b, _ := h.NVMalloc(2 * PageSize)
+	if err := h.Recycle(b); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: the pool is volatile, but the parked block's pending state
+	// is persistent — Attach + ReclaimPending recovers it as free.
+	dev.PowerFail(memsim.FailDropAll, 1)
+	dev.Recover()
+	h2, err := Attach(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free0 := h2.FreePages()
+	if n := h2.ReclaimPending(); n != 1 {
+		t.Fatalf("reclaimed %d blocks, want 1", n)
+	}
+	if h2.FreePages() != free0+2 {
+		t.Fatal("recycled block's pages not recovered after crash")
+	}
+	if h2.RecycledPages() != 0 {
+		t.Fatal("fresh attach reports a non-empty recycle pool")
+	}
+}

@@ -40,6 +40,15 @@ const (
 	Transactions    = "transactions"      // committed transactions
 	GroupCommits    = "group_commits"     // batched group-commit flushes
 	Checkpoints     = "checkpoints"       // checkpoint rounds
+	// Checkpoint observability (wall-clock, not virtual: the stall a
+	// real thread would experience is what the non-blocking checkpoint
+	// removes, and the virtual clock does not advance while a goroutine
+	// merely waits on a lock).
+	CheckpointNanos = "checkpoint_ns_total"       // wall ns spent writing back + syncing pages
+	CheckpointPages = "checkpoint_pages_written"  // pages copied into the database file
+	CommitStallNanos = "commit_stall_ns"          // wall ns commits waited for the journal writer lock
+	HeapRecycled     = "heap_recycled"            // blocks parked in the recycled free-block pool
+	HeapRecycleHits  = "heap_recycle_hits"        // allocations served from the pool (no kernel call)
 )
 
 // Standard time keys.

@@ -9,6 +9,7 @@ package pager
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Frame is one dirty page handed to the journal at commit: the page
@@ -93,6 +94,33 @@ type SnapshotJournal interface {
 	PageVersionAt(pgno uint32, mark int) ([]byte, bool)
 }
 
+// ErrCheckpointPending is returned by IncrementalJournal implementations
+// when the caller's gate refused the checkpoint (an open snapshot reader
+// still holds a mark below the backfill watermark). The log is intact;
+// retry once the reader closes.
+var ErrCheckpointPending = errors.New("pager: checkpoint pending: a snapshot reader pins the log")
+
+// IncrementalJournal is implemented by journals whose checkpoint follows
+// the backfill-watermark protocol: page writeback and fsync run outside
+// the journal's writer lock, commits keep appending concurrently, and
+// frames logged during the writeback carry over to the next round
+// (SQLite's nBackfill). The gate decides — without any journal lock
+// held — whether a checkpoint covering marks < watermark may proceed; it
+// must return false while any open snapshot reader holds a mark below
+// the watermark. A nil gate always allows.
+type IncrementalJournal interface {
+	Journal
+	CheckpointIncremental(gate func(watermark int) bool) error
+}
+
+// PageVersionInto is the copy-into-caller-buffer variant of
+// Journal.PageVersion: journals that can serve the latest committed
+// image without an intermediate allocation implement it, and the pager
+// prefers it on the read path.
+type PageVersionInto interface {
+	PageVersionInto(pgno uint32, buf []byte) bool
+}
+
 // DBFile is the database file on block storage that checkpointing
 // writes into and cache misses read from.
 type DBFile interface {
@@ -128,6 +156,9 @@ type Pager struct {
 	pageSize int
 	db       DBFile
 	jrn      Journal
+	// jrnInto caches the journal's optional copy-into capability so Get
+	// avoids a per-miss interface assertion.
+	jrnInto PageVersionInto
 
 	cache map[uint32][]byte
 	dirty map[uint32]bool
@@ -151,6 +182,7 @@ func Open(db DBFile, jrn Journal) (*Pager, error) {
 		fresh:    make(map[uint32]bool),
 		orig:     make(map[uint32][]byte),
 	}
+	p.jrnInto, _ = jrn.(PageVersionInto)
 	hdr, err := p.Get(1)
 	if err != nil {
 		return nil, err
@@ -212,10 +244,20 @@ func (p *Pager) Get(pgno uint32) ([]byte, error) {
 		return buf, nil
 	}
 	buf := make([]byte, p.pageSize)
-	if v, ok := p.jrn.PageVersion(pgno); ok {
-		copy(buf, v)
-	} else if err := p.db.ReadPage(pgno, buf); err != nil {
-		return nil, err
+	switch {
+	case p.jrnInto != nil:
+		// One copy, journal version straight into the cache buffer.
+		if !p.jrnInto.PageVersionInto(pgno, buf) {
+			if err := p.db.ReadPage(pgno, buf); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		if v, ok := p.jrn.PageVersion(pgno); ok {
+			copy(buf, v)
+		} else if err := p.db.ReadPage(pgno, buf); err != nil {
+			return nil, err
+		}
 	}
 	p.cache[pgno] = buf
 	return buf, nil
@@ -417,6 +459,7 @@ func (p *Pager) SetJournal(jrn Journal) {
 		panic("pager: SetJournal inside a transaction")
 	}
 	p.jrn = jrn
+	p.jrnInto, _ = jrn.(PageVersionInto)
 }
 
 // DropCache empties the page cache (after recovery, or to simulate a
@@ -433,10 +476,5 @@ func (p *Pager) DropCache() {
 func (p *Pager) DirtyPages() int { return len(p.dirty) }
 
 func sortFrames(frames []Frame) {
-	// Insertion sort: frame counts per transaction are small.
-	for i := 1; i < len(frames); i++ {
-		for j := i; j > 0 && frames[j].Pgno < frames[j-1].Pgno; j-- {
-			frames[j], frames[j-1] = frames[j-1], frames[j]
-		}
-	}
+	sort.Slice(frames, func(i, j int) bool { return frames[i].Pgno < frames[j].Pgno })
 }

@@ -24,7 +24,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc64"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/ext4"
 	"repro/internal/metrics"
@@ -93,10 +95,29 @@ type WAL struct {
 	mu       sync.RWMutex
 	salt     uint64
 	frames   []frameInfo
-	index    map[uint32]int // pgno -> latest committed frame
-	chain    uint64         // running checksum of the last frame
-	prealloc int            // next pre-allocation size in pages
+	index    map[uint32]int   // pgno -> latest committed frame
+	byPage   map[uint32][]int // pgno -> ascending frame indices (wal-index)
+	chain    uint64           // running checksum of the last frame
+	prealloc int              // next pre-allocation size in pages
+	// nBackfill is the backfill watermark: frames below it are already
+	// durable in the database file (SQLite's nBackfill). The log only
+	// resets (truncate + fresh salt) when fully backfilled and no
+	// snapshot reader is open; otherwise a checkpoint just advances the
+	// watermark and commits keep appending.
+	nBackfill int
+	// epoch counts log resets. Marks encode it in their high bits so a
+	// mark taken before a reset can never index frames appended after
+	// it — such readers fall back to the (fully backfilled) database
+	// file instead.
+	epoch int
+	// ckptMu serializes checkpointers; never held by commits or reads.
+	ckptMu sync.Mutex
 }
+
+// markBits is the width of the frame-index part of an encoded mark.
+const markBits = 32
+
+func (w *WAL) encodeMark(frame int) int { return w.epoch<<markBits | frame }
 
 // Open attaches to (or creates) the write-ahead log file name on fs.
 // Existing committed frames are recovered; a trailing uncommitted or
@@ -119,6 +140,7 @@ func Open(fs *ext4.FS, name string, db pager.DBFile, opts Options, m *metrics.Co
 		opts:     opts,
 		m:        m,
 		index:    make(map[uint32]int),
+		byPage:   make(map[uint32][]int),
 		prealloc: opts.InitialPrealloc,
 	}
 	if f.Size() == 0 {
@@ -262,14 +284,26 @@ func (w *WAL) recover() error {
 	w.frames = scanned[:lastCommit+1]
 	for i, fi := range w.frames {
 		w.index[fi.pgno] = i
+		w.byPage[fi.pgno] = append(w.byPage[fi.pgno], i)
 	}
 	return nil
+}
+
+// lockWriter takes the exclusive writer lock, charging the wait to the
+// commit-stall metric (wall time: the simulated clock does not advance
+// while a goroutine waits on a mutex).
+func (w *WAL) lockWriter() {
+	start := time.Now()
+	w.mu.Lock()
+	if d := time.Since(start); d > 0 {
+		w.m.Inc(metrics.CommitStallNanos, d.Nanoseconds())
+	}
 }
 
 // CommitTransaction implements pager.Journal: append one frame per
 // dirty page, the last carrying the commit mark, then fsync once.
 func (w *WAL) CommitTransaction(frames []pager.Frame) error {
-	w.mu.Lock()
+	w.lockWriter()
 	defer w.mu.Unlock()
 	return w.commitFrames(frames)
 }
@@ -280,7 +314,7 @@ func (w *WAL) CommitTransaction(frames []pager.Frame) error {
 // slots unreferenced (w.frames never advanced); they are simply
 // overwritten by the next commit.
 func (w *WAL) CommitGroup(groups [][]pager.Frame) error {
-	w.mu.Lock()
+	w.lockWriter()
 	defer w.mu.Unlock()
 	coalesced := pager.CoalesceGroups(groups)
 	if len(coalesced) == 0 {
@@ -320,6 +354,7 @@ func (w *WAL) commitFrames(frames []pager.Frame) error {
 	for i, fr := range frames {
 		w.frames = append(w.frames, frameInfo{pgno: fr.Pgno, commit: i == len(frames)-1})
 		w.index[fr.Pgno] = base + i
+		w.byPage[fr.Pgno] = append(w.byPage[fr.Pgno], base+i)
 	}
 	w.m.Inc(metrics.WALFrames, int64(len(frames)))
 	w.m.Inc(metrics.Transactions, 1)
@@ -358,76 +393,165 @@ func (w *WAL) pageVersionLocked(pgno uint32) ([]byte, bool) {
 	return page, true
 }
 
-// FramesSinceCheckpoint implements pager.Journal.
+// PageVersionInto implements pager.PageVersionInto: read the newest
+// committed image of pgno straight into the caller's buffer, skipping
+// the intermediate allocation.
+func (w *WAL) PageVersionInto(pgno uint32, buf []byte) bool {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	i, ok := w.index[pgno]
+	if !ok {
+		return false
+	}
+	return w.readPayloadInto(i, buf)
+}
+
+// readPayloadInto reads frame i's payload into buf (a full page). In
+// optimized mode the payload omits the page's zero tail, which is
+// restored here.
+func (w *WAL) readPayloadInto(i int, buf []byte) bool {
+	payload := w.frameBytes() - frameHeaderSize
+	if n, err := w.file.ReadAt(buf[:payload], w.frameSlot(i)+frameHeaderSize); err != nil || n < payload {
+		return false
+	}
+	for j := payload; j < len(buf); j++ {
+		buf[j] = 0
+	}
+	return true
+}
+
+// FramesSinceCheckpoint implements pager.Journal: frames not yet
+// backfilled into the database file.
 func (w *WAL) FramesSinceCheckpoint() int {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
-	return len(w.frames)
+	return len(w.frames) - w.nBackfill
 }
 
-// Mark implements pager.SnapshotJournal: the end of the committed log.
+// Mark implements pager.SnapshotJournal: the end of the committed log,
+// tagged with the reset epoch so marks stay monotone across log resets.
 func (w *WAL) Mark() int {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
-	return len(w.frames)
+	return w.encodeMark(len(w.frames))
 }
 
 // PageVersionAt implements pager.SnapshotJournal: the newest frame for
-// pgno at or before the mark wins (every file-WAL frame is a full page
-// image).
+// pgno below the mark wins (every file-WAL frame is a full page image),
+// found by binary search in the per-page index. A mark from an earlier
+// epoch predates a log reset — a reset requires the log fully
+// backfilled, so the database file serves that snapshot exactly.
 func (w *WAL) PageVersionAt(pgno uint32, mark int) ([]byte, bool) {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
-	if mark > len(w.frames) {
-		mark = len(w.frames)
+	if mark>>markBits != w.epoch {
+		return nil, false
 	}
-	for i := mark - 1; i >= 0; i-- {
-		if w.frames[i].pgno != pgno {
-			continue
-		}
-		buf := make([]byte, w.frameBytes())
-		if n, err := w.file.ReadAt(buf, w.frameSlot(i)); err != nil && n < frameHeaderSize {
-			return nil, false
-		}
-		page := make([]byte, w.pageSize)
-		copy(page, buf[frameHeaderSize:])
-		return page, true
+	idxs := w.byPage[pgno]
+	n := sort.SearchInts(idxs, mark&(1<<markBits-1))
+	if n == 0 {
+		return nil, false
 	}
-	return nil, false
+	page := make([]byte, w.pageSize)
+	if !w.readPayloadInto(idxs[n-1], page) {
+		return nil, false
+	}
+	return page, true
 }
 
-// Checkpoint implements pager.Journal: write every page's newest
-// committed frame into the database file, fsync it, and reset the log
-// with a fresh salt (§2, §4.3).
-func (w *WAL) Checkpoint() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if len(w.frames) == 0 {
+// Checkpoint implements pager.Journal as a blocking alias: one
+// incremental round with no reader gate.
+func (w *WAL) Checkpoint() error { return w.CheckpointIncremental(nil) }
+
+// CheckpointIncremental implements pager.IncrementalJournal: write the
+// unbackfilled frames' pages to the database file and fsync with no
+// lock held — commits keep appending, since frame slots below the
+// watermark are never rewritten — then advance the backfill watermark.
+// The log file itself only resets (truncate + fresh salt, invalidating
+// frame indices) when it is fully backfilled and the gate confirms no
+// snapshot reader is open at all; a growing log between resets is the
+// price of not blocking, exactly as in SQLite.
+//
+// gate, when non-nil, is consulted with the candidate watermark before
+// any page is written back; returning false aborts the round with
+// pager.ErrCheckpointPending.
+func (w *WAL) CheckpointIncremental(gate func(watermark int) bool) error {
+	w.ckptMu.Lock()
+	defer w.ckptMu.Unlock()
+
+	// Snapshot the dirty region under the lock. index[pgno] is the
+	// page's newest frame; it is below the watermark by construction.
+	w.mu.RLock()
+	watermark := len(w.frames)
+	dirty := make(map[uint32]int)
+	for i := w.nBackfill; i < watermark; i++ {
+		pgno := w.frames[i].pgno
+		dirty[pgno] = w.index[pgno]
+	}
+	frames := len(w.frames)
+	w.mu.RUnlock()
+	if watermark == w.nBackfill && frames == 0 {
 		return nil
 	}
-	for pgno := range w.index {
-		img, ok := w.pageVersionLocked(pgno)
-		if !ok {
-			return fmt.Errorf("wal: lost frame for page %d during checkpoint", pgno)
+
+	// The writeback below makes images newer than some marks visible in
+	// the database file; the gate guarantees no open reader would see
+	// them through its fallback path.
+	if gate != nil && !gate(w.encodeMark(watermark)) {
+		return pager.ErrCheckpointPending
+	}
+
+	if len(dirty) > 0 {
+		start := time.Now()
+		page := make([]byte, w.pageSize)
+		for pgno, i := range dirty {
+			if !w.readPayloadInto(i, page) {
+				return fmt.Errorf("wal: lost frame for page %d during checkpoint", pgno)
+			}
+			if err := w.db.WritePage(pgno, page); err != nil {
+				return err
+			}
 		}
-		if err := w.db.WritePage(pgno, img); err != nil {
+		if err := w.db.Sync(); err != nil {
 			return err
 		}
+		w.m.Inc(metrics.CheckpointPages, int64(len(dirty)))
+		w.m.Inc(metrics.CheckpointNanos, time.Since(start).Nanoseconds())
 	}
-	if err := w.db.Sync(); err != nil {
-		return err
+
+	// Resetting the log invalidates frame indices, so it needs the log
+	// fully backfilled and no reader open at any mark (every open mark
+	// is at most the current end): probe the gate one past the end.
+	// Checked before re-taking w.mu — the gate takes the database
+	// layer's reader-registry lock, which readers hold while calling
+	// Mark. A reader slipping in after the probe still reads correctly:
+	// its epoch-tagged mark falls back to the database file, which the
+	// reset just made exact.
+	allowReset := gate == nil || gate(w.encodeMark(watermark)+1)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.nBackfill = watermark
+	didReset := false
+	if allowReset && len(w.frames) == watermark && watermark > 0 {
+		// A new salt fences any stale frames left in the file.
+		w.salt++
+		w.file.Truncate(0)
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+		w.file.Fsync()
+		w.frames = nil
+		w.index = make(map[uint32]int)
+		w.byPage = make(map[uint32][]int)
+		w.nBackfill = 0
+		w.epoch++
+		w.prealloc = w.opts.InitialPrealloc
+		didReset = true
 	}
-	// The log can now be truncated; a new salt fences any stale frames.
-	w.salt++
-	w.file.Truncate(0)
-	if err := w.writeHeader(); err != nil {
-		return err
+	if len(dirty) > 0 || didReset {
+		w.m.Inc(metrics.Checkpoints, 1)
 	}
-	w.file.Fsync()
-	w.frames = nil
-	w.index = make(map[uint32]int)
-	w.prealloc = w.opts.InitialPrealloc
-	w.m.Inc(metrics.Checkpoints, 1)
 	return nil
 }
 
