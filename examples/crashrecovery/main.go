@@ -70,17 +70,24 @@ func scenario(title, step, expect string) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		tx.Insert("ledger", []byte("balance:alice"), []byte("60"))
-		tx.Insert("ledger", []byte("balance:bob"), []byte("40"))
+		ins := func(k, v string) {
+			if err := tx.Insert("ledger", []byte(k), []byte(v)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		ins("balance:alice", "60")
+		ins("balance:bob", "40")
 		// An audit trail big enough to dirty fresh B-tree pages, so the
 		// commit needs a new NVRAM block and every injection point is
 		// reachable. Atomicity must cover all of it.
 		for i := 0; i < 80; i++ {
 			k := fmt.Sprintf("audit:%04d", i)
 			entry := fmt.Sprintf("transfer 40 alice->bob (entry %d) %s", i, strings.Repeat("=", 160))
-			tx.Insert("ledger", []byte(k), []byte(entry))
+			ins(k, entry)
 		}
-		tx.Commit()
+		if err := tx.Commit(); err != nil {
+			log.Fatal(err)
+		}
 	}()
 	fmt.Printf("power failed mid-protocol: %v\n", crashed)
 

@@ -69,6 +69,7 @@ type Device struct {
 	rec     *trace.Recorder
 	durable map[int][]byte // page -> content surviving power failure
 	pending map[int][]byte // written, not yet flushed
+	frozen  map[int][]byte // durable image captured by Freeze, restored by PowerFail
 }
 
 // New creates a device. rec may be nil to disable tracing.
@@ -149,10 +150,38 @@ func (d *Device) Sync() {
 	d.m.Inc(metrics.Fsync, 1)
 }
 
+// Freeze captures the current durable image as what the next PowerFail
+// restores, regardless of Syncs that complete in between. It is the
+// block-device half of a coordinated crash instant: a crash-injection
+// harness freezes every device at the same moment, lets the doomed
+// execution run on, and then fails power. A shallow copy of the durable
+// map suffices because page buffers are replaced, never mutated.
+func (d *Device) Freeze() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.frozen = make(map[int][]byte, len(d.durable))
+	for page, buf := range d.durable {
+		d.frozen[page] = buf
+	}
+}
+
+// Unfreeze discards a captured image so the next PowerFail resolves the
+// then-current state normally.
+func (d *Device) Unfreeze() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.frozen = nil
+}
+
 // PowerFail drops the volatile write buffer: unsynced writes are lost.
+// If Freeze captured an image, the durable state rolls back to it.
 func (d *Device) PowerFail() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.frozen != nil {
+		d.durable = d.frozen
+		d.frozen = nil
+	}
 	d.pending = make(map[int][]byte)
 }
 

@@ -83,6 +83,15 @@ type Config struct {
 	// study: asynchronous commit is probabilistically safe, and
 	// shrinking the checksum makes its failure mode observable.
 	ChecksumMask uint32
+	// UnsafeEarlyCommitMark deliberately breaks Algorithm 1's ordering
+	// for SyncLazy: the commit mark is written and persisted BEFORE the
+	// frame batch is flushed, and the batch's persist barrier is
+	// skipped, so Commit acknowledges transactions whose frames are
+	// merely queued on the memory controller. TEST-ONLY: it exists to
+	// prove the crash-consistency fuzzer detects ordering violations
+	// (an acknowledged transaction vanishes after a crash). Never set
+	// it outside a test or the fuzzer's -bug mode.
+	UnsafeEarlyCommitMark bool
 }
 
 // effMask returns the effective validation mask.
@@ -728,6 +737,22 @@ func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
 		newVersions[fr.Pgno] = img
 	}
 
+	// The deliberate ordering bug (see Config.UnsafeEarlyCommitMark):
+	// persist the commit mark while the frames it covers are still
+	// dirty in cache, then let the batch flush queue them without a
+	// persist barrier. The transaction is acknowledged durable while
+	// its frames would not survive a power failure.
+	earlyMark := w.cfg.UnsafeEarlyCommitMark && w.cfg.Sync == SyncLazy
+	if earlyMark && commit && len(written) > 0 {
+		last := written[len(written)-1]
+		w.dev.PutUint64(last.addr, commitValue)
+		w.dev.MemoryBarrier()
+		w.dev.Syscall()
+		w.dev.Flush(last.addr, last.addr+8)
+		w.dev.MemoryBarrier()
+		w.dev.PersistBarrier()
+	}
+
 	switch {
 	case w.cfg.Sync == SyncLazy && len(written) > 0:
 		// Algorithm 1 lines 21–28: one dmb, a batch of per-frame
@@ -738,7 +763,9 @@ func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
 			w.dev.Flush(f.addr, f.addr+uint64(f.size))
 		}
 		w.dev.MemoryBarrier()
-		w.dev.PersistBarrier()
+		if !earlyMark {
+			w.dev.PersistBarrier()
+		}
 	case w.cfg.Sync == SyncEpochPersistency && len(written) > 0:
 		// §4.4 relaxed persistency: one hardware epoch boundary closes
 		// the logging phase; no flush instructions, no kernel crossing.
@@ -748,7 +775,7 @@ func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
 	// checksums written above let recovery detect torn log entries.
 	w.step(StepAfterLogFlush)
 
-	if commit && len(written) > 0 {
+	if commit && len(written) > 0 && !earlyMark {
 		// Algorithm 1 lines 29–35: set the commit mark in the last
 		// frame's header and persist it with 8-byte atomicity.
 		last := written[len(written)-1]

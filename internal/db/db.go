@@ -455,7 +455,7 @@ func (d *DB) CreateTable(table string) error {
 	binary.LittleEndian.PutUint16(hdr[catalogOff:], uint16(n+1))
 	d.chargeCPU(d.opts.CPU.TxnFixed)
 	d.cacheTree(table, t)
-	if err := d.commitHeldTxn(); err != nil { // releases the slot
+	if _, err := d.commitHeldTxn(); err != nil { // releases the slot
 		d.uncacheTree(table)
 		return err
 	}
@@ -518,7 +518,8 @@ func (d *DB) DropTable(table string) error {
 	}
 	d.chargeCPU(d.opts.CPU.TxnFixed)
 	d.uncacheTree(table)
-	return d.commitHeldTxn() // releases the slot
+	_, err = d.commitHeldTxn() // releases the slot
+	return err
 }
 
 // Tables lists the catalog in sorted name order.
@@ -553,8 +554,15 @@ func (d *DB) HasTable(table string) bool {
 type Tx struct {
 	db     *DB
 	done   bool
-	ownReg bool // this txn registered itself with the group committer
+	ownReg bool   // this txn registered itself with the group committer
+	seq    uint64 // commit sequence number, set by a successful Commit
 }
+
+// Seq returns the transaction's commit sequence number: 1-based,
+// strictly increasing in journal-application order across all writers.
+// Valid only after Commit returned nil; a crash-consistency oracle uses
+// it to order acknowledged transactions without observing the journal.
+func (tx *Tx) Seq() uint64 { return tx.seq }
 
 // Begin opens a write transaction. In Concurrent mode it blocks until
 // the current writer finishes; in legacy mode it returns ErrTxnOpen.
@@ -741,13 +749,14 @@ func (tx *Tx) Commit() error {
 	tx.done = true
 	d := tx.db
 	d.chargeCPU(d.opts.CPU.TxnFixed)
-	err := d.commitHeldTxn() // releases the slot
+	seq, err := d.commitHeldTxn() // releases the slot
 	if tx.ownReg {
 		d.gc.unregister()
 	}
 	if err != nil {
 		return err
 	}
+	tx.seq = seq
 	return d.maybeAutoCheckpoint()
 }
 
@@ -764,11 +773,12 @@ func (tx *Tx) Rollback() {
 	}
 }
 
-// commitHeldTxn durably commits the pager's open write transaction.
-// Called with the writer slot held; the slot is released by the time it
-// returns (the grouped path must free it so the rest of the group can
-// enqueue behind it).
-func (d *DB) commitHeldTxn() error {
+// commitHeldTxn durably commits the pager's open write transaction and
+// returns its commit sequence number (1-based, in journal-application
+// order). Called with the writer slot held; the slot is released by the
+// time it returns (the grouped path must free it so the rest of the
+// group can enqueue behind it).
+func (d *DB) commitHeldTxn() (uint64, error) {
 	gc := d.gc
 	gc.mu.Lock()
 	if gc.failed != nil {
@@ -776,28 +786,35 @@ func (d *DB) commitHeldTxn() error {
 		gc.mu.Unlock()
 		d.pg.Rollback()
 		d.releaseSlot()
-		return err
+		return 0, err
 	}
 	if len(gc.queue) == 0 && (gc.size <= 1 || gc.writers <= 1) {
 		// Solo fast path: no group to join and no peer on the way.
 		// Flush synchronously while the pager transaction is still open,
-		// so a journal failure rolls it back cleanly.
+		// so a journal failure rolls it back cleanly. The seq assignment
+		// is ordered: no other commit can touch the journal until this
+		// writer releases the slot.
+		gc.nextSeq++
+		seq := gc.nextSeq
 		gc.mu.Unlock()
 		err := d.pg.Commit()
 		d.releaseSlot()
-		return err
+		return seq, err
 	}
 	// Grouped path: hand the frames to the queue, close the pager
 	// transaction (later writers build on its cache), free the slot, and
-	// wait for a leader to flush the group.
+	// wait for a leader to flush the group. Queue order is flush order,
+	// so enqueue-time seq matches journal order.
 	frames, err := d.pg.PrepareCommit()
 	if err != nil {
 		gc.mu.Unlock()
 		d.pg.Rollback()
 		d.releaseSlot()
-		return err
+		return 0, err
 	}
+	gc.nextSeq++
 	req := &commitReq{frames: cloneFrames(frames), done: make(chan struct{})}
+	seq := gc.nextSeq
 	d.pg.FinishCommit()
 	gc.queue = append(gc.queue, req)
 	if len(gc.queue) >= gc.size || len(gc.queue) >= gc.writers {
@@ -806,7 +823,7 @@ func (d *DB) commitHeldTxn() error {
 	gc.mu.Unlock()
 	d.releaseSlot()
 	<-req.done
-	return req.err
+	return seq, req.err
 }
 
 // maybeAutoCheckpoint runs the post-commit checkpoint when the log
@@ -1024,6 +1041,21 @@ func (d *DB) Close() error {
 		err = fmt.Errorf("db: background checkpoint failed: %w", latched)
 	}
 	return err
+}
+
+// Abandon stops the background checkpointer goroutine without
+// checkpointing or touching the journal. It is the right way to discard
+// a DB whose underlying platform has crashed (PowerFail): Close would
+// checkpoint into a failed device, while letting the handle leak would
+// leave the checkpointer goroutine alive. Safe to call repeatedly — at
+// most once effective; the handle must not be used afterwards.
+func (d *DB) Abandon() {
+	if d.ckptQuit != nil {
+		d.closeOnce.Do(func() {
+			close(d.ckptQuit)
+			<-d.ckptDone
+		})
+	}
 }
 
 // Check verifies the structural invariants of every table's tree.

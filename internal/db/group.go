@@ -35,6 +35,11 @@ type groupCommitter struct {
 	mu      sync.Mutex
 	writers int          // registered writers (sessions + in-flight anonymous txns)
 	queue   []*commitReq // committed transactions awaiting a flush
+	// nextSeq numbers committed transactions in journal-application
+	// order: assigned under mu at enqueue (grouped path, where queue
+	// order is flush order) or inside the solo critical section (where
+	// the slot serializes the journal write against any other commit).
+	nextSeq uint64
 	// failed latches a grouped-flush error. By the time a group flushes,
 	// its pre-images are gone and later transactions have built on its
 	// pages in the pager cache, so the failure cannot be rolled back —

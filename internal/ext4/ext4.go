@@ -86,6 +86,20 @@ type FS struct {
 
 	metaDirty  bool // inode update pending
 	allocDirty bool // block allocation pending
+
+	// frozen, when non-nil, is the durable state captured by Freeze; the
+	// next PowerFail reverts to it instead of the latest journal commit.
+	frozen *frozenMeta
+}
+
+// frozenMeta is a point-in-time reference to the durable metadata
+// snapshot. References suffice: snapshotMeta rebuilds these structures
+// wholesale at each journal commit and never mutates them in place.
+type frozenMeta struct {
+	files     map[string]*inode
+	nextPage  int
+	free      []int
+	unwritten map[int]bool
 }
 
 // New mounts a fresh file system on dev.
@@ -201,11 +215,45 @@ func (fs *FS) snapshotMeta() {
 	}
 }
 
+// Freeze captures the current durable state (file-system metadata and
+// the device's synced pages) as what the next PowerFail reverts to,
+// regardless of journal commits that complete in between. Used by the
+// crash-injection harness to pin the crash instant while doomed
+// execution continues.
+func (fs *FS) Freeze() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.frozen = &frozenMeta{
+		files:     fs.durableFiles,
+		nextPage:  fs.durableNextPage,
+		free:      fs.durableFree,
+		unwritten: fs.durableUnwritten,
+	}
+	fs.dev.Freeze()
+}
+
+// Unfreeze discards a captured state so the next PowerFail reverts to
+// the latest journal commit as usual.
+func (fs *FS) Unfreeze() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.frozen = nil
+	fs.dev.Unfreeze()
+}
+
 // PowerFail models a crash: unsynced data pages are dropped and the
-// metadata reverts to the last journal commit.
+// metadata reverts to the last journal commit — or to the Freeze point,
+// if one was captured.
 func (fs *FS) PowerFail() {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	if fr := fs.frozen; fr != nil {
+		fs.durableFiles = fr.files
+		fs.durableNextPage = fr.nextPage
+		fs.durableFree = fr.free
+		fs.durableUnwritten = fr.unwritten
+		fs.frozen = nil
+	}
 	fs.dev.PowerFail()
 	fs.cache = make(map[int][]byte)
 	fs.dirty = make(map[int]string)

@@ -40,6 +40,7 @@ package memsim
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -159,6 +160,23 @@ type lruNode struct {
 	prev, next *lruNode
 }
 
+// crashArm is a one-shot power-failure trigger: when the domain's
+// persistence-operation counter reaches target, the durable image that
+// would survive a PowerFail at that exact instant is frozen. Execution
+// continues afterwards (the still-running goroutines are ghosts of a
+// machine whose power already failed), and the next PowerFail call
+// restores the frozen image instead of resolving the then-current state.
+// This is what lets a crash-consistency fuzzer fail power in the middle
+// of an operation — after the Nth flush or barrier — without having to
+// stop every goroutine at that instant.
+type crashArm struct {
+	target    int64
+	policy    FailPolicy
+	seed      int64
+	onTrigger func()
+	triggered bool
+}
+
 // Domain is one NVRAM persistence domain: an address space, the cache
 // overlay in front of it, and the memory-controller queue between them.
 // Domain is safe for concurrent use, though the simulated database is
@@ -181,6 +199,12 @@ type Domain struct {
 	// lastCompletion is the max across banks (what barriers wait for).
 	bankFree       []time.Duration
 	lastCompletion time.Duration
+
+	// ops counts persistence operations (stores, per-line flushes,
+	// barriers) for the ArmCrash trigger.
+	ops    int64
+	arm    *crashArm
+	frozen []byte // durable image captured when the armed trigger fired
 
 	failed bool
 }
@@ -241,6 +265,11 @@ func (d *Domain) checkRange(addr uint64, n int) {
 
 // Write stores p at addr through the cache. The data becomes visible to
 // Read immediately but is not durable until flushed and persisted.
+//
+// A store to a failed domain is silently dropped: the power is off, so
+// the write never happens. (It used to panic, but a crash-injection
+// harness may fail power while other goroutines still have stores in
+// flight, and those stragglers must not take the process down.)
 func (d *Domain) Write(addr uint64, p []byte) {
 	if len(p) == 0 {
 		return
@@ -249,7 +278,7 @@ func (d *Domain) Write(addr uint64, p []byte) {
 	defer d.mu.Unlock()
 	d.checkRange(addr, len(p))
 	if d.failed {
-		panic("memsim: write to failed domain (call Recover first)")
+		return
 	}
 	copy(d.volatileMem[addr:], p)
 
@@ -262,6 +291,7 @@ func (d *Domain) Write(addr uint64, p []byte) {
 	for la := first; la <= last; la += uint64(d.cfg.CacheLineSize) {
 		d.touchDirty(la)
 	}
+	d.countOpLocked()
 }
 
 // touchDirty marks line la dirty and most-recently-used, evicting the LRU
@@ -369,6 +399,9 @@ func (d *Domain) CacheLineFlush(start, end uint64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.checkRange(start, int(end-start))
+	if d.failed {
+		return
+	}
 	first := d.lineAddr(start)
 	last := d.lineAddr(end - 1)
 	for la := first; la <= last; la += uint64(d.cfg.CacheLineSize) {
@@ -382,6 +415,7 @@ func (d *Domain) CacheLineFlush(start, end uint64) {
 			d.clock.Advance(d.cfg.FlushIssueCost)
 			d.m.AddTime(metrics.TimeFlush, d.cfg.FlushIssueCost)
 		}
+		d.countOpLocked()
 	}
 }
 
@@ -408,6 +442,9 @@ func (d *Domain) Syscall() {
 func (d *Domain) MemoryBarrier() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.failed {
+		return
+	}
 	d.m.Inc(metrics.MemoryBarrier, 1)
 	now := d.clock.Now()
 	if d.lastCompletion > now {
@@ -417,6 +454,7 @@ func (d *Domain) MemoryBarrier() {
 	}
 	d.clock.Advance(d.cfg.BarrierCost)
 	d.m.AddTime(metrics.TimeBarrier, d.cfg.BarrierCost)
+	d.countOpLocked()
 }
 
 // PersistBarrier drains the memory-controller queue into NVRAM cells and
@@ -425,6 +463,9 @@ func (d *Domain) MemoryBarrier() {
 func (d *Domain) PersistBarrier() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.failed {
+		return
+	}
 	d.m.Inc(metrics.PersistBarrier, 1)
 	now := d.clock.Now()
 	if d.lastCompletion > now {
@@ -444,6 +485,11 @@ func (d *Domain) PersistBarrier() {
 			delete(d.lines, la)
 		}
 	}
+	// Counted after the queue drains, so a crash armed at this op index
+	// observes the barrier's durability effect (a crash "at" a persist
+	// barrier means the barrier completed; crashes inside the drain are
+	// exercised by arming on the flushes that precede it).
+	d.countOpLocked()
 }
 
 // EpochBarrier models the persist barrier of an epoch-persistency
@@ -455,6 +501,9 @@ func (d *Domain) PersistBarrier() {
 func (d *Domain) EpochBarrier() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.failed {
+		return
+	}
 	d.m.Inc(metrics.PersistBarrier, 1)
 	// Hardware write-back of all dirty lines: enqueue without per-line
 	// issue cost (no instructions are executed for them).
@@ -507,29 +556,24 @@ func (d *Domain) EpochBarrier() {
 // resolved according to the policy; afterwards the domain serves only
 // persisted content until Recover is called. seed drives the adversarial
 // policy's line-survival choices.
+//
+// If an ArmCrash trigger has fired, the durable image frozen at the
+// trigger instant is restored instead: the machine's power failed back
+// then, and everything executed since was a ghost. PowerFail is safe to
+// call concurrently with in-flight stores, flushes and barriers from
+// other goroutines — they serialize on the domain mutex and become
+// no-ops once failed is set.
 func (d *Domain) PowerFail(policy FailPolicy, seed int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	rng := rand.New(rand.NewSource(seed))
-	now := d.clock.Now()
-	for la, st := range d.lines {
-		switch policy {
-		case FailDropAll:
-			// nothing survives
-		case FailKeepCompleted:
-			if st.queued && st.completion <= now {
-				copy(d.persisted[la:], st.queuedData)
-			}
-		case FailAdversarial:
-			if st.queued && rng.Intn(2) == 0 {
-				copy(d.persisted[la:], st.queuedData)
-			}
-			if st.dirty && rng.Intn(4) == 0 {
-				// Spontaneous hardware eviction made this line durable
-				// even though it was never explicitly flushed.
-				copy(d.persisted[la:], d.volatileMem[la:la+uint64(d.cfg.CacheLineSize)])
-			}
-		}
+	if d.frozen != nil {
+		copy(d.persisted, d.frozen)
+		d.frozen = nil
+	} else {
+		d.resolveSurvivorsLocked(d.persisted, policy, seed)
+	}
+	d.arm = nil
+	for la := range d.lines {
 		delete(d.lines, la)
 	}
 	d.lruHead, d.lruTail = nil, nil
@@ -540,6 +584,111 @@ func (d *Domain) PowerFail(policy FailPolicy, seed int64) {
 	}
 	copy(d.volatileMem, d.persisted)
 	d.failed = true
+}
+
+// resolveSurvivorsLocked applies a fail policy to the current cache and
+// controller-queue state, writing surviving lines into dst. Lines are
+// visited in ascending address order so the adversarial policy's seeded
+// choices are deterministic (map iteration order is not). Caller holds
+// d.mu.
+func (d *Domain) resolveSurvivorsLocked(dst []byte, policy FailPolicy, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	now := d.clock.Now()
+	addrs := make([]uint64, 0, len(d.lines))
+	for la := range d.lines {
+		addrs = append(addrs, la)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, la := range addrs {
+		st := d.lines[la]
+		switch policy {
+		case FailDropAll:
+			// nothing survives
+		case FailKeepCompleted:
+			if st.queued && st.completion <= now {
+				copy(dst[la:], st.queuedData)
+			}
+		case FailAdversarial:
+			if st.queued && rng.Intn(2) == 0 {
+				copy(dst[la:], st.queuedData)
+			}
+			if st.dirty && rng.Intn(4) == 0 {
+				// Spontaneous hardware eviction made this line durable
+				// even though it was never explicitly flushed.
+				copy(dst[la:], d.volatileMem[la:la+uint64(d.cfg.CacheLineSize)])
+			}
+		}
+	}
+}
+
+// countOpLocked advances the persistence-operation counter and fires the
+// armed crash trigger when the counter reaches its target: the durable
+// image a PowerFail at this instant would leave behind is captured into
+// d.frozen under the same mutex hold, so no concurrent store can slip
+// into it. Caller holds d.mu.
+func (d *Domain) countOpLocked() {
+	d.ops++
+	if d.arm == nil || d.arm.triggered || d.ops < d.arm.target {
+		return
+	}
+	d.arm.triggered = true
+	d.frozen = make([]byte, len(d.persisted))
+	copy(d.frozen, d.persisted)
+	d.resolveSurvivorsLocked(d.frozen, d.arm.policy, d.arm.seed)
+	if d.arm.onTrigger != nil {
+		d.arm.onTrigger()
+	}
+}
+
+// ArmCrash installs a one-shot power-failure trigger that fires after
+// afterOps further persistence operations (stores, per-line flushes,
+// barriers; minimum 1). When it fires, the durable image that would
+// survive a PowerFail at that exact operation is frozen under the given
+// policy and seed; execution continues, and the next PowerFail restores
+// the frozen image. onTrigger (may be nil) runs synchronously inside the
+// trigger with the domain mutex held — it must not call back into the
+// domain; it exists so sibling devices (file system, block device) can
+// freeze their own durable state at the same instant.
+func (d *Domain) ArmCrash(afterOps int64, policy FailPolicy, seed int64, onTrigger func()) {
+	if afterOps < 1 {
+		afterOps = 1
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.arm = &crashArm{
+		target:    d.ops + afterOps,
+		policy:    policy,
+		seed:      seed,
+		onTrigger: onTrigger,
+	}
+	d.frozen = nil
+}
+
+// DisarmCrash removes any armed trigger and discards a frozen image, so
+// a subsequent PowerFail resolves the then-current state normally.
+func (d *Domain) DisarmCrash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.arm = nil
+	d.frozen = nil
+}
+
+// CrashTriggered reports whether an armed trigger has fired. A commit
+// acknowledged while this still reads false completed strictly before
+// the crash instant and must be durable after the PowerFail — the
+// classification edge a crash-consistency oracle needs.
+func (d *Domain) CrashTriggered() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.arm != nil && d.arm.triggered
+}
+
+// OpCount returns the persistence-operation counter, the coordinate
+// space ArmCrash targets live in.
+func (d *Domain) OpCount() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ops
 }
 
 // Recover clears the failed state after a PowerFail, modelling reboot:

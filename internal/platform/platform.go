@@ -105,6 +105,43 @@ func (p *Platform) PowerFail(policy memsim.FailPolicy, seed int64) {
 	p.FS.PowerFail()
 }
 
+// ArmCrash installs a one-shot machine-wide crash trigger that fires
+// after afterOps further NVRAM persistence operations (stores, flushes,
+// barriers). At the trigger instant the durable state of every device —
+// NVRAM under the given fail policy, plus the file system and flash
+// device at their last journal commit / cache flush — is frozen as the
+// image the next PowerFail restores. Execution continues afterwards; the
+// goroutines still running are ghosts of a machine whose power already
+// failed, and whatever they persist is discarded. This is how the
+// crash-consistency fuzzer injects failures mid-operation without
+// having to stop every goroutine at the crash point.
+func (p *Platform) ArmCrash(afterOps int64, policy memsim.FailPolicy, seed int64) {
+	fs := p.FS
+	// The callback runs with the NVRAM domain mutex held; ext4 and
+	// blockdev never call back into memsim, so the memsim→fs→dev lock
+	// order is acyclic.
+	p.NVRAM.Domain().ArmCrash(afterOps, policy, seed, fs.Freeze)
+}
+
+// CrashTriggered reports whether an armed crash trigger has fired. An
+// operation acknowledged while this still reads false completed before
+// the crash instant and must survive the PowerFail.
+func (p *Platform) CrashTriggered() bool {
+	return p.NVRAM.Domain().CrashTriggered()
+}
+
+// DisarmCrash removes an armed trigger and any frozen device images.
+func (p *Platform) DisarmCrash() {
+	p.NVRAM.Domain().DisarmCrash()
+	p.FS.Unfreeze()
+}
+
+// OpCount returns the NVRAM persistence-operation counter — the
+// coordinate space ArmCrash targets, used to size crash windows.
+func (p *Platform) OpCount() int64 {
+	return p.NVRAM.Domain().OpCount()
+}
+
 // Reboot recovers the machine after PowerFail: the NVRAM domain comes
 // back serving persisted content, the heap manager reattaches and
 // reclaims pending blocks. The caller re-opens databases afterwards.

@@ -1,0 +1,254 @@
+// Package torture is a property-based crash-consistency fuzzer for the
+// full db/NVWAL stack. It drives randomized workloads — mixed
+// read/write transactions, concurrent writers, group-commit batches,
+// background checkpoints, heap alloc/free churn — on a simulated
+// platform, injects power failures at random operation boundaries and
+// mid-operation (via the memsim op-count crash trigger), recovers, and
+// checks the survivor against a pure in-memory model oracle.
+//
+// The oracle enforces three invariants over each crash round:
+//
+//   - Durability: every transaction whose Commit was acknowledged
+//     before the crash instant must be present in the survivor.
+//   - Atomicity: the survivor must equal the model state after some
+//     whole number of transactions per worker — a torn transaction
+//     (some of its writes present, some absent) matches no prefix.
+//   - No resurrection: nothing absent from every model prefix —
+//     rolled-back transactions, never-written keys — may appear.
+//
+// A fourth, global check ties the per-worker prefixes together: the
+// journal is a single totally-ordered log, so the set of surviving
+// transactions must be a prefix of the global commit-sequence order,
+// never "transaction 7 survived but transaction 5 (earlier in the log)
+// did not".
+package torture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op is one mutation inside a transaction.
+type Op struct {
+	Key    string
+	Value  string // ignored when Delete is set
+	Delete bool
+}
+
+// Txn is one committed (or commit-attempted) transaction in a round's
+// history, as observed by the workload driver.
+type Txn struct {
+	Worker int
+	Index  int    // 1-based per-worker issue order
+	Seq    uint64 // global commit sequence (journal order); 0 = unknown
+	Acked  bool   // Commit acknowledged before the crash instant
+	Ops    []Op
+}
+
+// History is everything the oracle knows about one crash round: the
+// committed state the round started from and every transaction the
+// workers attempted, in per-worker issue order.
+type History struct {
+	Base    map[string]string
+	Txns    []Txn
+	Workers int
+}
+
+// Violation is one oracle invariant breach.
+type Violation struct {
+	Kind   string // "durability", "atomicity", "resurrection", "order", "error"
+	Worker int    // -1 when not attributable to one worker
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s (worker %d): %s", v.Kind, v.Worker, v.Detail)
+}
+
+// WorkerPrefix returns the key prefix owned by a worker. Workers write
+// only inside their own keyspace, which is what makes per-worker
+// prefix matching sound: restricted to one worker, the totally-ordered
+// journal's survivors are a prefix of that worker's issue order.
+func WorkerPrefix(worker int) string { return fmt.Sprintf("w%02d/", worker) }
+
+// CounterKey is the per-worker key every committed transaction writes
+// its own index into, making each model prefix state distinct (so the
+// survivor matches at most one prefix).
+func CounterKey(worker int) string { return WorkerPrefix(worker) + "#" }
+
+// restrict returns the subset of state within a worker's keyspace.
+func restrict(state map[string]string, worker int) map[string]string {
+	p := WorkerPrefix(worker)
+	out := make(map[string]string)
+	for k, v := range state {
+		if strings.HasPrefix(k, p) {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func sameState(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// diffState renders a compact difference between two states for
+// violation reports.
+func diffState(want, got map[string]string) string {
+	var parts []string
+	keys := make(map[string]bool)
+	for k := range want {
+		keys[k] = true
+	}
+	for k := range got {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		w, wok := want[k]
+		g, gok := got[k]
+		switch {
+		case wok && !gok:
+			parts = append(parts, fmt.Sprintf("missing %q=%q", k, clip(w)))
+		case !wok && gok:
+			parts = append(parts, fmt.Sprintf("extra %q=%q", k, clip(g)))
+		case w != g:
+			parts = append(parts, fmt.Sprintf("%q=%q want %q", k, clip(g), clip(w)))
+		}
+		if len(parts) >= 4 {
+			parts = append(parts, "...")
+			break
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+func clip(s string) string {
+	if len(s) > 16 {
+		return s[:16] + "…"
+	}
+	return s
+}
+
+// applyTxn applies one transaction's ops to a state in place.
+func applyTxn(state map[string]string, t Txn) {
+	for _, op := range t.Ops {
+		if op.Delete {
+			delete(state, op.Key)
+		} else {
+			state[op.Key] = op.Value
+		}
+	}
+}
+
+// Verify checks a recovered survivor state against the round's history
+// and returns every invariant violation found (empty = consistent).
+func Verify(h History, survivor map[string]string) []Violation {
+	var out []Violation
+
+	// Resurrection of foreign keys: everything in the survivor must lie
+	// in some worker's keyspace (the workload writes nowhere else).
+	for k := range survivor {
+		owned := false
+		for w := 0; w < h.Workers; w++ {
+			if strings.HasPrefix(k, WorkerPrefix(w)) {
+				owned = true
+				break
+			}
+		}
+		if !owned {
+			out = append(out, Violation{Kind: "resurrection", Worker: -1,
+				Detail: fmt.Sprintf("survivor holds key %q outside every worker keyspace", k)})
+		}
+	}
+
+	// Per-worker prefix matching.
+	perWorker := make([][]Txn, h.Workers)
+	for _, t := range h.Txns {
+		if t.Worker < 0 || t.Worker >= h.Workers {
+			out = append(out, Violation{Kind: "error", Worker: t.Worker,
+				Detail: fmt.Sprintf("history names worker %d outside [0,%d)", t.Worker, h.Workers)})
+			continue
+		}
+		perWorker[t.Worker] = append(perWorker[t.Worker], t)
+	}
+	matched := make([]int, h.Workers) // survived prefix length per worker
+	for w := 0; w < h.Workers; w++ {
+		txns := perWorker[w]
+		for i, t := range txns {
+			if t.Index != i+1 {
+				out = append(out, Violation{Kind: "error", Worker: w,
+					Detail: fmt.Sprintf("history gap: txn %d found at position %d", t.Index, i+1)})
+				return out
+			}
+		}
+		got := restrict(survivor, w)
+		state := restrict(h.Base, w)
+		acked := 0
+		m := -1
+		if sameState(state, got) {
+			m = 0
+		}
+		for i, t := range txns {
+			applyTxn(state, t)
+			if sameState(state, got) {
+				m = i + 1 // counter key makes prefix states distinct
+			}
+			if t.Acked {
+				acked = i + 1
+			}
+		}
+		switch {
+		case m < 0:
+			// The survivor matches no whole-transaction prefix: a torn
+			// transaction or corrupted replay. Report against the full
+			// model (all txns applied) for the clearest diff.
+			out = append(out, Violation{Kind: "atomicity", Worker: w,
+				Detail: fmt.Sprintf("survivor matches no txn prefix (0..%d); vs full state: %s",
+					len(txns), diffState(state, got))})
+		case m < acked:
+			out = append(out, Violation{Kind: "durability", Worker: w,
+				Detail: fmt.Sprintf("acknowledged txn %d lost: survivor reflects only %d/%d txns",
+					acked, m, len(txns))})
+		}
+		matched[w] = m
+	}
+
+	// Global prefix: the surviving transactions must form a prefix of
+	// the journal's commit-sequence order.
+	var maxSurvived uint64
+	for w := 0; w < h.Workers; w++ {
+		for i := 0; i < matched[w] && i < len(perWorker[w]); i++ {
+			if s := perWorker[w][i].Seq; s > maxSurvived {
+				maxSurvived = s
+			}
+		}
+	}
+	for w := 0; w < h.Workers; w++ {
+		if matched[w] < 0 {
+			continue
+		}
+		for i := matched[w]; i < len(perWorker[w]); i++ {
+			t := perWorker[w][i]
+			if t.Seq != 0 && t.Seq < maxSurvived {
+				out = append(out, Violation{Kind: "order", Worker: w,
+					Detail: fmt.Sprintf("txn %d (seq %d) lost although a later commit (seq %d) survived",
+						t.Index, t.Seq, maxSurvived)})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package torture
+
+import (
+	"strings"
+	"testing"
+)
+
+// mkState builds a state map from alternating key/value pairs.
+func mkState(kv ...string) map[string]string {
+	m := make(map[string]string, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i]] = kv[i+1]
+	}
+	return m
+}
+
+// txn builds a committed-transaction record whose ops set the given
+// key/value pairs plus the mandatory per-worker counter write.
+func txn(worker, index int, seq uint64, acked bool, kv ...string) Txn {
+	t := Txn{Worker: worker, Index: index, Seq: seq, Acked: acked}
+	for i := 0; i+1 < len(kv); i += 2 {
+		t.Ops = append(t.Ops, Op{Key: kv[i], Value: kv[i+1]})
+	}
+	t.Ops = append(t.Ops, Op{Key: CounterKey(worker), Value: string(rune('0' + index))})
+	return t
+}
+
+// applyAll replays txns over a copy of base (test helper for building
+// expected survivor states).
+func applyAll(base map[string]string, txns ...Txn) map[string]string {
+	out := make(map[string]string, len(base))
+	for k, v := range base {
+		out[k] = v
+	}
+	for _, t := range txns {
+		applyTxn(out, t)
+	}
+	return out
+}
+
+func TestOracleTable(t *testing.T) {
+	t1 := txn(0, 1, 1, true, "w00/a", "1")
+	t2 := txn(0, 2, 2, true, "w00/b", "2")
+	t3 := txn(0, 3, 3, false, "w00/a", "3") // in-flight at the crash
+	u1 := txn(1, 1, 4, true, "w01/x", "9")
+
+	cases := []struct {
+		name     string
+		hist     History
+		survivor map[string]string
+		wantKind string // "" = must pass
+	}{
+		{
+			name:     "empty history empty survivor",
+			hist:     History{Base: mkState(), Workers: 1},
+			survivor: mkState(),
+		},
+		{
+			name:     "all acked survived",
+			hist:     History{Base: mkState(), Workers: 1, Txns: []Txn{t1, t2}},
+			survivor: applyAll(mkState(), t1, t2),
+		},
+		{
+			name:     "in-flight txn may be present",
+			hist:     History{Base: mkState(), Workers: 1, Txns: []Txn{t1, t2, t3}},
+			survivor: applyAll(mkState(), t1, t2, t3),
+		},
+		{
+			name:     "in-flight txn may be absent",
+			hist:     History{Base: mkState(), Workers: 1, Txns: []Txn{t1, t2, t3}},
+			survivor: applyAll(mkState(), t1, t2),
+		},
+		{
+			name:     "acked txn lost",
+			hist:     History{Base: mkState(), Workers: 1, Txns: []Txn{t1, t2}},
+			survivor: applyAll(mkState(), t1),
+			wantKind: "durability",
+		},
+		{
+			name: "torn transaction",
+			hist: History{Base: mkState(), Workers: 1, Txns: []Txn{t1, t2}},
+			// t2's data write survived without its counter write.
+			survivor: mkState("w00/a", "1", "w00/b", "2", CounterKey(0), "1"),
+			wantKind: "atomicity",
+		},
+		{
+			name:     "foreign key resurrected",
+			hist:     History{Base: mkState(), Workers: 1, Txns: []Txn{t1}},
+			survivor: applyAll(mkState("zz/rogue", "boo"), t1),
+			wantKind: "resurrection",
+		},
+		{
+			name: "rolled-back write leaked",
+			hist: History{Base: mkState(), Workers: 1, Txns: []Txn{t1}},
+			// A key the model never committed appears alongside t1.
+			survivor: applyAll(mkState("w00/leak", "oops"), t1),
+			wantKind: "atomicity",
+		},
+		{
+			name: "global prefix broken",
+			hist: History{Base: mkState(), Workers: 2, Txns: []Txn{t1, u1}},
+			// u1 (seq 4) survived while t1 (seq 1, acked) was lost:
+			// both a durability loss and an ordering violation.
+			survivor: applyAll(mkState(), u1),
+			wantKind: "order",
+		},
+		{
+			name:     "two workers consistent",
+			hist:     History{Base: mkState(), Workers: 2, Txns: []Txn{t1, t2, u1}},
+			survivor: applyAll(mkState(), t1, t2, u1),
+		},
+		{
+			name: "base carries forward untouched",
+			hist: History{Base: mkState("w00/old", "keep", CounterKey(0), "0"), Workers: 1,
+				Txns: []Txn{txn(0, 1, 1, true, "w00/new", "n")}},
+			survivor: mkState("w00/old", "keep", "w00/new", "n", CounterKey(0), "1"),
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vs := Verify(tc.hist, tc.survivor)
+			if tc.wantKind == "" {
+				if len(vs) != 0 {
+					t.Fatalf("expected clean verification, got %v", vs)
+				}
+				return
+			}
+			found := false
+			for _, v := range vs {
+				if v.Kind == tc.wantKind {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("expected a %q violation, got %v", tc.wantKind, vs)
+			}
+		})
+	}
+}
+
+func TestOracleCounterMakesPrefixesUnique(t *testing.T) {
+	// Two txns writing the same key to the same value are still
+	// distinguishable via the counter, so a lost second txn is caught.
+	a := txn(0, 1, 1, true, "w00/k", "same")
+	b := txn(0, 2, 2, true, "w00/k", "same")
+	hist := History{Base: mkState(), Workers: 1, Txns: []Txn{a, b}}
+	vs := Verify(hist, applyAll(mkState(), a))
+	if len(vs) == 0 || vs[0].Kind != "durability" {
+		t.Fatalf("expected durability violation for lost idempotent txn, got %v", vs)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Kind: "durability", Worker: 3, Detail: "gone"}
+	if !strings.Contains(v.String(), "durability") || !strings.Contains(v.String(), "gone") {
+		t.Fatalf("unexpected rendering: %s", v.String())
+	}
+}

@@ -1,0 +1,535 @@
+package torture
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/memsim"
+	"repro/internal/platform"
+)
+
+// Options configures a fuzzing run.
+type Options struct {
+	// Seed is the master seed; every chain derives its own seed from it.
+	Seed int64
+	// Steps bounds the number of chains (0 = until Duration expires).
+	Steps int
+	// Step, when >= 0, replays exactly one chain — the deterministic
+	// repro mode printed with every violation.
+	Step int
+	// Duration is the wall-clock budget (0 = until Steps chains ran).
+	Duration time.Duration
+	// Workers forces the writer count per chain (0 = randomized).
+	Workers int
+	// Bug enables the deliberately broken commit-mark ordering
+	// (core.Config.UnsafeEarlyCommitMark) to prove the fuzzer catches
+	// ordering violations.
+	Bug bool
+	// Logf receives progress lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Report summarizes a run.
+type Report struct {
+	Chains     int               `json:"chains"`
+	Rounds     int               `json:"rounds"`
+	Txns       int               `json:"txns"`
+	Violations []ViolationReport `json:"violations"`
+	Elapsed    time.Duration     `json:"elapsed_ns"`
+}
+
+// ViolationReport is one oracle violation with its replay coordinates.
+type ViolationReport struct {
+	Step   int    `json:"step"`
+	Seed   int64  `json:"seed"`
+	Round  int    `json:"round"`
+	Chain  string `json:"chain"`
+	Kind   string `json:"kind"`
+	Worker int    `json:"worker"`
+	Detail string `json:"detail"`
+	Repro  string `json:"repro"`
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// mix derives a chain seed from the master seed and step index
+// (splitmix64 finalizer, so adjacent steps decorrelate).
+func mix(seed int64, step int) int64 {
+	z := uint64(seed) + uint64(step)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Run executes chains until the step/duration budget is exhausted and
+// returns the aggregate report. A violation stops the run immediately:
+// every failure is a real finding with a printed repro.
+func Run(opts Options) Report {
+	start := time.Now()
+	rep := Report{}
+	step := 0
+	if opts.Step >= 0 && opts.Steps == 0 && opts.Duration == 0 {
+		opts.Steps = 1
+	}
+	if opts.Step >= 0 {
+		step = opts.Step
+	}
+	for n := 0; ; n++ {
+		if opts.Steps > 0 && n >= opts.Steps {
+			break
+		}
+		if opts.Duration > 0 && time.Since(start) >= opts.Duration {
+			break
+		}
+		res := runChain(opts, step+n)
+		rep.Chains++
+		rep.Rounds += res.rounds
+		rep.Txns += res.txns
+		if len(res.violations) > 0 {
+			rep.Violations = append(rep.Violations, res.violations...)
+			break
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// chainCfg is one chain's sampled configuration.
+type chainCfg struct {
+	label       string
+	variant     core.Config
+	workers     int
+	groupCommit int
+	bgCkpt      bool
+	churn       bool
+	reader      bool
+	rounds      int
+	ckptLimit   int
+	policies    []memsim.FailPolicy
+}
+
+// sampleChain draws a chain configuration. Chains with one worker and
+// no auxiliary goroutines are fully deterministic (single goroutine on
+// a virtual clock), so they replay exactly; concurrent chains trade
+// exact replay for interleaving coverage.
+func sampleChain(rng *rand.Rand, opts Options) chainCfg {
+	var variants []core.NamedConfig
+	if opts.Bug {
+		// The planted bug only affects lazy-sync commit ordering.
+		variants = []core.NamedConfig{
+			{Name: "LS", Cfg: core.VariantLS()},
+			{Name: "LS+Diff", Cfg: core.VariantLSDiff()},
+			{Name: "UH+LS", Cfg: core.VariantUHLS()},
+			{Name: "UH+LS+Diff", Cfg: core.VariantUHLSDiff()},
+		}
+	} else {
+		// SyncChecksum variants are excluded: asynchronous commit may
+		// legally lose acknowledged transactions (§4.2), which the
+		// durability invariant would misreport.
+		variants = []core.NamedConfig{
+			{Name: "E", Cfg: core.VariantE()},
+			{Name: "LS", Cfg: core.VariantLS()},
+			{Name: "LS+Diff", Cfg: core.VariantLSDiff()},
+			{Name: "UH+LS", Cfg: core.VariantUHLS()},
+			{Name: "UH+LS+Diff", Cfg: core.VariantUHLSDiff()},
+			{Name: "SP", Cfg: core.VariantSP()},
+			{Name: "EP", Cfg: core.VariantEP()},
+		}
+	}
+	v := variants[rng.Intn(len(variants))]
+
+	cfg := chainCfg{
+		label:   v.Name,
+		variant: v.Cfg,
+		rounds:  3 + rng.Intn(4),
+	}
+	cfg.variant.UnsafeEarlyCommitMark = opts.Bug
+
+	if opts.Workers > 0 {
+		cfg.workers = opts.Workers
+	} else if rng.Intn(10) < 4 {
+		cfg.workers = 1 // deterministic-replay chains
+	} else {
+		cfg.workers = 2 + rng.Intn(3)
+	}
+	if cfg.workers > 1 {
+		switch rng.Intn(3) {
+		case 0:
+			cfg.groupCommit = 1
+		case 1:
+			cfg.groupCommit = 2
+		default:
+			cfg.groupCommit = cfg.workers
+		}
+		cfg.bgCkpt = rng.Intn(2) == 0
+		cfg.churn = rng.Intn(2) == 0
+		cfg.reader = rng.Intn(2) == 0
+	} else {
+		cfg.groupCommit = 1
+	}
+
+	if opts.Bug {
+		// Keep crash windows open: background checkpoints and heap
+		// churn issue persist barriers that would legally re-persist
+		// the queued-but-unpersisted frames the bug leaves behind.
+		cfg.bgCkpt = false
+		cfg.churn = false
+		cfg.ckptLimit = 1 << 20
+		cfg.policies = []memsim.FailPolicy{memsim.FailDropAll, memsim.FailAdversarial}
+	} else {
+		cfg.ckptLimit = 24 + rng.Intn(120)
+		cfg.policies = []memsim.FailPolicy{
+			memsim.FailDropAll, memsim.FailKeepCompleted, memsim.FailAdversarial,
+		}
+	}
+	return cfg
+}
+
+func (c chainCfg) String() string {
+	return fmt.Sprintf("%s w=%d gc=%d bg=%t churn=%t rd=%t rounds=%d ckpt=%d",
+		c.label, c.workers, c.groupCommit, c.bgCkpt, c.churn, c.reader, c.rounds, c.ckptLimit)
+}
+
+type chainResult struct {
+	rounds     int
+	txns       int
+	violations []ViolationReport
+}
+
+func policyName(p memsim.FailPolicy) string {
+	switch p {
+	case memsim.FailDropAll:
+		return "drop-all"
+	case memsim.FailKeepCompleted:
+		return "keep-completed"
+	default:
+		return "adversarial"
+	}
+}
+
+// runChain runs one crash chain: open a fresh platform, then repeat
+// (workload with an armed crash → power fail → reboot → recover →
+// oracle check) for the configured number of rounds, carrying the
+// survivor forward as the next round's base state.
+func runChain(opts Options, step int) chainResult {
+	seed := mix(opts.Seed, step)
+	rng := rand.New(rand.NewSource(seed))
+	cfg := sampleChain(rng, opts)
+	res := chainResult{}
+
+	repro := fmt.Sprintf("nvwal-fuzz -seed %d -step %d", opts.Seed, step)
+	if opts.Bug {
+		repro += " -bug"
+	}
+	fail := func(round int, v Violation) {
+		res.violations = append(res.violations, ViolationReport{
+			Step: step, Seed: opts.Seed, Round: round, Chain: cfg.String(),
+			Kind: v.Kind, Worker: v.Worker, Detail: v.Detail, Repro: repro,
+		})
+	}
+
+	plat, err := platform.NewTuna()
+	if err != nil {
+		fail(-1, Violation{Kind: "error", Worker: -1, Detail: "platform: " + err.Error()})
+		return res
+	}
+	dbOpts := db.Options{
+		Journal:              db.JournalNVWAL,
+		NVWAL:                cfg.variant,
+		Concurrent:           true,
+		GroupCommit:          cfg.groupCommit,
+		BackgroundCheckpoint: cfg.bgCkpt,
+		CheckpointLimit:      cfg.ckptLimit,
+	}
+	d, err := db.Open(plat, "fuzz", dbOpts)
+	if err != nil {
+		fail(-1, Violation{Kind: "error", Worker: -1, Detail: "open: " + err.Error()})
+		return res
+	}
+	if err := d.CreateTable("t"); err != nil {
+		fail(-1, Violation{Kind: "error", Worker: -1, Detail: "create table: " + err.Error()})
+		return res
+	}
+
+	base := map[string]string{}
+	window := int64(2500)
+	opts.logf("chain %d (seed %d): %s", step, seed, cfg)
+
+	for round := 0; round < cfg.rounds; round++ {
+		policy := cfg.policies[rng.Intn(len(cfg.policies))]
+		armAfter := 1 + rng.Int63n(window)
+		pfSeed := rng.Int63()
+		txnsPer := 3 + rng.Intn(8)
+		opStart := plat.OpCount()
+
+		plat.ArmCrash(armAfter, policy, pfSeed)
+		hist, wvs := runWorkload(d, plat, cfg, base, seed, round, txnsPer)
+		res.txns += len(hist.Txns)
+
+		d.Abandon()
+		plat.PowerFail(policy, pfSeed)
+		if err := plat.Reboot(); err != nil {
+			fail(round, Violation{Kind: "error", Worker: -1, Detail: "reboot: " + err.Error()})
+			return res
+		}
+		d, err = db.Open(plat, "fuzz", dbOpts)
+		if err != nil {
+			fail(round, Violation{Kind: "error", Worker: -1, Detail: "recovery open: " + err.Error()})
+			return res
+		}
+		if !d.HasTable("t") {
+			fail(round, Violation{Kind: "durability", Worker: -1,
+				Detail: "table created before the crash window vanished"})
+			return res
+		}
+		survivor := map[string]string{}
+		err = d.Scan("t", func(k, v []byte) bool {
+			survivor[string(k)] = string(v)
+			return true
+		})
+		if err != nil {
+			fail(round, Violation{Kind: "error", Worker: -1, Detail: "survivor scan: " + err.Error()})
+			return res
+		}
+		if err := d.Check(); err != nil {
+			fail(round, Violation{Kind: "atomicity", Worker: -1, Detail: "btree check: " + err.Error()})
+			return res
+		}
+
+		for _, v := range wvs {
+			fail(round, v)
+		}
+		for _, v := range Verify(hist, survivor) {
+			fail(round, v)
+		}
+		res.rounds++
+		if len(res.violations) > 0 {
+			opts.logf("chain %d round %d (%s): VIOLATION", step, round, policyName(policy))
+			d.Abandon()
+			return res
+		}
+
+		base = survivor
+		if used := plat.OpCount() - opStart; used > 300 {
+			window = used
+		}
+	}
+	_ = d.Close()
+	return res
+}
+
+// runWorkload drives one round's workload with the crash trigger armed:
+// cfg.workers writer goroutines over disjoint keyspaces, plus optional
+// heap churn and snapshot readers. It returns when every goroutine has
+// finished — mid-operation crash semantics come from the armed trigger
+// freezing the durable image while execution continues.
+func runWorkload(d *db.DB, plat *platform.Platform, cfg chainCfg,
+	base map[string]string, seed int64, round, txnsPer int) (History, []Violation) {
+
+	hist := History{Base: base, Workers: cfg.workers}
+	var mu sync.Mutex // guards hist.Txns and violations
+	var violations []Violation
+	var wg sync.WaitGroup
+
+	stop := make(chan struct{})
+	if cfg.churn {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			crng := rand.New(rand.NewSource(mix(seed, round*1000+901)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				blk, err := plat.Heap.NVPreMalloc(4096 * (1 + crng.Intn(2)))
+				if err != nil {
+					continue
+				}
+				if crng.Intn(2) == 0 {
+					if err := plat.Heap.NVMallocSetUsedFlag(blk); err == nil {
+						_ = plat.Heap.NVFree(blk)
+					}
+				} else {
+					_ = plat.Heap.NVFree(blk)
+				}
+			}
+		}()
+	}
+	if cfg.reader {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rtx, err := d.BeginRead()
+				if err != nil {
+					continue
+				}
+				_ = rtx.Scan("t", func(k, v []byte) bool { return true })
+				rtx.Close()
+			}
+		}()
+	}
+
+	var writers sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			wrng := rand.New(rand.NewSource(mix(seed, round*1000+w)))
+			// The worker's private model of its own keyspace: base plus
+			// every transaction it has issued (journal total order means
+			// its own writes are visible to it after commit).
+			model := restrict(base, w)
+			committed := 0
+			for i := 0; i < txnsPer; i++ {
+				rollback := wrng.Intn(100) < 15
+				idx := committed + 1
+				ops := genOps(wrng, w, idx)
+				tx, err := d.Begin()
+				if err != nil {
+					mu.Lock()
+					if !plat.CrashTriggered() {
+						violations = append(violations, Violation{Kind: "error", Worker: w,
+							Detail: "begin: " + err.Error()})
+					}
+					mu.Unlock()
+					return
+				}
+				bad := false
+				for _, op := range ops {
+					if op.Delete {
+						_, err = tx.Delete("t", []byte(op.Key))
+					} else {
+						err = tx.Insert("t", []byte(op.Key), []byte(op.Value))
+					}
+					if err != nil {
+						bad = true
+						break
+					}
+				}
+				if !bad && wrng.Intn(2) == 0 {
+					// Read-your-writes check inside the transaction.
+					k := randKey(wrng, w)
+					want, wantOK := expect(model, ops, k)
+					got, gotOK, gerr := tx.Get("t", []byte(k))
+					if gerr == nil && (gotOK != wantOK || (wantOK && string(got) != want)) {
+						if !plat.CrashTriggered() {
+							mu.Lock()
+							violations = append(violations, Violation{Kind: "error", Worker: w,
+								Detail: fmt.Sprintf("read-your-writes mismatch on %q", k)})
+							mu.Unlock()
+						}
+					}
+				}
+				if bad || rollback {
+					tx.Rollback()
+					if bad && !plat.CrashTriggered() {
+						mu.Lock()
+						violations = append(violations, Violation{Kind: "error", Worker: w,
+							Detail: "txn op: " + err.Error()})
+						mu.Unlock()
+						return
+					}
+					continue
+				}
+				err = tx.Commit()
+				if err != nil && !errors.Is(err, db.ErrCheckpointDeferred) {
+					if !plat.CrashTriggered() {
+						mu.Lock()
+						violations = append(violations, Violation{Kind: "error", Worker: w,
+							Detail: "commit: " + err.Error()})
+						mu.Unlock()
+					}
+					// Post-crash ghost failure: the outcome is uncertain;
+					// record the txn as unacknowledged so the oracle treats
+					// it as may-be-either.
+					mu.Lock()
+					hist.Txns = append(hist.Txns, Txn{Worker: w, Index: idx, Ops: ops})
+					mu.Unlock()
+					return
+				}
+				// Acked iff the commit completed before the crash instant
+				// froze the durable image; checking after Commit returns
+				// can only under-claim (safe direction).
+				acked := !plat.CrashTriggered()
+				committed = idx
+				for _, op := range ops {
+					if op.Delete {
+						delete(model, op.Key)
+					} else {
+						model[op.Key] = op.Value
+					}
+				}
+				mu.Lock()
+				hist.Txns = append(hist.Txns, Txn{
+					Worker: w, Index: idx, Seq: tx.Seq(), Acked: acked, Ops: ops,
+				})
+				mu.Unlock()
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	return hist, violations
+}
+
+const keysPerWorker = 10
+
+func randKey(rng *rand.Rand, worker int) string {
+	return fmt.Sprintf("%sk%02d", WorkerPrefix(worker), rng.Intn(keysPerWorker))
+}
+
+// genOps builds one transaction's mutations inside the worker keyspace,
+// always ending with the counter write that makes prefix states unique.
+func genOps(rng *rand.Rand, worker, idx int) []Op {
+	n := 1 + rng.Intn(4)
+	ops := make([]Op, 0, n+1)
+	for i := 0; i < n; i++ {
+		k := randKey(rng, worker)
+		if rng.Intn(5) == 0 {
+			ops = append(ops, Op{Key: k, Delete: true})
+		} else {
+			val := fmt.Sprintf("v%d.%d.%d.%x", worker, idx, i, rng.Int63())
+			for len(val) < 8+rng.Intn(96) {
+				val += "."
+			}
+			ops = append(ops, Op{Key: k, Value: val})
+		}
+	}
+	ops = append(ops, Op{Key: CounterKey(worker), Value: fmt.Sprintf("%d", idx)})
+	return ops
+}
+
+// expect resolves a key through pending in-txn ops over the worker's
+// committed model (later ops shadow earlier ones).
+func expect(model map[string]string, ops []Op, key string) (string, bool) {
+	val, ok := model[key]
+	for _, op := range ops {
+		if op.Key != key {
+			continue
+		}
+		if op.Delete {
+			val, ok = "", false
+		} else {
+			val, ok = op.Value, true
+		}
+	}
+	return val, ok
+}
