@@ -8,10 +8,13 @@
 //	nvwal-fuzz -duration 60s              # fuzz for a minute
 //	nvwal-fuzz -seed 7 -steps 100         # 100 chains from seed 7
 //	nvwal-fuzz -seed 7 -step 42           # replay exactly chain 42
+//	nvwal-fuzz -faults -duration 60s      # media-fault chains (weak durability)
 //	nvwal-fuzz -bug -duration 10s         # prove detection of a planted bug
 //
-// Every violation prints a deterministic repro command; the exit code
-// is 1 when any violation was found.
+// Every violation prints a deterministic repro command and, unless
+// -shrink=false, a minimized repro with the smallest round count and
+// per-round transaction budget that still fire; the exit code is 1
+// when any violation was found.
 package main
 
 import (
@@ -26,24 +29,31 @@ import (
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 1, "master seed; chain seeds derive from it")
-		step     = flag.Int("step", -1, "replay exactly this chain index (-1 = run many)")
-		steps    = flag.Int("steps", 0, "number of chains to run (0 = until -duration)")
-		duration = flag.Duration("duration", 0, "wall-clock fuzzing budget (0 = until -steps)")
-		workers  = flag.Int("workers", 0, "force concurrent writers per chain (0 = randomized)")
-		jsonOut  = flag.Bool("json", false, "emit the report as JSON on stdout")
-		bug      = flag.Bool("bug", false, "enable the planted commit-ordering bug (self-test)")
-		verbose  = flag.Bool("v", false, "log each chain's configuration")
+		seed      = flag.Int64("seed", 1, "master seed; chain seeds derive from it")
+		step      = flag.Int("step", -1, "replay exactly this chain index (-1 = run many)")
+		steps     = flag.Int("steps", 0, "number of chains to run (0 = until -duration)")
+		duration  = flag.Duration("duration", 0, "wall-clock fuzzing budget (0 = until -steps)")
+		workers   = flag.Int("workers", 0, "force concurrent writers per chain (0 = randomized)")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON on stdout")
+		bug       = flag.Bool("bug", false, "enable the planted commit-ordering bug (self-test)")
+		faults    = flag.Bool("faults", false, "media-fault chains: NVRAM bit flips/stuck lines/read errors + device EIO/torn sectors (durability invariant waived)")
+		shrink    = flag.Bool("shrink", true, "minimize the first violation to a smaller repro")
+		maxRounds = flag.Int("max-rounds", 0, "clamp crash rounds per chain (repro/shrink)")
+		maxTxns   = flag.Int("max-txns", 0, "clamp per-round txns per worker (repro/shrink)")
+		verbose   = flag.Bool("v", false, "log each chain's configuration")
 	)
 	flag.Parse()
 
 	opts := torture.Options{
-		Seed:     *seed,
-		Step:     *step,
-		Steps:    *steps,
-		Duration: *duration,
-		Workers:  *workers,
-		Bug:      *bug,
+		Seed:      *seed,
+		Step:      *step,
+		Steps:     *steps,
+		Duration:  *duration,
+		Workers:   *workers,
+		Bug:       *bug,
+		Faults:    *faults,
+		MaxRounds: *maxRounds,
+		MaxTxns:   *maxTxns,
 	}
 	if opts.Steps == 0 && opts.Duration == 0 && opts.Step < 0 {
 		opts.Duration = 30 * time.Second
@@ -55,6 +65,13 @@ func main() {
 	}
 
 	rep := torture.Run(opts)
+	if len(rep.Violations) > 0 && *shrink && *step < 0 {
+		// Replays of an explicit -step keep the chain as given; fresh
+		// findings get shrunk to the smallest still-violating clamp.
+		if mv, ok := torture.Minimize(opts, rep.Violations[0]); ok {
+			rep.Minimized = &mv
+		}
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -66,9 +83,16 @@ func main() {
 	} else {
 		fmt.Printf("nvwal-fuzz: %d chains, %d crash rounds, %d txns in %s\n",
 			rep.Chains, rep.Rounds, rep.Txns, rep.Elapsed.Round(time.Millisecond))
+		if opts.Faults {
+			fmt.Printf("  media faults: %d damaged rounds salvaged, %d chains ended degraded read-only\n",
+				rep.Damaged, rep.Degraded)
+		}
 		for _, v := range rep.Violations {
 			fmt.Printf("VIOLATION [%s] worker=%d step=%d round=%d\n  chain: %s\n  %s\n  repro: %s\n",
 				v.Kind, v.Worker, v.Step, v.Round, v.Chain, v.Detail, v.Repro)
+		}
+		if rep.Minimized != nil {
+			fmt.Printf("minimal repro (round %d): %s\n", rep.Minimized.Round, rep.Minimized.Repro)
 		}
 		if len(rep.Violations) == 0 {
 			fmt.Println("no oracle violations")

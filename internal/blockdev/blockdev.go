@@ -4,10 +4,20 @@
 // half of fsync). Program and flush latencies are charged to the shared
 // virtual clock, calibrated so the optimized SQLite WAL lands near the
 // paper's 541 inserts/second anchor.
+//
+// The device also models media faults: transient EIO (the controller
+// hiccuped; a retry succeeds), permanent EIO (a page went bad), torn
+// sector writes (power failed while a sector was programming — a
+// prefix of the new content landed), and short writes (the program
+// silently truncated but reported success). Faults are seeded and
+// rate-configurable via InjectFaults, or forced deterministically via
+// the FailNext*/MarkBad test hooks.
 package blockdev
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -15,6 +25,62 @@ import (
 	"repro/internal/simclock"
 	"repro/internal/trace"
 )
+
+// ErrIO is the sentinel every device I/O error wraps; match with
+// errors.Is(err, ErrIO).
+var ErrIO = errors.New("blockdev: I/O error")
+
+// IOError is one failed device operation. Transient errors model
+// controller hiccups that a bounded retry absorbs; permanent errors
+// model media that has gone bad and will keep failing.
+type IOError struct {
+	Op        string // "read", "write", "sync"
+	Page      int    // -1 when not attributable to one page
+	Transient bool
+}
+
+func (e *IOError) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	if e.Page < 0 {
+		return fmt.Sprintf("blockdev: %s %s error", kind, e.Op)
+	}
+	return fmt.Sprintf("blockdev: %s %s error on page %d", kind, e.Op, e.Page)
+}
+
+func (e *IOError) Unwrap() error { return ErrIO }
+
+// IsTransient reports whether err is a device error a retry may clear.
+func IsTransient(err error) bool {
+	var ioe *IOError
+	return errors.As(err, &ioe) && ioe.Transient
+}
+
+// FaultConfig parameterizes randomized fault injection. All rates are
+// probabilities in [0, 1]; zero disables that fault class.
+type FaultConfig struct {
+	// Seed drives every fault decision.
+	Seed int64
+	// ReadEIORate / WriteEIORate / SyncEIORate are per-operation
+	// probabilities of a transient EIO.
+	ReadEIORate  float64
+	WriteEIORate float64
+	SyncEIORate  float64
+	// TornWriteRate is the per-page probability that a sector in flight
+	// at a power failure tears: a prefix of the new content lands, the
+	// rest keeps the old content.
+	TornWriteRate float64
+	// ShortWriteRate is the per-write probability that only a prefix of
+	// the page programs while the device reports success.
+	ShortWriteRate float64
+}
+
+func (c FaultConfig) enabled() bool {
+	return c.ReadEIORate > 0 || c.WriteEIORate > 0 || c.SyncEIORate > 0 ||
+		c.TornWriteRate > 0 || c.ShortWriteRate > 0
+}
 
 // Config parameterizes a Device. Zero fields take defaults.
 type Config struct {
@@ -70,6 +136,15 @@ type Device struct {
 	durable map[int][]byte // page -> content surviving power failure
 	pending map[int][]byte // written, not yet flushed
 	frozen  map[int][]byte // durable image captured by Freeze, restored by PowerFail
+	// frozenPending snapshots the in-flight writes at the Freeze
+	// instant: the candidates for torn-sector application at PowerFail.
+	frozenPending map[int][]byte
+
+	faults  *FaultConfig
+	rng     *rand.Rand
+	badPage map[int]bool
+	// One-shot transient failure injectors for deterministic tests.
+	failNextRead, failNextWrite, failNextSync int
 }
 
 // New creates a device. rec may be nil to disable tracing.
@@ -82,6 +157,7 @@ func New(cfg Config, clock *simclock.Clock, m *metrics.Counters, rec *trace.Reco
 		rec:     rec,
 		durable: make(map[int][]byte),
 		pending: make(map[int][]byte),
+		badPage: make(map[int]bool),
 	}
 }
 
@@ -91,36 +167,136 @@ func (d *Device) PageSize() int { return d.cfg.PageSize }
 // Pages returns the device capacity in pages.
 func (d *Device) Pages() int { return d.cfg.Pages }
 
+// InjectFaults installs (or removes, with a zero config) randomized
+// fault injection.
+func (d *Device) InjectFaults(cfg FaultConfig) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !cfg.enabled() {
+		d.faults = nil
+		d.rng = nil
+		return
+	}
+	c := cfg
+	d.faults = &c
+	d.rng = rand.New(rand.NewSource(cfg.Seed))
+}
+
+// MarkBad retires a page: every read or write of it fails permanently
+// until ClearBad. A pending (unsynced) write to the page is discarded —
+// it will never program.
+func (d *Device) MarkBad(page int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.checkPage(page)
+	d.badPage[page] = true
+	delete(d.pending, page)
+}
+
+// ClearBad un-retires a page.
+func (d *Device) ClearBad(page int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.badPage[page] = false
+}
+
+// FailNextReads makes the next n reads fail with a transient EIO.
+func (d *Device) FailNextReads(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failNextRead = n
+}
+
+// FailNextWrites makes the next n writes fail with a transient EIO.
+func (d *Device) FailNextWrites(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failNextWrite = n
+}
+
+// FailNextSyncs makes the next n syncs fail with a transient EIO.
+func (d *Device) FailNextSyncs(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failNextSync = n
+}
+
 func (d *Device) checkPage(page int) {
 	if page < 0 || page >= d.cfg.Pages {
 		panic(fmt.Sprintf("blockdev: page %d out of range [0,%d)", page, d.cfg.Pages))
 	}
 }
 
+// ioError builds, counts, and returns one failed operation. Caller
+// holds d.mu.
+func (d *Device) ioError(op string, page int, transient bool) error {
+	d.m.Inc(metrics.BlockIOErrors, 1)
+	return &IOError{Op: op, Page: page, Transient: transient}
+}
+
 // WritePage programs one page. tag labels the I/O stream for tracing
 // ("db", "db-wal", "journal"). The write is buffered in the device cache
-// until Sync.
-func (d *Device) WritePage(page int, p []byte, tag string) {
+// until Sync. A failed write buffers nothing; a short write silently
+// buffers only a prefix of p over the page's previous content.
+func (d *Device) WritePage(page int, p []byte, tag string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.checkPage(page)
 	if len(p) > d.cfg.PageSize {
 		panic(fmt.Sprintf("blockdev: write of %d bytes exceeds page size %d", len(p), d.cfg.PageSize))
 	}
-	buf := make([]byte, d.cfg.PageSize)
-	copy(buf, p)
-	d.pending[page] = buf
 	d.clock.Advance(d.cfg.ProgramLatency)
 	d.m.AddTime(metrics.TimeBlockIO, d.cfg.ProgramLatency)
+	if d.badPage[page] {
+		return d.ioError("write", page, false)
+	}
+	if d.failNextWrite > 0 {
+		d.failNextWrite--
+		return d.ioError("write", page, true)
+	}
+	if f := d.faults; f != nil && f.WriteEIORate > 0 && d.rng.Float64() < f.WriteEIORate {
+		return d.ioError("write", page, true)
+	}
+	buf := make([]byte, d.cfg.PageSize)
+	if f := d.faults; f != nil && f.ShortWriteRate > 0 && d.rng.Float64() < f.ShortWriteRate {
+		// Short write: the old content shows through past the cut.
+		if old, ok := d.pending[page]; ok {
+			copy(buf, old)
+		} else if old, ok := d.durable[page]; ok {
+			copy(buf, old)
+		}
+		cut := 1 + d.rng.Intn(d.cfg.PageSize-1)
+		if cut > len(p) {
+			cut = len(p)
+		}
+		copy(buf[:cut], p[:cut])
+		d.m.Inc(metrics.BlockShortWrites, 1)
+	} else {
+		copy(buf, p)
+	}
+	d.pending[page] = buf
 	d.m.Inc(metrics.BlockWrite, 1)
 	d.rec.Record(trace.Event{T: d.clock.Now(), Block: page, Tag: tag, Bytes: d.cfg.PageSize})
+	return nil
 }
 
 // ReadPage loads one page into p (zero-filled if never written).
-func (d *Device) ReadPage(page int, p []byte) {
+func (d *Device) ReadPage(page int, p []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.checkPage(page)
+	d.clock.Advance(d.cfg.ReadLatency)
+	d.m.AddTime(metrics.TimeBlockIO, d.cfg.ReadLatency)
+	if d.badPage[page] {
+		return d.ioError("read", page, false)
+	}
+	if d.failNextRead > 0 {
+		d.failNextRead--
+		return d.ioError("read", page, true)
+	}
+	if f := d.faults; f != nil && f.ReadEIORate > 0 && d.rng.Float64() < f.ReadEIORate {
+		return d.ioError("read", page, true)
+	}
 	src, ok := d.pending[page]
 	if !ok {
 		src = d.durable[page]
@@ -131,23 +307,37 @@ func (d *Device) ReadPage(page int, p []byte) {
 	if src != nil {
 		copy(p, src)
 	}
-	d.clock.Advance(d.cfg.ReadLatency)
-	d.m.AddTime(metrics.TimeBlockIO, d.cfg.ReadLatency)
 	d.m.Inc(metrics.BlockRead, 1)
+	return nil
 }
 
 // Sync flushes the device write cache, making all buffered pages
-// durable. This is the device half of fsync.
-func (d *Device) Sync() {
+// durable. This is the device half of fsync. On a transient sync error
+// the buffered pages stay pending; a retry flushes them.
+func (d *Device) Sync() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.clock.Advance(d.cfg.FlushLatency)
+	d.m.AddTime(metrics.TimeBlockIO, d.cfg.FlushLatency)
+	if d.failNextSync > 0 {
+		d.failNextSync--
+		return d.ioError("sync", -1, true)
+	}
+	if f := d.faults; f != nil && f.SyncEIORate > 0 && d.rng.Float64() < f.SyncEIORate {
+		return d.ioError("sync", -1, true)
+	}
 	for page, buf := range d.pending {
+		if d.badPage[page] {
+			// The page went bad while its write sat in the cache: the
+			// program fails and the data is lost.
+			delete(d.pending, page)
+			continue
+		}
 		d.durable[page] = buf
 		delete(d.pending, page)
 	}
-	d.clock.Advance(d.cfg.FlushLatency)
-	d.m.AddTime(metrics.TimeBlockIO, d.cfg.FlushLatency)
 	d.m.Inc(metrics.Fsync, 1)
+	return nil
 }
 
 // Freeze captures the current durable image as what the next PowerFail
@@ -155,13 +345,19 @@ func (d *Device) Sync() {
 // block-device half of a coordinated crash instant: a crash-injection
 // harness freezes every device at the same moment, lets the doomed
 // execution run on, and then fails power. A shallow copy of the durable
-// map suffices because page buffers are replaced, never mutated.
+// map suffices because page buffers are replaced, never mutated. The
+// in-flight (pending) writes at the freeze instant are also captured:
+// they are the sectors that may tear when power actually fails.
 func (d *Device) Freeze() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.frozen = make(map[int][]byte, len(d.durable))
 	for page, buf := range d.durable {
 		d.frozen[page] = buf
+	}
+	d.frozenPending = make(map[int][]byte, len(d.pending))
+	for page, buf := range d.pending {
+		d.frozenPending[page] = buf
 	}
 }
 
@@ -171,18 +367,40 @@ func (d *Device) Unfreeze() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.frozen = nil
+	d.frozenPending = nil
 }
 
 // PowerFail drops the volatile write buffer: unsynced writes are lost.
-// If Freeze captured an image, the durable state rolls back to it.
+// If Freeze captured an image, the durable state rolls back to it. With
+// fault injection enabled, each sector in flight at the crash instant
+// may tear: a seeded prefix of the new content lands over the old.
 func (d *Device) PowerFail() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	inflight := d.pending
 	if d.frozen != nil {
 		d.durable = d.frozen
 		d.frozen = nil
+		inflight = d.frozenPending
+		d.frozenPending = nil
+	}
+	if f := d.faults; f != nil && f.TornWriteRate > 0 {
+		for page, buf := range inflight {
+			if d.rng.Float64() >= f.TornWriteRate {
+				continue
+			}
+			torn := make([]byte, d.cfg.PageSize)
+			if old, ok := d.durable[page]; ok {
+				copy(torn, old)
+			}
+			cut := 1 + d.rng.Intn(d.cfg.PageSize-1)
+			copy(torn[:cut], buf[:cut])
+			d.durable[page] = torn
+			d.m.Inc(metrics.BlockTornWrites, 1)
+		}
 	}
 	d.pending = make(map[int][]byte)
+	d.frozenPending = nil
 }
 
 // PendingPages reports how many pages sit in the volatile write buffer.

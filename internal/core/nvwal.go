@@ -158,6 +158,14 @@ func (c Config) Label() string {
 //	        may not be durable in the database file yet (recovery must
 //	        replay the frozen generation), ckptFreeing once they are
 //	        (recovery only frees the frozen blocks)
+//	[56:60) checkpoint record: the frozen generation's final chained
+//	        CRC at freeze time (the chain seal). Salvage recovery
+//	        recomputes the frozen scan's chain and compares: a mismatch
+//	        means media damage ate committed frozen frames, so the
+//	        (newer) live generation must be discarded too to keep the
+//	        surviving transactions a prefix of the committed order
+//	[60:64) checkpoint record: the frozen generation's frame count at
+//	        freeze time, for salvage accounting
 //
 // Log block (BlockSize bytes from the user heap, or a per-frame block):
 //
@@ -177,7 +185,7 @@ func (c Config) Label() string {
 //	[28:32) chained CRC32 over [8:28) plus payload
 const (
 	headerMagic     = 0x4E56_5741_4C48_4452 // "NVWALHDR"
-	formatVersion   = 2
+	formatVersion   = 3
 	hdrPageSizeOff  = 8
 	hdrVersionOff   = 12
 	hdrSaltOff      = 16
@@ -185,6 +193,8 @@ const (
 	hdrCkptBlkOff   = 32
 	hdrCkptSaltOff  = 40
 	hdrCkptStateOff = 48
+	hdrCkptChainOff = 56
+	hdrCkptCountOff = 60
 	headerBlockSize = 4096
 
 	blockLinkSize = 8
@@ -322,6 +332,16 @@ type NVWAL struct {
 	// ckpt is the in-flight incremental checkpoint round, nil when none.
 	ckpt *ckptState
 
+	// salvage is the report of the last crash recovery's salvage pass,
+	// nil for a freshly created log.
+	salvage *SalvageReport
+	// badMu guards badBlocks: log blocks a media read error or a scrub
+	// CRC failure has implicated. They are quarantined instead of freed
+	// when their generation retires. A separate mutex (not w.mu) lets the
+	// scrubber mark blocks while holding only the read lock.
+	badMu     sync.Mutex
+	badBlocks map[uint64]bool
+
 	// hook, when non-nil, is invoked at named protocol steps so the
 	// crash-injection tests can fail power at every point of Algorithm 1
 	// and of checkpointing (§4.3).
@@ -390,15 +410,16 @@ func Open(h *heapo.Manager, db pager.DBFile, cfg Config, m *metrics.Counters) (*
 		return nil, fmt.Errorf("nvwal: block size %d cannot hold a full-page frame", cfg.BlockSize)
 	}
 	w := &NVWAL{
-		heap:     h,
-		dev:      dev,
-		db:       db,
-		cfg:      cfg,
-		m:        m,
-		pageSize: db.PageSize(),
-		versions: make(map[uint32][]byte),
-		byPage:   make(map[uint32][]int),
-		base:     make(map[uint32][]byte),
+		heap:      h,
+		dev:       dev,
+		db:        db,
+		cfg:       cfg,
+		m:         m,
+		pageSize:  db.PageSize(),
+		versions:  make(map[uint32][]byte),
+		byPage:    make(map[uint32][]int),
+		base:      make(map[uint32][]byte),
+		badBlocks: make(map[uint64]bool),
 	}
 	if addr, ok := h.GetRoot(cfg.Name); ok {
 		w.headerAddr = addr
@@ -416,7 +437,7 @@ func Open(h *heapo.Manager, db pager.DBFile, cfg Config, m *metrics.Counters) (*
 	w.writeHeader()
 	// The freshly allocated header block may carry stale content from a
 	// previous life; the checkpoint record must read as "none".
-	w.writeCkptRecord(0, 0, ckptNone)
+	w.writeCkptRecord(0, 0, ckptNone, 0, 0)
 	if err := h.SetRoot(cfg.Name, blk.Addr); err != nil {
 		return nil, err
 	}
@@ -464,12 +485,17 @@ func (w *NVWAL) writeHeader() {
 
 // writeCkptRecord persists the checkpoint record atomically enough for
 // the recovery state machine: the phase field is what recovery
-// dispatches on, and every transition writes all three fields.
-func (w *NVWAL) writeCkptRecord(firstBlk, salt, phase uint64) {
+// dispatches on, and every transition writes all the fields. chain and
+// frames are the frozen generation's chain seal and frame count; only
+// the backfilling transition carries meaningful values (salvage only
+// consults them in that phase).
+func (w *NVWAL) writeCkptRecord(firstBlk, salt, phase uint64, chain, frames uint32) {
 	w.dev.PutUint64(w.headerAddr+hdrCkptBlkOff, firstBlk)
 	w.dev.PutUint64(w.headerAddr+hdrCkptSaltOff, salt)
 	w.dev.PutUint64(w.headerAddr+hdrCkptStateOff, phase)
-	w.persistRange(w.headerAddr+hdrCkptBlkOff, 24)
+	w.dev.PutUint32(w.headerAddr+hdrCkptChainOff, chain)
+	w.dev.PutUint32(w.headerAddr+hdrCkptCountOff, frames)
+	w.persistRange(w.headerAddr+hdrCkptBlkOff, 32)
 }
 
 func (w *NVWAL) firstBlockAddr() uint64 {
@@ -982,9 +1008,25 @@ func (w *NVWAL) beginCheckpoint(gate func(watermark int) bool) (*ckptState, erro
 		// are replaced wholesale on commit, never mutated in place.
 		st.pages[pgno] = w.versions[pgno]
 	}
-	// A1: persist the record naming the generation about to freeze. A
-	// crash here is detected by ckptSalt == live salt and ignored.
-	w.writeCkptRecord(w.firstBlockAddr(), w.salt, ckptBackfilling)
+	// SyncChecksum acknowledges commits before their frames persist
+	// (§4.2), so the chain/count about to be sealed describe volatile
+	// state: a crash mid-backfill would legally lose sealed frames,
+	// which salvage could not tell apart from media damage. Make the
+	// log durable first — as SQLite fsyncs the WAL file before
+	// backfilling it — so a sealed-scan shortfall only ever means
+	// real damage.
+	if w.cfg.Sync == SyncChecksum {
+		for _, b := range w.blocks {
+			w.dev.Flush(b.Addr, b.Addr+uint64(b.Size()))
+		}
+		w.dev.MemoryBarrier()
+		w.dev.PersistBarrier()
+	}
+	// A1: persist the record naming the generation about to freeze,
+	// sealed with its final chain value and frame count so salvage can
+	// tell a truncated frozen scan from a complete one. A crash here is
+	// detected by ckptSalt == live salt and ignored.
+	w.writeCkptRecord(w.firstBlockAddr(), w.salt, ckptBackfilling, w.chain, uint32(len(w.history)))
 	w.step(StepCkptAfterRecord)
 	// A2: open the new generation. The salt bump fences every frozen
 	// frame; commits proceed into the fresh chain immediately.
@@ -1029,7 +1071,7 @@ func (w *NVWAL) completeCheckpoint(st *ckptState) error {
 	defer w.mu.Unlock()
 	// C1: the images are durable — recovery no longer needs the frozen
 	// frames, only to finish freeing their blocks.
-	w.writeCkptRecord(st.firstAddr(), st.salt, ckptFreeing)
+	w.writeCkptRecord(st.firstAddr(), st.salt, ckptFreeing, 0, 0)
 	w.step(StepCkptAfterState)
 	// C2: free tail-first so recovery's head-first walk always sees a
 	// valid chain prefix; trim st.blocks as they go so an interrupted
@@ -1037,12 +1079,7 @@ func (w *NVWAL) completeCheckpoint(st *ckptState) error {
 	// a leaked block is reclaimable, a blocked checkpoint is not.
 	half := len(st.blocks) / 2
 	for i := len(st.blocks) - 1; i >= 0; i-- {
-		blk := st.blocks[i]
-		if w.cfg.UserHeap {
-			_ = w.heap.Recycle(blk)
-		} else {
-			_ = w.heap.NVFree(blk)
-		}
+		w.releaseBlock(st.blocks[i], w.cfg.UserHeap)
 		st.blocks = st.blocks[:i]
 		if i == half && half > 0 {
 			w.step(StepCkptMidFree)
@@ -1050,7 +1087,7 @@ func (w *NVWAL) completeCheckpoint(st *ckptState) error {
 	}
 	w.step(StepCkptAfterFree)
 	// C3: retire the record, then advance the backfill watermark.
-	w.writeCkptRecord(0, 0, ckptNone)
+	w.writeCkptRecord(0, 0, ckptNone, 0, 0)
 	w.history = append([]histFrame(nil), w.history[st.watermark-w.histBase:]...)
 	w.histBase = st.watermark
 	for pgno, idxs := range w.byPage {

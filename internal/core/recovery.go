@@ -24,8 +24,23 @@ type scannedFrame struct {
 	blockOff int
 }
 
-// recover rebuilds the volatile log state after a restart or crash,
-// implementing the §4.3 cases mechanically:
+// scanInfo reports what a generation scan ran into beyond the frames it
+// validated.
+type scanInfo struct {
+	// mediaErrs counts uncorrectable read errors; each one ends the scan
+	// and implicates the block it hit.
+	mediaErrs int
+	// ghosts counts structurally plausible frames past the first invalid
+	// one — frames the chain break orphaned. Best-effort accounting for
+	// the salvage report; a corrupt size field ends the count early.
+	ghosts int
+}
+
+// recover rebuilds the volatile log state after a restart or crash. It
+// is a *salvage* pass, not a fail-stop one: media damage to the log
+// never returns an error, it shrinks what survives — always to a prefix
+// of the committed transaction order — and files everything dropped in
+// a SalvageReport. The §4.3 cases are handled mechanically:
 //
 //   - the kernel heap manager has already reclaimed pending blocks, so a
 //     block reference whose target is no longer in-use is a dangling
@@ -37,8 +52,24 @@ type scannedFrame struct {
 //     never committed and are discarded; blocks holding only such frames
 //     are freed.
 //
-// On top of that, the header's checkpoint record drives the incremental
-// checkpoint state machine:
+// Media faults add three salvage rules on top:
+//
+//   - a header that fails validation is rebuilt: the log's contents are
+//     lost, but the database file still holds the last completed
+//     checkpoint, and recovery proceeds with an empty log instead of
+//     refusing to open;
+//   - an uncorrectable read error ends the affected generation's scan
+//     and sends the block to the heap's persistent quarantine when the
+//     generation retires;
+//   - a frozen generation that does not scan back to the chain seal its
+//     checkpoint record captured has lost *committed* frames — older
+//     than everything in the live generation — so the live generation
+//     is discarded too. Surviving transactions stay a prefix of the
+//     commit order; re-applying newer transactions over a hole would
+//     trade detected data loss for silent corruption.
+//
+// The header's checkpoint record drives the incremental checkpoint
+// state machine:
 //
 //   - record salt == live salt: power failed between persisting the
 //     record (A1) and opening the new generation (A2); nothing was
@@ -48,20 +79,19 @@ type scannedFrame struct {
 //   - phase "backfilling": the frozen generation's committed frames are
 //     replayed (they are all below the interrupted round's watermark),
 //     then the live generation on top, and the round is completed
-//     synchronously — backfill, free, retire.
+//     synchronously — backfill, free, retire. If media damage cost the
+//     frozen generation sealed frames, completion is impossible: the
+//     crashed backfill may already have written the lost frames' pages
+//     into the database file, and no copy survives to either finish or
+//     undo that. The round is left pending and the report flags the
+//     database file so the database layer opens degraded read-only.
 //
 // Recovery is also what gives the asynchronous-commit mode (§4.2) its
 // semantics: a commit mark whose transaction has a torn (checksum-
 // mismatched) frame invalidates the whole transaction.
 func (w *NVWAL) recover() error {
-	if w.dev.Uint64(w.headerAddr) != headerMagic {
-		return ErrCorruptHeader
-	}
-	if int(w.dev.Uint32(w.headerAddr+hdrPageSizeOff)) != w.pageSize {
-		return fmt.Errorf("nvwal: page size mismatch (log %d, database %d)",
-			w.dev.Uint32(w.headerAddr+hdrPageSizeOff), w.pageSize)
-	}
-	w.salt = w.dev.Uint64(w.headerAddr + hdrSaltOff)
+	rep := &SalvageReport{}
+	w.salvage = rep
 	w.versions = make(map[uint32][]byte)
 	w.blocks = nil
 	w.history = nil
@@ -69,46 +99,96 @@ func (w *NVWAL) recover() error {
 	w.byPage = make(map[uint32][]int)
 	w.base = make(map[uint32][]byte)
 
-	// Version-1 headers predate the checkpoint record; their [32:56)
-	// bytes are unwritten and must read as "no round in flight".
-	var ckBlk, ckSalt, ckPhase uint64
-	if w.dev.Uint32(w.headerAddr+hdrVersionOff) >= 2 {
-		ckBlk = w.dev.Uint64(w.headerAddr + hdrCkptBlkOff)
-		ckSalt = w.dev.Uint64(w.headerAddr + hdrCkptSaltOff)
-		ckPhase = w.dev.Uint64(w.headerAddr + hdrCkptStateOff)
+	hdr := make([]byte, 64)
+	if err := w.dev.ReadChecked(w.headerAddr, hdr); err != nil {
+		rep.MediaReadErrors++
+		return w.rebuildHeader(rep, fmt.Errorf("%w: header unreadable at %#x: %v", ErrCorruptHeader, w.headerAddr, err))
 	}
+	if magic := binary.LittleEndian.Uint64(hdr[0:]); magic != headerMagic {
+		return w.rebuildHeader(rep, fmt.Errorf("%w: bad magic %#x at %#x", ErrCorruptHeader, magic, w.headerAddr))
+	}
+	if ps := int(binary.LittleEndian.Uint32(hdr[hdrPageSizeOff:])); ps != w.pageSize {
+		if plausiblePageSize(ps) {
+			// A well-formed but different page size is a configuration
+			// error, not media damage; refusing is the only safe answer.
+			return fmt.Errorf("%w: page size mismatch (log %d, database %d)", ErrCorruptHeader, ps, w.pageSize)
+		}
+		return w.rebuildHeader(rep, fmt.Errorf("%w: implausible page size %d at %#x", ErrCorruptHeader, ps, w.headerAddr))
+	}
+	w.salt = binary.LittleEndian.Uint64(hdr[hdrSaltOff:])
+
+	// The checkpoint record is read unconditionally: every log this
+	// format creates writes one at birth, and gating it on the (equally
+	// damageable) version field would let a single flipped bit silently
+	// skip a frozen generation.
+	ckBlk := binary.LittleEndian.Uint64(hdr[hdrCkptBlkOff:])
+	ckSalt := binary.LittleEndian.Uint64(hdr[hdrCkptSaltOff:])
+	ckPhase := binary.LittleEndian.Uint64(hdr[hdrCkptStateOff:])
+	ckChain := binary.LittleEndian.Uint32(hdr[hdrCkptChainOff:])
+	ckCount := binary.LittleEndian.Uint32(hdr[hdrCkptCountOff:])
 	switch {
 	case ckBlk == 0 || ckPhase == ckptNone:
 		ckBlk = 0
 	case ckSalt == w.salt:
 		// Crash between A1 and A2: the record names the still-live
 		// generation. Nothing was frozen; retire the record.
-		w.writeCkptRecord(0, 0, ckptNone)
+		w.writeCkptRecord(0, 0, ckptNone, 0, 0)
 		ckBlk = 0
 	case ckPhase == ckptFreeing:
 		// The frozen pages are durable; only the frees remain.
-		w.freeOldChain(ckBlk, ckSalt)
-		w.writeCkptRecord(0, 0, ckptNone)
+		w.freeOldChain(ckBlk, ckSalt, rep)
+		w.writeCkptRecord(0, 0, ckptNone, 0, 0)
 		ckBlk = 0
 	}
 
 	// An interrupted backfill round: replay the frozen generation's
-	// committed frames first — every one of them is below the round's
-	// watermark, so they update page images without entering history.
+	// frames first — every one of them is below the round's watermark,
+	// so they update page images without entering history. The chain
+	// seal decides whether the scan got them all: a short or diverging
+	// scan means committed frames are gone, which poisons the (newer)
+	// live generation too.
 	var frozenBlocks []heapo.Block
+	frozenDamaged := false
+	frozenLost := false
 	if ckBlk != 0 {
-		var frozenKept []scannedFrame
-		frozenBlocks, frozenKept = w.scanGeneration(ckBlk, ckSalt, w.headerAddr+hdrCkptBlkOff, false)
-		if err := w.replayFrames(frozenKept, false); err != nil {
-			return err
+		blocks, scanned, info := w.scanGeneration(ckBlk, ckSalt, w.headerAddr+hdrCkptBlkOff, false, rep)
+		frozenBlocks = blocks
+		kept := scanned
+		endChain := chainSeed(ckSalt)
+		if len(scanned) > 0 {
+			endChain = scanned[len(scanned)-1].chainAfter
 		}
+		sealed := ckChain != 0 || ckCount != 0
+		if info.mediaErrs > 0 || (sealed && endChain != ckChain) {
+			frozenDamaged = true
+			rep.FrozenDamaged = true
+			rep.GenerationsSkipped++
+			// Only whole transactions may survive a truncated scan.
+			lastCommit := -1
+			for i, fr := range scanned {
+				if fr.commit {
+					lastCommit = i
+				}
+			}
+			kept = scanned[:lastCommit+1]
+			if int(ckCount) > len(kept) {
+				rep.FramesDropped += int(ckCount) - len(kept)
+				frozenLost = true
+			}
+			rep.eventf("frozen generation (salt %d) damaged: scanned %d of %d sealed frames (chain %#x, want %#x), kept %d whole-transaction frames",
+				ckSalt, len(scanned), ckCount, endChain, ckChain, len(kept))
+		}
+		rep.FramesKept += w.replayFrames(kept, false, ckSalt, rep)
 	}
 
 	// Live generation: scan, keep the committed prefix, replay it into
-	// both the page images and the unbackfilled history index.
-	blocks, scanned := w.scanGeneration(
-		w.dev.Uint64(w.headerAddr+hdrFirstBlkOff), w.salt,
-		w.headerAddr+hdrFirstBlkOff, true)
+	// both the page images and the unbackfilled history index — unless a
+	// damaged frozen generation already lost older committed frames, in
+	// which case the whole live generation goes too.
+	liveSalt := w.salt
+	blocks, scanned, info := w.scanGeneration(
+		binary.LittleEndian.Uint64(hdr[hdrFirstBlkOff:]), liveSalt,
+		w.headerAddr+hdrFirstBlkOff, true, rep)
 	w.blocks = blocks
 	lastCommit := -1
 	for i, fr := range scanned {
@@ -117,16 +197,24 @@ func (w *NVWAL) recover() error {
 		}
 	}
 	kept := scanned[:lastCommit+1]
-	if err := w.replayFrames(kept, true); err != nil {
-		return err
+	if frozenDamaged {
+		rep.LiveDropped = true
+		rep.FramesDropped += len(scanned) + info.ghosts
+		rep.eventf("live generation (salt %d) dropped: %d frames discarded to keep survivors a prefix of commit order", liveSalt, len(scanned)+info.ghosts)
+		kept = nil
+		lastCommit = -1
+	} else {
+		rep.FramesDropped += len(scanned) - len(kept) + info.ghosts
 	}
-	w.chain = chainSeed(w.salt)
+	rep.FramesKept += w.replayFrames(kept, true, liveSalt, rep)
+	w.chain = chainSeed(liveSalt)
 	if lastCommit >= 0 {
 		w.chain = kept[lastCommit].chainAfter
 	}
 
 	// Resume point: right after the last committed frame. Blocks beyond
-	// it held only discarded frames — free them and cut the chain.
+	// it held only discarded frames — free them (or quarantine the ones
+	// media errors implicated) and cut the chain.
 	if lastCommit < 0 {
 		w.truncateAfter(-1)
 		w.tailUsed = blockLinkSize
@@ -149,11 +237,61 @@ func (w *NVWAL) recover() error {
 			w.dev.Write(a, zero)
 			w.persistRange(a, frameHdrSize)
 		}
+		if w.isBad(tail.Addr) {
+			// The kept tail block took a media error past the resume
+			// point: seal it so new frames land in a fresh block, and let
+			// the next checkpoint quarantine it.
+			w.tailUsed = tail.Size()
+			rep.eventf("tail block %#x sealed after media error; new frames go to a fresh block", tail.Addr)
+		}
 	}
 
+	w.m.Inc(metrics.FramesSalvaged, int64(rep.FramesKept))
+	w.m.Inc(metrics.FramesDropped, int64(rep.FramesDropped))
 	if ckBlk != 0 {
-		return w.finishRecoveredCheckpoint(ckBlk, ckSalt, frozenBlocks)
+		if frozenLost {
+			// Sealed frames of the interrupted round are gone, and the
+			// crashed backfill may already have pushed their page images —
+			// whole or torn — into the database file. Rewriting only the
+			// kept prefix cannot undo that, and no copy of the lost frames
+			// exists to finish the job, so the database file itself can no
+			// longer be trusted to match any transaction boundary. The
+			// round stays pending (the next recovery reaches the same
+			// verdict from the same durable state) and the report is
+			// flagged so the database layer opens degraded read-only.
+			rep.DBFileDamaged = true
+			rep.eventf("frozen generation (salt %d) lost sealed frames mid-backfill: database file may hold partially backfilled pages; round left pending, opening degraded", ckSalt)
+			return nil
+		}
+		return w.finishRecoveredCheckpoint(ckBlk, ckSalt, frozenBlocks, rep)
 	}
+	return nil
+}
+
+// plausiblePageSize reports whether n could be a configured page size (a
+// power of two in SQLite's range) as opposed to a bit-flipped one.
+func plausiblePageSize(n int) bool {
+	return n >= 512 && n <= 65536 && n&(n-1) == 0
+}
+
+// rebuildHeader reinitializes a header that failed validation: fresh
+// salt (derived deterministically from the corrupt content, so a
+// replayed crash rebuilds identically), empty log, retired checkpoint
+// record. The old log blocks are unreachable — without a trustworthy
+// header there is no safe way to tell them from live data — and are
+// conservatively leaked to the heap; the database file still holds the
+// last completed checkpoint.
+func (w *NVWAL) rebuildHeader(rep *SalvageReport, cause error) error {
+	rep.HeaderRebuilt = true
+	rep.eventf("header rebuilt: %v", cause)
+	rep.eventf("previous log blocks are unreachable (leaked); database file retains the last completed checkpoint")
+	salt := mix64(w.dev.Uint64(w.headerAddr)^mix64(w.dev.Uint64(w.headerAddr+hdrSaltOff))) | 1
+	w.salt = salt
+	w.blocks = nil
+	w.tailUsed = 0
+	w.chain = chainSeed(salt)
+	w.writeHeader()
+	w.writeCkptRecord(0, 0, ckptNone, 0, 0)
 	return nil
 }
 
@@ -161,10 +299,12 @@ func (w *NVWAL) recover() error {
 // collecting the frames that validate against its salt and checksum
 // chain. clearDangling enables the §4.3 dangling-reference repair, which
 // only the live generation needs: a frozen chain's links were all
-// persisted long before it froze.
-func (w *NVWAL) scanGeneration(firstAddr, salt uint64, prevLink uint64, clearDangling bool) ([]heapo.Block, []scannedFrame) {
+// persisted long before it froze. An uncorrectable media error ends the
+// scan and marks the block it hit for quarantine.
+func (w *NVWAL) scanGeneration(firstAddr, salt uint64, prevLink uint64, clearDangling bool, rep *SalvageReport) ([]heapo.Block, []scannedFrame, scanInfo) {
 	var blocks []heapo.Block
 	var scanned []scannedFrame
+	var info scanInfo
 	chain := chainSeed(salt)
 	addr := firstAddr
 	for addr != 0 {
@@ -183,12 +323,33 @@ func (w *NVWAL) scanGeneration(firstAddr, salt uint64, prevLink uint64, clearDan
 		// fit was placed at the start of the next block, so an invalid
 		// region here just ends this block's frames. The chained
 		// checksum makes a false continuation in the next block
-		// impossible.
+		// impossible, so validation resumes in every block; the invalid
+		// remainder of a block is probed structurally only to count the
+		// frames a chain break orphaned.
 		off := blockLinkSize
+		probing := false
 		for off+frameHdrSize <= blk.Size() {
-			fr, next, ok := w.readFrame(blk, off, chain, salt)
+			if probing {
+				n, plausible := w.probeFrame(blk, off, salt)
+				if !plausible {
+					break
+				}
+				info.ghosts++
+				off += n
+				continue
+			}
+			fr, next, ok, err := w.readFrame(blk, off, chain, salt)
+			if err != nil {
+				info.mediaErrs++
+				rep.MediaReadErrors++
+				w.markBad(blk.Addr)
+				rep.eventf("gen %d frame %d (block %#x off %d): %v — scan stopped, block marked for quarantine",
+					salt, len(scanned), blk.Addr, off, err)
+				return blocks, scanned, info
+			}
 			if !ok {
-				break
+				probing = true
+				continue
 			}
 			fr.blockIdx = len(blocks) - 1
 			fr.blockOff = off
@@ -197,24 +358,65 @@ func (w *NVWAL) scanGeneration(firstAddr, salt uint64, prevLink uint64, clearDan
 			off += align8(frameHdrSize + len(fr.payload))
 		}
 		prevLink = blk.Addr
-		addr = w.dev.Uint64(blk.Addr)
+		var link [8]byte
+		if err := w.dev.ReadChecked(blk.Addr, link[:]); err != nil {
+			info.mediaErrs++
+			rep.MediaReadErrors++
+			w.markBad(blk.Addr)
+			rep.eventf("gen %d: unreadable link word in block %#x: %v — scan stopped, block marked for quarantine",
+				salt, blk.Addr, err)
+			return blocks, scanned, info
+		}
+		addr = binary.LittleEndian.Uint64(link[:])
 	}
-	return blocks, scanned
+	return blocks, scanned, info
 }
 
-// replayFrames applies kept frames to the page images. When record is
-// true the frames are not yet backfilled: they also enter the history
-// and the per-page index, capturing each page's replay base. A page
-// whose first frame is differential was backfilled by an earlier
-// checkpoint round, so its base comes from the database file.
-func (w *NVWAL) replayFrames(kept []scannedFrame, record bool) error {
-	for _, fr := range kept {
+// probeFrame structurally parses the frame at off without checksum
+// validation: salt, page number, mark and size bounds only. It is used
+// past a chain break to count the orphaned frames being dropped; a
+// corrupt size field just ends the count early.
+func (w *NVWAL) probeFrame(blk heapo.Block, off int, salt uint64) (int, bool) {
+	if off+frameHdrSize > blk.Size() {
+		return 0, false
+	}
+	hdr := make([]byte, frameHdrSize)
+	if err := w.dev.ReadChecked(blk.Addr+uint64(off), hdr); err != nil {
+		return 0, false
+	}
+	mark := binary.LittleEndian.Uint64(hdr[0:])
+	frSalt := binary.LittleEndian.Uint64(hdr[8:])
+	pgno := binary.LittleEndian.Uint32(hdr[16:])
+	size := int(binary.LittleEndian.Uint32(hdr[24:]))
+	if frSalt != salt || pgno == 0 || (mark != 0 && mark != commitValue) ||
+		size <= 0 || size > w.pageSize || off+frameHdrSize+size > blk.Size() {
+		return 0, false
+	}
+	return align8(frameHdrSize + size), true
+}
+
+// replayFrames applies kept frames to the page images, returning how
+// many were applied. When record is true the frames are not yet
+// backfilled: they also enter the history and the per-page index,
+// capturing each page's replay base. A page whose first frame is
+// differential was backfilled by an earlier checkpoint round, so its
+// base comes from the database file — and when that read fails, the log
+// cannot repair the database: the page's frames are dropped (its reads
+// will surface honest errors rather than wrong data) and the report is
+// flagged so the database layer opens degraded.
+func (w *NVWAL) replayFrames(kept []scannedFrame, record bool, gen uint64, rep *SalvageReport) int {
+	applied := 0
+	for i, fr := range kept {
 		img, ok := w.versions[fr.pgno]
 		if !ok {
 			img = make([]byte, w.pageSize)
 			if !fr.full {
 				if err := w.db.ReadPage(fr.pgno, img); err != nil {
-					return fmt.Errorf("nvwal: reading backfilled base of page %d: %w", fr.pgno, err)
+					rep.DBFileDamaged = true
+					rep.FramesDropped++
+					rep.eventf("dropping frames for page %d: %v",
+						fr.pgno, fmt.Errorf("nvwal: reading backfilled base of page %d: %w at gen %d frame %d", fr.pgno, err, gen, i))
+					continue
 				}
 			}
 			w.versions[fr.pgno] = img
@@ -234,8 +436,9 @@ func (w *NVWAL) replayFrames(kept []scannedFrame, record bool) error {
 			}
 		}
 		applyExtent(img, fr.off, fr.payload)
+		applied++
 	}
-	return nil
+	return applied
 }
 
 // finishRecoveredCheckpoint completes a round that power failure caught
@@ -243,23 +446,34 @@ func (w *NVWAL) replayFrames(kept []scannedFrame, record bool) error {
 // run phase C's record flip + frees. Backfilling the live generation's
 // pages too is over-eager but harmless — replaying a differential frame
 // onto an image that already includes it is idempotent, and no reader
-// can hold a mark below the recovery point.
-func (w *NVWAL) finishRecoveredCheckpoint(firstBlk, salt uint64, blocks []heapo.Block) error {
+// can hold a mark below the recovery point. A database-file failure
+// does not fail the open: the record stays in its backfilling phase
+// (the next recovery retries) and the report is flagged so the database
+// layer opens degraded.
+func (w *NVWAL) finishRecoveredCheckpoint(firstBlk, salt uint64, blocks []heapo.Block, rep *SalvageReport) error {
 	for pgno, img := range w.versions {
 		if err := w.db.WritePage(pgno, img); err != nil {
-			return err
+			rep.DBFileDamaged = true
+			rep.eventf("recovered checkpoint: writing page %d: %v — round left pending, opening degraded", pgno, err)
+			return nil
 		}
 	}
 	if err := w.db.Sync(); err != nil {
-		return err
+		rep.DBFileDamaged = true
+		rep.eventf("recovered checkpoint: sync: %v — round left pending, opening degraded", err)
+		return nil
 	}
-	w.writeCkptRecord(firstBlk, salt, ckptFreeing)
+	w.writeCkptRecord(firstBlk, salt, ckptFreeing, 0, 0)
 	for i := len(blocks) - 1; i >= 0; i-- {
 		// Best effort; the live-generation scan may already have freed a
 		// block the interrupted round shared with a half-written header.
-		_ = w.heap.NVFree(blocks[i])
+		if w.isBad(blocks[i].Addr) {
+			w.quarantineNow(blocks[i], rep)
+		} else {
+			_ = w.heap.NVFree(blocks[i])
+		}
 	}
-	w.writeCkptRecord(0, 0, ckptNone)
+	w.writeCkptRecord(0, 0, ckptNone, 0, 0)
 	w.m.Inc(metrics.Checkpoints, 1)
 	return nil
 }
@@ -271,19 +485,35 @@ func (w *NVWAL) finishRecoveredCheckpoint(firstBlk, salt uint64, blocks []heapo.
 // carry the frozen generation's salt (the block was freed and already
 // recycled into the new generation — freeing it again would corrupt the
 // live log; a conservatively leaked block is reclaimable, a freed live
-// block is not).
-func (w *NVWAL) freeOldChain(firstAddr, salt uint64) {
+// block is not). An unreadable block is quarantined — its pages are
+// durable, only the media is suspect — and ends the walk.
+func (w *NVWAL) freeOldChain(firstAddr, salt uint64, rep *SalvageReport) {
 	addr := firstAddr
 	for addr != 0 {
 		blk, err := w.heap.BlockAt(addr)
 		if err != nil || w.heapStateInUse(addr) != nil {
 			return
 		}
-		if blk.Size() >= blockLinkSize+frameHdrSize &&
-			w.dev.Uint64(blk.Addr+blockLinkSize+8) != salt {
+		if blk.Size() >= blockLinkSize+frameHdrSize {
+			var frSalt [8]byte
+			if err := w.dev.ReadChecked(blk.Addr+blockLinkSize+8, frSalt[:]); err != nil {
+				rep.MediaReadErrors++
+				rep.eventf("freeing frozen chain: unreadable block %#x: %v — quarantined", blk.Addr, err)
+				w.quarantineNow(blk, rep)
+				return
+			}
+			if binary.LittleEndian.Uint64(frSalt[:]) != salt {
+				return
+			}
+		}
+		var link [8]byte
+		if err := w.dev.ReadChecked(blk.Addr, link[:]); err != nil {
+			rep.MediaReadErrors++
+			rep.eventf("freeing frozen chain: unreadable link in block %#x: %v — quarantined", blk.Addr, err)
+			w.quarantineNow(blk, rep)
 			return
 		}
-		next := w.dev.Uint64(blk.Addr)
+		next := binary.LittleEndian.Uint64(link[:])
 		if w.heap.NVFree(blk) != nil {
 			return
 		}
@@ -310,25 +540,35 @@ func (w *NVWAL) clearLink(linkAddr uint64) {
 }
 
 // truncateAfter frees all blocks after index keepIdx (-1 frees all) and
-// clears the tail link of the kept block.
+// clears the tail link of the kept block. Blocks media errors
+// implicated are quarantined instead of freed.
 func (w *NVWAL) truncateAfter(keepIdx int) {
 	for i := len(w.blocks) - 1; i > keepIdx; i-- {
 		// Best effort: a block that cannot be freed is leaked, never
 		// corrupted.
-		_ = w.heap.NVFree(w.blocks[i])
+		if w.isBad(w.blocks[i].Addr) {
+			w.quarantineNow(w.blocks[i], w.salvage)
+		} else {
+			_ = w.heap.NVFree(w.blocks[i])
+		}
 	}
 	w.blocks = w.blocks[:keepIdx+1]
 	w.clearLink(w.linkAddrForNext())
 }
 
 // readFrame parses and validates the frame at offset off of blk against
-// the running checksum chain and the generation's salt.
-func (w *NVWAL) readFrame(blk heapo.Block, off int, prev uint32, salt uint64) (scannedFrame, uint32, bool) {
+// the running checksum chain and the generation's salt. A non-nil error
+// is an uncorrectable media read error; ok=false with a nil error means
+// the bytes simply do not form a valid next frame (the ordinary end of
+// a log).
+func (w *NVWAL) readFrame(blk heapo.Block, off int, prev uint32, salt uint64) (scannedFrame, uint32, bool, error) {
 	if off+frameHdrSize > blk.Size() {
-		return scannedFrame{}, 0, false
+		return scannedFrame{}, 0, false, nil
 	}
 	hdr := make([]byte, frameHdrSize)
-	w.dev.Read(blk.Addr+uint64(off), hdr)
+	if err := w.dev.ReadChecked(blk.Addr+uint64(off), hdr); err != nil {
+		return scannedFrame{}, 0, false, err
+	}
 	mark := binary.LittleEndian.Uint64(hdr[0:])
 	frSalt := binary.LittleEndian.Uint64(hdr[8:])
 	pgno := binary.LittleEndian.Uint32(hdr[16:])
@@ -338,20 +578,22 @@ func (w *NVWAL) readFrame(blk heapo.Block, off int, prev uint32, salt uint64) (s
 	size := int(binary.LittleEndian.Uint32(hdr[24:]))
 	stored := binary.LittleEndian.Uint32(hdr[28:])
 	if frSalt != salt || pgno == 0 || (mark != 0 && mark != commitValue) {
-		return scannedFrame{}, 0, false
+		return scannedFrame{}, 0, false, nil
 	}
 	if size <= 0 || size > w.pageSize || inOff < 0 || inOff+size > w.pageSize {
-		return scannedFrame{}, 0, false
+		return scannedFrame{}, 0, false, nil
 	}
 	if off+frameHdrSize+size > blk.Size() {
-		return scannedFrame{}, 0, false
+		return scannedFrame{}, 0, false, nil
 	}
 	payload := make([]byte, size)
-	w.dev.Read(blk.Addr+uint64(off+frameHdrSize), payload)
+	if err := w.dev.ReadChecked(blk.Addr+uint64(off+frameHdrSize), payload); err != nil {
+		return scannedFrame{}, 0, false, err
+	}
 	sum := crc32.Update(prev, crcTab, hdr[8:28])
 	sum = crc32.Update(sum, crcTab, payload)
 	if mask := w.cfg.effMask(); sum&mask != stored&mask {
-		return scannedFrame{}, 0, false
+		return scannedFrame{}, 0, false, nil
 	}
 	return scannedFrame{
 		pgno:       pgno,
@@ -360,5 +602,5 @@ func (w *NVWAL) readFrame(blk heapo.Block, off int, prev uint32, salt uint64) (s
 		payload:    payload,
 		commit:     mark == commitValue,
 		chainAfter: sum,
-	}, sum, true
+	}, sum, true, nil
 }

@@ -128,6 +128,14 @@ type Options struct {
 	// support (every WAL mode; not rollback). A background checkpoint
 	// failure is latched and reported by Close.
 	BackgroundCheckpoint bool
+	// ScrubEvery runs the background media scrubber (JournalNVWAL only):
+	// after every N commits a dedicated goroutine audits the durable
+	// image of the log's committed frames against their chained CRCs,
+	// catching silent media rot while the volatile copies are still
+	// intact. Bad frames trigger a checkpoint that rewrites the affected
+	// pages from DRAM and retires the implicated NVRAM blocks into the
+	// heap's quarantine. 0 disables scrubbing.
+	ScrubEvery int
 }
 
 // DefaultCheckpointLimit matches SQLite's 1000-frame threshold (§2).
@@ -169,9 +177,17 @@ type DB struct {
 	opts Options
 	name string
 
-	dbf *dbfile.File
+	// dbf is the database file behind the transient-retry wrapper; all
+	// consumers (pager, journal backfill, checkpoint) share it.
+	dbf *retryFile
 	jrn pager.Journal
 	pg  *pager.Pager
+
+	// degradedErr latches the degraded read-only mode (ErrDegraded):
+	// set at open when salvage found database-file damage, or at runtime
+	// by the first permanent device error on the file.
+	degradedMu  sync.Mutex
+	degradedErr error
 
 	// treeMu guards the trees cache; the *btree.Tree values themselves
 	// are only used while holding the writer slot.
@@ -208,12 +224,22 @@ type DB struct {
 	closeOnce sync.Once
 	ckptErrMu sync.Mutex
 	ckptErr   error
+
+	// Background media scrubber (Options.ScrubEvery): commits count
+	// toward scrubSince and kick the goroutine at the threshold.
+	scrubKick  chan struct{}
+	scrubQuit  chan struct{}
+	scrubDone  chan struct{}
+	scrubSince atomic.Int64
 }
 
 // Open opens (creating if necessary) the database file name on the
 // platform's flash file system, with the journal per opts. Crash
 // recovery runs automatically: the journal replays its committed
-// frames.
+// frames. When recovery finds the database file itself damaged beyond
+// the log's ability to repair, Open returns BOTH a usable handle and an
+// error matching errors.Is(err, ErrDegraded): the handle serves the
+// last good snapshot read-only.
 func Open(plat *platform.Platform, name string, opts Options) (*DB, error) {
 	if opts.PageSize <= 0 {
 		opts.PageSize = 4096
@@ -235,11 +261,11 @@ func Open(plat *platform.Platform, name string, opts Options) (*DB, error) {
 		plat:      plat,
 		opts:      opts,
 		name:      name,
-		dbf:       dbfile.New(f, opts.PageSize),
 		trees:     make(map[string]*btree.Tree),
 		slot:      make(chan struct{}, 1),
 		openMarks: make(map[int]int),
 	}
+	d.dbf = newRetryFile(dbfile.New(f, opts.PageSize), plat.Clock, plat.Metrics, d.degrade)
 	switch opts.Journal {
 	case JournalNVWAL:
 		cfg := opts.NVWAL
@@ -277,6 +303,24 @@ func Open(plat *platform.Platform, name string, opts Options) (*DB, error) {
 			d.ckptDone = make(chan struct{})
 			go d.checkpointLoop()
 		}
+	}
+	if opts.ScrubEvery > 0 {
+		nv, ok := d.jrn.(*core.NVWAL)
+		if !ok {
+			return nil, errors.New("db: ScrubEvery requires JournalNVWAL")
+		}
+		d.scrubKick = make(chan struct{}, 1)
+		d.scrubQuit = make(chan struct{})
+		d.scrubDone = make(chan struct{})
+		go d.scrubLoop(nv)
+	}
+	// Recovery may have found the database file itself damaged — pages
+	// the log cannot reconstruct. The handle still opens (the last good
+	// snapshot stays readable through the log and cache), but writes are
+	// refused: Open returns it together with an ErrDegraded error.
+	if rep := d.Salvage(); rep != nil && rep.DBFileDamaged {
+		d.degrade(fmt.Errorf("recovery found database-file damage (%s)", rep))
+		return d, d.Degraded()
 	}
 	return d, nil
 }
@@ -409,6 +453,9 @@ func (d *DB) uncacheTree(table string) {
 // inside an open write transaction (legacy mode reports ErrTxnOpen;
 // Concurrent mode waits for the writer slot).
 func (d *DB) CreateTable(table string) error {
+	if err := d.Degraded(); err != nil {
+		return err
+	}
 	if err := d.acquireSlot(); err != nil {
 		return err
 	}
@@ -466,6 +513,9 @@ func (d *DB) CreateTable(table string) error {
 // its pages to the freelist. It cannot run inside an open write
 // transaction.
 func (d *DB) DropTable(table string) error {
+	if err := d.Degraded(); err != nil {
+		return err
+	}
 	if err := d.acquireSlot(); err != nil {
 		return err
 	}
@@ -567,6 +617,9 @@ func (tx *Tx) Seq() uint64 { return tx.seq }
 // Begin opens a write transaction. In Concurrent mode it blocks until
 // the current writer finishes; in legacy mode it returns ErrTxnOpen.
 func (d *DB) Begin() (*Tx, error) {
+	if err := d.Degraded(); err != nil {
+		return nil, err
+	}
 	// Register before contending for the slot, so a group waiting for
 	// stragglers knows this writer is on its way.
 	d.gc.register()
@@ -604,6 +657,9 @@ func (d *DB) Writer() *Writer {
 func (w *Writer) Begin() (*Tx, error) {
 	if w.closed {
 		return nil, errors.New("db: writer session closed")
+	}
+	if err := w.d.Degraded(); err != nil {
+		return nil, err
 	}
 	if err := w.d.acquireSlot(); err != nil {
 		return nil, err
@@ -757,6 +813,7 @@ func (tx *Tx) Commit() error {
 		return err
 	}
 	tx.seq = seq
+	d.maybeKickScrub()
 	return d.maybeAutoCheckpoint()
 }
 
@@ -838,6 +895,11 @@ func (d *DB) maybeAutoCheckpoint() error {
 	if lim <= 0 || d.jrn.FramesSinceCheckpoint() < lim {
 		return nil
 	}
+	if d.Degraded() != nil {
+		// Checkpointing writes the database file, which is exactly what
+		// degraded mode cannot do; the commit itself is durable in the log.
+		return nil
+	}
 	if d.ckptKick != nil {
 		d.kickCheckpoint()
 		return nil
@@ -900,6 +962,9 @@ func (d *DB) checkpointLoop() {
 		case <-d.ckptKick:
 		}
 		for d.jrn.FramesSinceCheckpoint() >= d.opts.CheckpointLimit {
+			if d.Degraded() != nil {
+				break
+			}
 			err := ij.CheckpointIncremental(d.ckptGate)
 			if err == nil {
 				continue
@@ -979,6 +1044,9 @@ func (d *DB) Count(table string) (int, error) {
 
 // Checkpoint flushes the log into the database file and truncates it.
 func (d *DB) Checkpoint() error {
+	if err := d.Degraded(); err != nil {
+		return err
+	}
 	if err := d.acquireSlot(); err != nil {
 		return err
 	}
@@ -1023,15 +1091,16 @@ func (d *DB) checkpointLocked() error {
 	return nil
 }
 
-// Close stops the background checkpointer, checkpoints, and releases
-// the database. SQLite checkpoints when the last session closes (§2). A
-// latched background-checkpoint failure is reported here.
+// Close stops the background checkpointer and scrubber, checkpoints,
+// and releases the database. SQLite checkpoints when the last session
+// closes (§2). A latched background-checkpoint failure is reported
+// here. In degraded mode the final checkpoint is skipped — the database
+// file cannot absorb it — and Close reports the degraded error; the
+// committed log content survives in NVRAM for the next recovery.
 func (d *DB) Close() error {
-	if d.ckptQuit != nil {
-		d.closeOnce.Do(func() {
-			close(d.ckptQuit)
-			<-d.ckptDone
-		})
+	d.stopBackground()
+	if err := d.Degraded(); err != nil {
+		return err
 	}
 	err := d.Checkpoint()
 	d.ckptErrMu.Lock()
@@ -1043,19 +1112,14 @@ func (d *DB) Close() error {
 	return err
 }
 
-// Abandon stops the background checkpointer goroutine without
-// checkpointing or touching the journal. It is the right way to discard
+// Abandon stops the background checkpointer and scrubber goroutines
+// without checkpointing or touching the journal. It is the right way to discard
 // a DB whose underlying platform has crashed (PowerFail): Close would
 // checkpoint into a failed device, while letting the handle leak would
 // leave the checkpointer goroutine alive. Safe to call repeatedly — at
 // most once effective; the handle must not be used afterwards.
 func (d *DB) Abandon() {
-	if d.ckptQuit != nil {
-		d.closeOnce.Do(func() {
-			close(d.ckptQuit)
-			<-d.ckptDone
-		})
-	}
+	d.stopBackground()
 }
 
 // Check verifies the structural invariants of every table's tree.

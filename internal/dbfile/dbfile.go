@@ -47,8 +47,7 @@ func (d *File) WritePage(pgno uint32, data []byte) error {
 
 // Sync flushes the file durably (fsync).
 func (d *File) Sync() error {
-	d.f.Fsync()
-	return nil
+	return d.f.Fsync()
 }
 
 // Size returns the file size in bytes.

@@ -300,17 +300,20 @@ func (f *File) ensurePage(idx int) int {
 
 // pageContent returns a mutable cached copy of the device page. Caller
 // holds fs.mu. Unwritten extents read as zeros, never the previous
-// owner's device content.
-func (f *File) pageContent(devPage int) []byte {
+// owner's device content. A device read error propagates without
+// populating the cache, so a retry re-reads the device.
+func (f *File) pageContent(devPage int) ([]byte, error) {
 	if buf, ok := f.fs.cache[devPage]; ok {
-		return buf
+		return buf, nil
 	}
 	buf := make([]byte, f.fs.dev.PageSize())
 	if !f.fs.unwritten[devPage] {
-		f.fs.dev.ReadPage(devPage, buf)
+		if err := f.fs.dev.ReadPage(devPage, buf); err != nil {
+			return nil, fmt.Errorf("ext4: %s: %w", f.in.name, err)
+		}
 	}
 	f.fs.cache[devPage] = buf
-	return buf
+	return buf, nil
 }
 
 // WriteAt writes p at byte offset off, extending the file as needed.
@@ -328,7 +331,10 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 		idx := int(pos / ps)
 		inPage := int(pos % ps)
 		devPage := f.ensurePage(idx)
-		buf := f.pageContent(devPage)
+		buf, err := f.pageContent(devPage)
+		if err != nil {
+			return n, err
+		}
 		c := copy(buf[inPage:], p[n:])
 		n += c
 		f.fs.dirty[devPage] = f.in.tag
@@ -378,7 +384,10 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 			n += int(c)
 			continue
 		}
-		buf := f.pageContent(f.in.extents[idx])
+		buf, err := f.pageContent(f.in.extents[idx])
+		if err != nil {
+			return n, err
+		}
 		c := len(p) - n
 		if int64(c) > avail {
 			c = int(avail)
@@ -439,8 +448,10 @@ func (f *File) Truncate(size int64) {
 }
 
 // Fsync makes the file durable: ordered-mode data write-out followed by
-// a journal commit when metadata changed.
-func (f *File) Fsync() {
+// a journal commit when metadata changed. On error the affected pages
+// stay dirty and the metadata stays pending, so a retried Fsync resumes
+// where the failed one stopped.
+func (f *File) Fsync() error {
 	fs := f.fs
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -450,7 +461,9 @@ func (f *File) Fsync() {
 	wrote := false
 	for _, devPage := range f.in.extents {
 		if tag, ok := fs.dirty[devPage]; ok {
-			fs.dev.WritePage(devPage, fs.cache[devPage], tag)
+			if err := fs.dev.WritePage(devPage, fs.cache[devPage], tag); err != nil {
+				return fmt.Errorf("ext4: fsync %s: %w", f.in.name, err)
+			}
 			delete(fs.dirty, devPage)
 			delete(fs.unwritten, devPage) // the extent now holds real data
 			wrote = true
@@ -458,30 +471,54 @@ func (f *File) Fsync() {
 	}
 
 	if fs.metaDirty || fs.allocDirty {
-		fs.journalCommit()
+		if err := fs.journalCommit(); err != nil {
+			return fmt.Errorf("ext4: fsync %s: %w", f.in.name, err)
+		}
 	} else if wrote {
-		fs.dev.Sync()
+		if err := fs.dev.Sync(); err != nil {
+			return fmt.Errorf("ext4: fsync %s: %w", f.in.name, err)
+		}
 	}
+	return nil
+}
+
+// Extents returns the device pages backing the file, in file order.
+// Fault-injection harnesses use this to aim media damage at a specific
+// file.
+func (f *File) Extents() []int {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	return append([]int(nil), f.in.extents...)
 }
 
 // journalCommit writes the journal transaction for the pending metadata
-// update and snapshots durable metadata. Caller holds fs.mu.
-func (fs *FS) journalCommit() {
+// update and snapshots durable metadata. Caller holds fs.mu. On error
+// the metadata stays pending and the next commit retries it.
+func (fs *FS) journalCommit() error {
 	metaPages := journalDescriptorPages + journalInodePages
 	if fs.allocDirty {
 		metaPages += journalAllocPages
 	}
 	for i := 0; i < metaPages; i++ {
-		fs.dev.WritePage(fs.journalPage(), nil, TagJournal)
+		if err := fs.dev.WritePage(fs.journalPage(), nil, TagJournal); err != nil {
+			return err
+		}
 	}
-	fs.dev.Sync()
+	if err := fs.dev.Sync(); err != nil {
+		return err
+	}
 	for i := 0; i < journalCommitPages; i++ {
-		fs.dev.WritePage(fs.journalPage(), nil, TagJournal)
+		if err := fs.dev.WritePage(fs.journalPage(), nil, TagJournal); err != nil {
+			return err
+		}
 	}
-	fs.dev.Sync()
+	if err := fs.dev.Sync(); err != nil {
+		return err
+	}
 	fs.metaDirty = false
 	fs.allocDirty = false
 	fs.snapshotMeta()
+	return nil
 }
 
 // journalPage returns the next cyclic page in the journal region.

@@ -40,6 +40,10 @@ const (
 	StatePending = 1 // allocated but not yet referenced by the application
 	StateInUse   = 2 // allocated and referenced
 	stateCont    = 3 // continuation page of a multi-page block
+	// StateQuarantined marks a block whose media went bad: it is never
+	// allocated again, never reclaimed by recovery, and survives crash/
+	// reboot cycles — the persistent bad-block list.
+	StateQuarantined = 4
 )
 
 // Persistent layout:
@@ -355,6 +359,48 @@ func (m *Manager) NVMallocSetUsedFlag(b Block) error {
 	return nil
 }
 
+// Quarantine retires a pending or in-use block whose media proved
+// unreliable: the whole run is persistently marked quarantined, so it
+// is never handed out by any allocation path again, across crashes —
+// ReclaimPending skips it, findRun never matches it, and NVFree/
+// Recycle refuse it.
+func (m *Manager) Quarantine(b Block) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	page, err := m.pageOf(b.Addr)
+	if err != nil {
+		return err
+	}
+	st, run := m.readMeta(page)
+	if st != StateInUse && st != StatePending {
+		return fmt.Errorf("%w: page %d is %s, want in-use or pending", ErrBadState, page, stateName(st))
+	}
+	m.dev.Syscall()
+	// Every page of the run gets the quarantined head state (run length
+	// 1), so the bad-block list needs no run bookkeeping and a partially
+	// damaged multi-page block can never be misparsed as an allocation.
+	for i := page; i < page+run; i++ {
+		m.writeMeta(i, StateQuarantined, 1)
+	}
+	m.persistRange(m.metaAddr(page), m.metaAddr(page+run))
+	m.dev.Metrics().Inc(metrics.BlocksQuarantined, 1)
+	return nil
+}
+
+// QuarantinedPages reports the number of pages on the persistent
+// bad-block list.
+func (m *Manager) QuarantinedPages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for page := 0; page < m.pageCount; page++ {
+		if st, _ := m.readMeta(page); st == StateQuarantined {
+			n++
+		}
+	}
+	return n
+}
+
 // NVFree releases a block (pending or in-use) back to the free pool.
 func (m *Manager) NVFree(b Block) error {
 	m.mu.Lock()
@@ -461,6 +507,13 @@ func (m *Manager) FreePages() int {
 // TotalPages reports the heap capacity in pages.
 func (m *Manager) TotalPages() int { return m.pageCount }
 
+// HeapRange returns the device address interval [start, end) holding
+// the heap's data pages — the region a fault-injection harness targets
+// to damage log content while sparing allocator metadata.
+func (m *Manager) HeapRange() (start, end uint64) {
+	return m.heapBase, m.heapBase + uint64(m.pageCount)*PageSize
+}
+
 // SetRoot persistently binds name to an NVRAM address in the namespace
 // table, so the object can be found after reboot. An existing binding is
 // overwritten.
@@ -546,6 +599,8 @@ func stateName(st int) string {
 		return "in-use"
 	case stateCont:
 		return "continuation"
+	case StateQuarantined:
+		return "quarantined"
 	default:
 		return fmt.Sprintf("state(%d)", st)
 	}

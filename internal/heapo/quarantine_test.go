@@ -1,0 +1,123 @@
+package heapo
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/memsim"
+)
+
+func TestQuarantineNeverReallocated(t *testing.T) {
+	h, dev, _ := newHeap(t, 1<<20)
+
+	bad, err := h.NVMalloc(2 * PageSize)
+	if err != nil {
+		t.Fatalf("NVMalloc: %v", err)
+	}
+	if err := h.Quarantine(bad); err != nil {
+		t.Fatalf("Quarantine: %v", err)
+	}
+	if got := h.QuarantinedPages(); got != 2 {
+		t.Fatalf("QuarantinedPages = %d, want 2", got)
+	}
+
+	// Crash and reboot: the quarantine must be persistent and must
+	// survive the pending-block reclaim recovery performs.
+	dev.PowerFail(memsim.FailDropAll, 1)
+	dev.Recover()
+	h2, err := Attach(dev)
+	if err != nil {
+		t.Fatalf("Attach after crash: %v", err)
+	}
+	h2.ReclaimPending()
+	if got := h2.QuarantinedPages(); got != 2 {
+		t.Fatalf("QuarantinedPages after crash/reclaim = %d, want 2", got)
+	}
+
+	// Exhaustively allocate the heap; nothing handed out may overlap the
+	// quarantined run.
+	lo, hi := bad.Addr, bad.Addr+uint64(bad.Pages)*PageSize
+	for {
+		b, err := h2.NVMalloc(PageSize)
+		if err != nil {
+			if !errors.Is(err, ErrNoSpace) {
+				t.Fatalf("NVMalloc: %v", err)
+			}
+			break
+		}
+		if b.Addr >= lo && b.Addr < hi {
+			t.Fatalf("allocator handed out quarantined page at 0x%x", b.Addr)
+		}
+	}
+	for {
+		b, err := h2.NVPreMalloc(PageSize)
+		if err != nil {
+			break
+		}
+		if b.Addr >= lo && b.Addr < hi {
+			t.Fatalf("NVPreMalloc handed out quarantined page at 0x%x", b.Addr)
+		}
+	}
+	if got := h2.QuarantinedPages(); got != 2 {
+		t.Fatalf("QuarantinedPages after exhaustion = %d, want 2", got)
+	}
+}
+
+func TestQuarantinedBlockRejectedByFreeAndRecycle(t *testing.T) {
+	h, _, _ := newHeap(t, 1<<20)
+	b, err := h.NVMalloc(PageSize)
+	if err != nil {
+		t.Fatalf("NVMalloc: %v", err)
+	}
+	if err := h.Quarantine(b); err != nil {
+		t.Fatalf("Quarantine: %v", err)
+	}
+	if err := h.NVFree(b); !errors.Is(err, ErrBadState) {
+		t.Fatalf("NVFree of quarantined block: err = %v, want ErrBadState", err)
+	}
+	if err := h.Recycle(b); !errors.Is(err, ErrBadState) {
+		t.Fatalf("Recycle of quarantined block: err = %v, want ErrBadState", err)
+	}
+	if err := h.NVMallocSetUsedFlag(b); !errors.Is(err, ErrBadState) {
+		t.Fatalf("NVMallocSetUsedFlag of quarantined block: err = %v, want ErrBadState", err)
+	}
+	if _, err := h.BlockAt(b.Addr); !errors.Is(err, ErrBadState) {
+		t.Fatalf("BlockAt of quarantined block: err = %v, want ErrBadState", err)
+	}
+	// Double quarantine is also a state error: the block is already off
+	// every allocation path.
+	if err := h.Quarantine(b); !errors.Is(err, ErrBadState) {
+		t.Fatalf("double Quarantine: err = %v, want ErrBadState", err)
+	}
+}
+
+func TestQuarantinePendingBlock(t *testing.T) {
+	h, _, _ := newHeap(t, 1<<20)
+	b, err := h.NVPreMalloc(PageSize)
+	if err != nil {
+		t.Fatalf("NVPreMalloc: %v", err)
+	}
+	if err := h.Quarantine(b); err != nil {
+		t.Fatalf("Quarantine of pending block: %v", err)
+	}
+	if n := h.ReclaimPending(); n != 0 {
+		t.Fatalf("ReclaimPending reclaimed %d blocks, want 0 (quarantined is not pending)", n)
+	}
+	if got := h.QuarantinedPages(); got != 1 {
+		t.Fatalf("QuarantinedPages = %d, want 1", got)
+	}
+}
+
+func TestQuarantineFreeBlockRejected(t *testing.T) {
+	h, _, _ := newHeap(t, 1<<20)
+	b, err := h.NVMalloc(PageSize)
+	if err != nil {
+		t.Fatalf("NVMalloc: %v", err)
+	}
+	if err := h.NVFree(b); err != nil {
+		t.Fatalf("NVFree: %v", err)
+	}
+	if err := h.Quarantine(b); !errors.Is(err, ErrBadState) {
+		t.Fatalf("Quarantine of free block: err = %v, want ErrBadState", err)
+	}
+}

@@ -206,6 +206,8 @@ type Domain struct {
 	arm    *crashArm
 	frozen []byte // durable image captured when the armed trigger fired
 
+	faults *faultState // media-fault model; nil when not injected
+
 	failed bool
 }
 
@@ -477,7 +479,7 @@ func (d *Domain) PersistBarrier() {
 	d.m.AddTime(metrics.TimePersist, d.cfg.PersistBarrierCost)
 	for la, st := range d.lines {
 		if st.queued {
-			copy(d.persisted[la:], st.queuedData)
+			d.persistLineLocked(d.persisted, la, st.queuedData)
 			st.queued = false
 			st.queuedData = nil
 		}
@@ -542,7 +544,7 @@ func (d *Domain) EpochBarrier() {
 	d.m.AddTime(metrics.TimePersist, d.cfg.PersistBarrierCost)
 	for la, st := range d.lines {
 		if st.queued {
-			copy(d.persisted[la:], st.queuedData)
+			d.persistLineLocked(d.persisted, la, st.queuedData)
 			st.queued = false
 			st.queuedData = nil
 		}
@@ -572,6 +574,9 @@ func (d *Domain) PowerFail(policy FailPolicy, seed int64) {
 	} else {
 		d.resolveSurvivorsLocked(d.persisted, policy, seed)
 	}
+	// Retention bit rot is observed at the reboot following an outage:
+	// damage the finalized durable image, seeded by this crash.
+	d.applyCrashFaultsLocked(seed)
 	d.arm = nil
 	for la := range d.lines {
 		delete(d.lines, la)
@@ -606,16 +611,16 @@ func (d *Domain) resolveSurvivorsLocked(dst []byte, policy FailPolicy, seed int6
 			// nothing survives
 		case FailKeepCompleted:
 			if st.queued && st.completion <= now {
-				copy(dst[la:], st.queuedData)
+				d.persistLineLocked(dst, la, st.queuedData)
 			}
 		case FailAdversarial:
 			if st.queued && rng.Intn(2) == 0 {
-				copy(dst[la:], st.queuedData)
+				d.persistLineLocked(dst, la, st.queuedData)
 			}
 			if st.dirty && rng.Intn(4) == 0 {
 				// Spontaneous hardware eviction made this line durable
 				// even though it was never explicitly flushed.
-				copy(dst[la:], d.volatileMem[la:la+uint64(d.cfg.CacheLineSize)])
+				d.persistLineLocked(dst, la, d.volatileMem[la:la+uint64(d.cfg.CacheLineSize)])
 			}
 		}
 	}

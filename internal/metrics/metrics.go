@@ -44,11 +44,24 @@ const (
 	// real thread would experience is what the non-blocking checkpoint
 	// removes, and the virtual clock does not advance while a goroutine
 	// merely waits on a lock).
-	CheckpointNanos = "checkpoint_ns_total"       // wall ns spent writing back + syncing pages
-	CheckpointPages = "checkpoint_pages_written"  // pages copied into the database file
+	CheckpointNanos  = "checkpoint_ns_total"      // wall ns spent writing back + syncing pages
+	CheckpointPages  = "checkpoint_pages_written" // pages copied into the database file
 	CommitStallNanos = "commit_stall_ns"          // wall ns commits waited for the journal writer lock
 	HeapRecycled     = "heap_recycled"            // blocks parked in the recycled free-block pool
 	HeapRecycleHits  = "heap_recycle_hits"        // allocations served from the pool (no kernel call)
+	// Media-fault hardening (fault injection, salvage, scrubbing).
+	MediaBitFlips      = "media_bit_flips"      // NVRAM lines corrupted by injected bit rot
+	MediaStuckLines    = "media_stuck_lines"    // NVRAM lines stuck at stale content
+	MediaReadErrors    = "media_read_errors"    // uncorrectable NVRAM read errors surfaced
+	BlockTornWrites    = "block_torn_writes"    // sector writes torn by power failure
+	BlockShortWrites   = "block_short_writes"   // silently truncated sector programs
+	BlockIOErrors      = "block_io_errors"      // EIO returned by the block device
+	IORetries          = "io_retries"           // transient I/O errors absorbed by retry
+	ScrubFramesChecked = "scrub_frames_checked" // log frames CRC-verified by the scrubber
+	ScrubFramesBad     = "scrub_frames_bad"     // committed frames the scrubber found corrupt
+	FramesSalvaged     = "frames_salvaged"      // committed frames recovery kept from a damaged log
+	FramesDropped      = "frames_dropped"       // frames recovery discarded as corrupt/unreachable
+	BlocksQuarantined  = "blocks_quarantined"   // NVRAM blocks retired to the heap quarantine
 )
 
 // Standard time keys.

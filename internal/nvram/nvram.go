@@ -55,6 +55,23 @@ func (d *Device) Write(addr uint64, p []byte) { d.dom.Write(addr, p) }
 // Read loads len(p) bytes at addr into p.
 func (d *Device) Read(addr uint64, p []byte) { d.dom.Read(addr, p) }
 
+// ReadChecked loads len(p) bytes at addr into p through the ECC-checked
+// path: with an installed fault model it may return an uncorrectable
+// media error (wrapping memsim.ErrMediaRead) instead of data. Recovery
+// and scrub code must use this entry point.
+func (d *Device) ReadChecked(addr uint64, p []byte) error { return d.dom.ReadChecked(addr, p) }
+
+// ReadPersistedChecked is the ECC-checked read of the durable image —
+// what the media would hand back after a crash right now. Scrubbers use
+// it to audit persisted content whose volatile copy is still clean.
+func (d *Device) ReadPersistedChecked(addr uint64, p []byte) error {
+	return d.dom.ReadPersistedChecked(addr, p)
+}
+
+// InjectFaults installs (or removes, with a zero config) the media-
+// fault model on the underlying domain.
+func (d *Device) InjectFaults(cfg memsim.FaultConfig) { d.dom.InjectFaults(cfg) }
+
 // Flush issues cache-line flushes covering [start, end). It does not
 // charge a kernel-mode switch; user-level callers model the
 // cache_line_flush() syscall by pairing Flush with Syscall.

@@ -133,7 +133,9 @@ func (j *Journal) writeUndoLog(frames []pager.Frame) error {
 		}
 		off += int64(len(rec))
 	}
-	jf.Fsync() // fsync #1: undo log durable
+	if err := jf.Fsync(); err != nil { // fsync #1: undo log durable
+		return err
+	}
 	return nil
 }
 

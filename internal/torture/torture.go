@@ -4,9 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/blockdev"
 	"repro/internal/core"
 	"repro/internal/db"
 	"repro/internal/memsim"
@@ -30,6 +33,24 @@ type Options struct {
 	// (core.Config.UnsafeEarlyCommitMark) to prove the fuzzer catches
 	// ordering violations.
 	Bug bool
+	// Faults enables the media-fault chain mode: randomized NVRAM
+	// damage (bit flips at power failure, stuck lines, uncorrectable
+	// reads) confined to the heap's data pages, plus transient EIO and
+	// torn in-flight sectors on the block device under the database
+	// file. Salvage recovery may legally drop acknowledged
+	// transactions, so the durability invariant is waived
+	// (History.WeakDurability); atomicity, no-resurrection and order
+	// stay absolute, recovery must never hard-fail the open, and the
+	// SyncChecksum variants join the rotation.
+	Faults bool
+	// MaxRounds, when > 0, clamps every chain's sampled crash-round
+	// count. Rounds are a deterministic prefix of the chain, so the
+	// clamp is the shrinker's coarse handle (see Minimize).
+	MaxRounds int
+	// MaxTxns, when > 0, clamps the per-round transaction budget of
+	// every worker — a prefix of each worker's deterministic
+	// transaction stream, the shrinker's fine handle.
+	MaxTxns int
 	// Logf receives progress lines; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -41,6 +62,14 @@ type Report struct {
 	Txns       int               `json:"txns"`
 	Violations []ViolationReport `json:"violations"`
 	Elapsed    time.Duration     `json:"elapsed_ns"`
+	// Damaged counts rounds whose salvage report observed media damage
+	// (faults mode); Degraded counts chains that ended early because
+	// recovery flagged the database file and opened read-only.
+	Damaged  int `json:"damaged_rounds,omitempty"`
+	Degraded int `json:"degraded_chains,omitempty"`
+	// Minimized is the shrunken repro for the first violation, when the
+	// caller ran Minimize.
+	Minimized *ViolationReport `json:"minimized,omitempty"`
 }
 
 // ViolationReport is one oracle violation with its replay coordinates.
@@ -94,6 +123,10 @@ func Run(opts Options) Report {
 		rep.Chains++
 		rep.Rounds += res.rounds
 		rep.Txns += res.txns
+		rep.Damaged += res.damaged
+		if res.degraded {
+			rep.Degraded++
+		}
 		if len(res.violations) > 0 {
 			rep.Violations = append(rep.Violations, res.violations...)
 			break
@@ -115,6 +148,12 @@ type chainCfg struct {
 	rounds      int
 	ckptLimit   int
 	policies    []memsim.FailPolicy
+	// Faults mode: sampled media-fault configs (Ranges filled in by
+	// runChain once the platform's heap range is known) and the
+	// background scrubber cadence (0 = off).
+	nvFaults   memsim.FaultConfig
+	devFaults  blockdev.FaultConfig
+	scrubEvery int
 }
 
 // sampleChain draws a chain configuration. Chains with one worker and
@@ -132,9 +171,10 @@ func sampleChain(rng *rand.Rand, opts Options) chainCfg {
 			{Name: "UH+LS+Diff", Cfg: core.VariantUHLSDiff()},
 		}
 	} else {
-		// SyncChecksum variants are excluded: asynchronous commit may
-		// legally lose acknowledged transactions (§4.2), which the
-		// durability invariant would misreport.
+		// SyncChecksum variants are excluded from the strict rotation:
+		// asynchronous commit may legally lose acknowledged transactions
+		// (§4.2), which the durability invariant would misreport. Faults
+		// mode waives durability anyway, so there they join in.
 		variants = []core.NamedConfig{
 			{Name: "E", Cfg: core.VariantE()},
 			{Name: "LS", Cfg: core.VariantLS()},
@@ -143,6 +183,12 @@ func sampleChain(rng *rand.Rand, opts Options) chainCfg {
 			{Name: "UH+LS+Diff", Cfg: core.VariantUHLSDiff()},
 			{Name: "SP", Cfg: core.VariantSP()},
 			{Name: "EP", Cfg: core.VariantEP()},
+		}
+		if opts.Faults {
+			variants = append(variants,
+				core.NamedConfig{Name: "CS+Diff", Cfg: core.VariantCSDiff()},
+				core.NamedConfig{Name: "UH+CS+Diff", Cfg: core.VariantUHCSDiff()},
+			)
 		}
 	}
 	v := variants[rng.Intn(len(variants))]
@@ -191,17 +237,62 @@ func sampleChain(rng *rand.Rand, opts Options) chainCfg {
 			memsim.FailDropAll, memsim.FailKeepCompleted, memsim.FailAdversarial,
 		}
 	}
+
+	if opts.Faults {
+		// NVRAM damage lands only on the heap's data pages (log blocks
+		// and header), sparing allocator metadata — the fault model's
+		// scope (DESIGN.md §13). The bit-flip rate is the acceptance
+		// anchor; stuck lines and read errors rotate in.
+		cfg.nvFaults = memsim.FaultConfig{Seed: rng.Int63(), BitFlipRate: 1e-4}
+		if rng.Intn(3) == 0 {
+			cfg.nvFaults.StuckLineRate = 1e-3
+		}
+		if rng.Intn(3) == 0 {
+			cfg.nvFaults.ReadErrorRate = 1e-3
+		}
+		// Block-device faults stay detectable: transient EIO (absorbed
+		// by the db layer's bounded retry) and torn in-flight sectors
+		// (always rewritten by checkpoint recovery). Short writes are
+		// deliberately excluded — silently acknowledged partial programs
+		// are undetectable without page checksums the format doesn't
+		// have, so no oracle could pass against them.
+		cfg.devFaults = blockdev.FaultConfig{
+			Seed:         rng.Int63(),
+			ReadEIORate:  0.002,
+			WriteEIORate: 0.002,
+			SyncEIORate:  0.001,
+		}
+		if rng.Intn(2) == 0 {
+			cfg.devFaults.TornWriteRate = 0.2
+		}
+		// The scrubber only on concurrent chains: its goroutine's NVRAM
+		// reads would cost single-worker chains their exact replay.
+		if cfg.workers > 1 && rng.Intn(2) == 0 {
+			cfg.scrubEvery = 4 + rng.Intn(12)
+		}
+	}
+	if opts.MaxRounds > 0 && cfg.rounds > opts.MaxRounds {
+		cfg.rounds = opts.MaxRounds
+	}
 	return cfg
 }
 
 func (c chainCfg) String() string {
-	return fmt.Sprintf("%s w=%d gc=%d bg=%t churn=%t rd=%t rounds=%d ckpt=%d",
+	s := fmt.Sprintf("%s w=%d gc=%d bg=%t churn=%t rd=%t rounds=%d ckpt=%d",
 		c.label, c.workers, c.groupCommit, c.bgCkpt, c.churn, c.reader, c.rounds, c.ckptLimit)
+	if c.nvFaults.BitFlipRate > 0 || c.devFaults.ReadEIORate > 0 {
+		s += fmt.Sprintf(" flip=%g stuck=%g rerr=%g torn=%g scrub=%d",
+			c.nvFaults.BitFlipRate, c.nvFaults.StuckLineRate, c.nvFaults.ReadErrorRate,
+			c.devFaults.TornWriteRate, c.scrubEvery)
+	}
+	return s
 }
 
 type chainResult struct {
 	rounds     int
 	txns       int
+	damaged    int  // rounds whose salvage report observed media damage
+	degraded   bool // chain ended in degraded read-only mode
 	violations []ViolationReport
 }
 
@@ -230,6 +321,15 @@ func runChain(opts Options, step int) chainResult {
 	if opts.Bug {
 		repro += " -bug"
 	}
+	if opts.Faults {
+		repro += " -faults"
+	}
+	if opts.MaxRounds > 0 {
+		repro += fmt.Sprintf(" -max-rounds %d", opts.MaxRounds)
+	}
+	if opts.MaxTxns > 0 {
+		repro += fmt.Sprintf(" -max-txns %d", opts.MaxTxns)
+	}
 	fail := func(round int, v Violation) {
 		res.violations = append(res.violations, ViolationReport{
 			Step: step, Seed: opts.Seed, Round: round, Chain: cfg.String(),
@@ -242,6 +342,16 @@ func runChain(opts Options, step int) chainResult {
 		fail(-1, Violation{Kind: "error", Worker: -1, Detail: "platform: " + err.Error()})
 		return res
 	}
+	if opts.Faults {
+		// Damage scope: the heap's data pages (log blocks and the NVWAL
+		// header) for NVRAM faults, the whole device for block faults.
+		// Both persist across every PowerFail/Reboot of the chain.
+		start, end := plat.Heap.HeapRange()
+		nf := cfg.nvFaults
+		nf.Ranges = []memsim.AddrRange{{Start: start, End: end}}
+		plat.NVRAM.InjectFaults(nf)
+		plat.Flash.InjectFaults(cfg.devFaults)
+	}
 	dbOpts := db.Options{
 		Journal:              db.JournalNVWAL,
 		NVWAL:                cfg.variant,
@@ -249,6 +359,7 @@ func runChain(opts Options, step int) chainResult {
 		GroupCommit:          cfg.groupCommit,
 		BackgroundCheckpoint: cfg.bgCkpt,
 		CheckpointLimit:      cfg.ckptLimit,
+		ScrubEvery:           cfg.scrubEvery,
 	}
 	d, err := db.Open(plat, "fuzz", dbOpts)
 	if err != nil {
@@ -265,10 +376,35 @@ func runChain(opts Options, step int) chainResult {
 	opts.logf("chain %d (seed %d): %s", step, seed, cfg)
 
 	for round := 0; round < cfg.rounds; round++ {
+		if opts.Faults {
+			// Anchor the oracle's floor. The live log carries prior
+			// rounds' frames across crashes, and a bit flip in one of
+			// those legally truncates salvage below this round's base
+			// state — a loss the per-round oracle would misread as an
+			// atomicity violation. Checkpointing at the round boundary
+			// moves the base into the database file, which NVRAM faults
+			// cannot reach, so truncation can only drop current-round
+			// transactions and "base keys missing" stays a real finding.
+			if err := d.Checkpoint(); err != nil {
+				if errors.Is(err, db.ErrDegraded) {
+					opts.logf("chain %d round %d: anchor checkpoint hit degraded mode (%v)",
+						step, round, err)
+					res.degraded = true
+					d.Abandon()
+					return res
+				}
+				fail(round, Violation{Kind: "error", Worker: -1,
+					Detail: "anchor checkpoint: " + err.Error()})
+				return res
+			}
+		}
 		policy := cfg.policies[rng.Intn(len(cfg.policies))]
 		armAfter := 1 + rng.Int63n(window)
 		pfSeed := rng.Int63()
 		txnsPer := 3 + rng.Intn(8)
+		if opts.MaxTxns > 0 && txnsPer > opts.MaxTxns {
+			txnsPer = opts.MaxTxns
+		}
 		opStart := plat.OpCount()
 
 		plat.ArmCrash(armAfter, policy, pfSeed)
@@ -283,10 +419,40 @@ func runChain(opts Options, step int) chainResult {
 		}
 		d, err = db.Open(plat, "fuzz", dbOpts)
 		if err != nil {
+			// Media faults may legally damage the database file beyond
+			// the log's ability to repair it — recovery then still opens,
+			// read-only, with a salvage report saying why. Anything else,
+			// and any hard error at all, is a real finding.
+			if opts.Faults && errors.Is(err, db.ErrDegraded) && d != nil {
+				if rep := d.Salvage(); rep == nil || !rep.DBFileDamaged {
+					fail(round, Violation{Kind: "error", Worker: -1,
+						Detail: fmt.Sprintf("degraded open without a db-damage salvage report: %s", rep)})
+				}
+				opts.logf("chain %d round %d (%s): degraded read-only (%s)",
+					step, round, policyName(policy), d.Salvage())
+				res.degraded = true
+				d.Abandon()
+				return res
+			}
 			fail(round, Violation{Kind: "error", Worker: -1, Detail: "recovery open: " + err.Error()})
 			return res
 		}
+		if opts.Faults {
+			rep := d.Salvage()
+			if rep == nil {
+				fail(round, Violation{Kind: "error", Worker: -1,
+					Detail: "recovery of an existing log produced no salvage report"})
+				return res
+			}
+			if rep.Damaged() {
+				res.damaged++
+			}
+			opts.logf("chain %d round %d (%s): %s", step, round, policyName(policy), rep)
+		}
 		if !d.HasTable("t") {
+			// Sound even under waived durability: the round-boundary
+			// anchor checkpoint put the table in the database file,
+			// which NVRAM faults cannot reach.
 			fail(round, Violation{Kind: "durability", Worker: -1,
 				Detail: "table created before the crash window vanished"})
 			return res
@@ -308,11 +474,46 @@ func runChain(opts Options, step int) chainResult {
 		for _, v := range wvs {
 			fail(round, v)
 		}
+		// Salvage truncation (faults mode) and async commit (SyncChecksum)
+		// legally lose acked transactions; the other three invariants
+		// stay absolute.
+		hist.WeakDurability = opts.Faults || cfg.variant.Sync == core.SyncChecksum
 		for _, v := range Verify(hist, survivor) {
 			fail(round, v)
 		}
 		res.rounds++
 		if len(res.violations) > 0 {
+			// TORTURE_DEBUG dumps the evidence a violation verdict rests
+			// on — salvage events, the full history with seq/acked, and
+			// the survivor vs base states — enough to separate a real
+			// invariant breach from an oracle soundness gap without
+			// re-instrumenting (both past oracle bugs were found this way).
+			if os.Getenv("TORTURE_DEBUG") != "" {
+				if rep := d.Salvage(); rep != nil {
+					for _, ev := range rep.Events {
+						opts.logf("DBG salvage event: %s", ev)
+					}
+				}
+				for _, t := range hist.Txns {
+					opts.logf("DBG txn w=%d idx=%d seq=%d acked=%v ops=%d", t.Worker, t.Index, t.Seq, t.Acked, len(t.Ops))
+				}
+				keys := make([]string, 0, len(survivor))
+				for k := range survivor {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					opts.logf("DBG surv %q=%q", k, clip(survivor[k]))
+				}
+				bkeys := make([]string, 0, len(base))
+				for k := range base {
+					bkeys = append(bkeys, k)
+				}
+				sort.Strings(bkeys)
+				for _, k := range bkeys {
+					opts.logf("DBG base %q=%q", k, clip(base[k]))
+				}
+			}
 			opts.logf("chain %d round %d (%s): VIOLATION", step, round, policyName(policy))
 			d.Abandon()
 			return res
@@ -400,7 +601,7 @@ func runWorkload(d *db.DB, plat *platform.Platform, cfg chainCfg,
 			for i := 0; i < txnsPer; i++ {
 				rollback := wrng.Intn(100) < 15
 				idx := committed + 1
-				ops := genOps(wrng, w, idx)
+				ops := genOps(wrng, w, round, idx)
 				tx, err := d.Begin()
 				if err != nil {
 					mu.Lock()
@@ -498,7 +699,14 @@ func randKey(rng *rand.Rand, worker int) string {
 
 // genOps builds one transaction's mutations inside the worker keyspace,
 // always ending with the counter write that makes prefix states unique.
-func genOps(rng *rand.Rand, worker, idx int) []Op {
+// The counter value is stamped with the round as well as the index:
+// without the round, a delete-heavy transaction whose other ops are all
+// no-ops against the round's base (deletes of absent keys) can land the
+// model back on the base state exactly when the previous round also
+// ended on the same index — and the oracle would then count transactions
+// as survived that never became durable, turning legal weak-durability
+// losses elsewhere into phantom order violations.
+func genOps(rng *rand.Rand, worker, round, idx int) []Op {
 	n := 1 + rng.Intn(4)
 	ops := make([]Op, 0, n+1)
 	for i := 0; i < n; i++ {
@@ -513,7 +721,7 @@ func genOps(rng *rand.Rand, worker, idx int) []Op {
 			ops = append(ops, Op{Key: k, Value: val})
 		}
 	}
-	ops = append(ops, Op{Key: CounterKey(worker), Value: fmt.Sprintf("%d", idx)})
+	ops = append(ops, Op{Key: CounterKey(worker), Value: fmt.Sprintf("%d.%d", round, idx)})
 	return ops
 }
 

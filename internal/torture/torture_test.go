@@ -1,6 +1,7 @@
 package torture
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -35,6 +36,47 @@ func TestFuzzCatchesPlantedBug(t *testing.T) {
 	if v.Repro == "" {
 		t.Fatal("violation carries no repro command")
 	}
+}
+
+// TestFuzzFaultsShortRun drives media-fault chains — NVRAM bit flips,
+// stuck lines, read errors, device EIO and torn sectors — under the
+// weakened oracle (durability waived, atomicity/no-resurrection/order
+// absolute). Any violation is a real bug in salvage recovery.
+func TestFuzzFaultsShortRun(t *testing.T) {
+	rep := Run(Options{Seed: 3, Steps: 6, Step: -1, Faults: true, Logf: t.Logf})
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s worker=%d %s\n  repro: %s", v.Kind, v.Worker, v.Detail, v.Repro)
+		}
+	}
+	if rep.Txns == 0 {
+		t.Fatal("fault fuzzer committed no transactions")
+	}
+	t.Logf("chains=%d rounds=%d txns=%d damaged=%d degraded=%d",
+		rep.Chains, rep.Rounds, rep.Txns, rep.Damaged, rep.Degraded)
+}
+
+// TestMinimizeShrinksPlantedBug finds the planted-bug violation on a
+// single-worker chain (bit-deterministic, so replay under clamps is
+// exact) and expects the shrinker to reproduce it under a bounded
+// round/transaction clamp with a repro command carrying the flags.
+func TestMinimizeShrinksPlantedBug(t *testing.T) {
+	opts := Options{Seed: 7, Step: -1, Duration: 10 * time.Second, Bug: true, Workers: 1}
+	rep := Run(opts)
+	if len(rep.Violations) == 0 {
+		t.Skip("planted bug not hit on a single-worker chain within the budget")
+	}
+	mv, ok := Minimize(opts, rep.Violations[0])
+	if !ok {
+		t.Fatalf("single-worker finding did not reproduce under clamps: %+v", rep.Violations[0])
+	}
+	if mv.Round > rep.Violations[0].Round {
+		t.Errorf("shrinker raised the violating round: %d > %d", mv.Round, rep.Violations[0].Round)
+	}
+	if !strings.Contains(mv.Repro, "-max-rounds") {
+		t.Errorf("minimized repro lacks the round clamp: %s", mv.Repro)
+	}
+	t.Logf("shrunk to round=%d repro: %s", mv.Round, mv.Repro)
 }
 
 // TestSingleStepReplay runs one specific chain twice and expects the

@@ -148,7 +148,9 @@ func Open(fs *ext4.FS, name string, db pager.DBFile, opts Options, m *metrics.Co
 		if err := w.writeHeader(); err != nil {
 			return nil, err
 		}
-		f.Fsync()
+		if err := f.Fsync(); err != nil {
+			return nil, err
+		}
 		return w, nil
 	}
 	if err := w.recover(); err != nil {
@@ -349,7 +351,9 @@ func (w *WAL) commitFrames(frames []pager.Frame) error {
 		}
 		chain = next
 	}
-	w.file.Fsync()
+	if err := w.file.Fsync(); err != nil {
+		return err
+	}
 	w.chain = chain
 	for i, fr := range frames {
 		w.frames = append(w.frames, frameInfo{pgno: fr.Pgno, commit: i == len(frames)-1})
@@ -540,7 +544,9 @@ func (w *WAL) CheckpointIncremental(gate func(watermark int) bool) error {
 		if err := w.writeHeader(); err != nil {
 			return err
 		}
-		w.file.Fsync()
+		if err := w.file.Fsync(); err != nil {
+			return err
+		}
 		w.frames = nil
 		w.index = make(map[uint32]int)
 		w.byPage = make(map[uint32][]int)
