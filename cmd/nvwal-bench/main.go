@@ -21,9 +21,9 @@ import (
 
 func main() {
 	txns := flag.Int("txns", 0, "transactions per measurement (0 = experiment default)")
-	jsonOut := flag.String("json", "", "also write the experiment's result as JSON to this file (checkpoint only)")
+	jsonOut := flag.String("json", "", "also write the experiment's result as JSON to this file (checkpoint and pressure only)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: nvwal-bench [-txns N] [-json FILE] table1|table2|fig5|fig6|fig7|fig8|fig9|persistency|prealloc|baselines|cschecksum|groupcommit|concurrent|checkpoint|all")
+		fmt.Fprintln(os.Stderr, "usage: nvwal-bench [-txns N] [-json FILE] table1|table2|fig5|fig6|fig7|fig8|fig9|persistency|prealloc|baselines|cschecksum|groupcommit|concurrent|checkpoint|pressure|all")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -141,8 +141,19 @@ func run(name string, txns int, jsonOut string) error {
 				return err
 			}
 		}
+	case "pressure":
+		r, err := experiments.Pressure(txns)
+		if err != nil {
+			return err
+		}
+		r.Print(out)
+		if jsonOut != "" {
+			if err := writeJSON(jsonOut, r); err != nil {
+				return err
+			}
+		}
 	case "all":
-		for _, sub := range []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "persistency", "prealloc", "baselines", "cschecksum", "groupcommit", "concurrent", "checkpoint"} {
+		for _, sub := range []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "persistency", "prealloc", "baselines", "cschecksum", "groupcommit", "concurrent", "checkpoint", "pressure"} {
 			fmt.Fprintf(out, "==== %s ====\n", sub)
 			if err := run(sub, txns, jsonOut); err != nil {
 				return err

@@ -9,6 +9,7 @@
 //	nvwal-fuzz -seed 7 -steps 100         # 100 chains from seed 7
 //	nvwal-fuzz -seed 7 -step 42           # replay exactly chain 42
 //	nvwal-fuzz -faults -duration 60s      # media-fault chains (weak durability)
+//	nvwal-fuzz -heap-pages 64 -duration 60s  # tiny-heap exhaustion chains
 //	nvwal-fuzz -bug -duration 10s         # prove detection of a planted bug
 //
 // Every violation prints a deterministic repro command and, unless
@@ -40,6 +41,7 @@ func main() {
 		shrink    = flag.Bool("shrink", true, "minimize the first violation to a smaller repro")
 		maxRounds = flag.Int("max-rounds", 0, "clamp crash rounds per chain (repro/shrink)")
 		maxTxns   = flag.Int("max-txns", 0, "clamp per-round txns per worker (repro/shrink)")
+		heapPages = flag.Int("heap-pages", 0, "shrink the NVRAM heap to this many pages: exercises exhaustion backpressure (ErrBusy/ErrDegraded become legal outcomes)")
 		verbose   = flag.Bool("v", false, "log each chain's configuration")
 	)
 	flag.Parse()
@@ -54,6 +56,7 @@ func main() {
 		Faults:    *faults,
 		MaxRounds: *maxRounds,
 		MaxTxns:   *maxTxns,
+		HeapPages: *heapPages,
 	}
 	if opts.Steps == 0 && opts.Duration == 0 && opts.Step < 0 {
 		opts.Duration = 30 * time.Second

@@ -234,6 +234,12 @@ const (
 var (
 	ErrCorruptHeader = errors.New("nvwal: corrupt log header")
 	ErrBlockFull     = errors.New("nvwal: frame larger than block capacity")
+	// ErrLogFull reports that the NVRAM heap cannot promise the blocks
+	// this transaction needs. It is returned before (or after cleanly
+	// unwinding) any log mutation: the log stays intact, the transaction
+	// may be retried once a checkpoint frees space, and the error never
+	// latches the writer.
+	ErrLogFull = errors.New("nvwal: NVRAM heap full")
 )
 
 // frameRef locates one physical frame in NVRAM.
@@ -302,12 +308,20 @@ type NVWAL struct {
 	// writers. Order: ckptMu before mu; mu is never held while taking
 	// ckptMu.
 	ckptMu sync.Mutex
-	// broken latches the first WriteFrames error. The NVRAM log is
-	// append-only — a half-written frame cannot be overwritten like a
-	// file WAL slot — so continuing to append after a failure would
-	// break the recovery checksum chain behind later commits. Every
-	// subsequent write returns the latched error instead.
+	// broken latches a WriteFrames failure that could NOT be cleanly
+	// unwound. The NVRAM log is append-only — a half-written frame
+	// cannot be overwritten like a file WAL slot — so continuing to
+	// append after an un-unwound failure would break the recovery
+	// checksum chain behind later commits. Every subsequent write
+	// returns the latched error instead. Admission failures (ErrLogFull)
+	// and aborts whose unwind succeeded never latch.
 	broken error
+	// res is the reservation backing the append in progress; appendBlock
+	// debits it instead of racing the open heap. Guarded by w.mu.
+	res *heapo.Reservation
+	// disableReserve (tests only) skips commit-time reservation so the
+	// mid-append ErrNoSpace unwind path can be exercised directly.
+	disableReserve bool
 
 	// Volatile state, rebuilt by recovery (the wal-index analogue).
 	blocks   []heapo.Block // live generation's block chain in order
@@ -409,6 +423,19 @@ func Open(h *heapo.Manager, db pager.DBFile, cfg Config, m *metrics.Counters) (*
 	if cfg.BlockSize < blockLinkSize+frameHdrSize+db.PageSize() {
 		return nil, fmt.Errorf("nvwal: block size %d cannot hold a full-page frame", cfg.BlockSize)
 	}
+	// Carve out the checkpoint headroom before the first allocation: the
+	// largest headroom-privileged allocation (a header block, or a log
+	// block) must stay allocatable even on a heap that write traffic has
+	// filled, or the one mechanism that frees space — opening a log and
+	// checkpointing — can wedge. The carve-out is a single run: steady-
+	// state recycling fragments the heap into block-sized runs, so a
+	// longer contiguity demand could never be met. Headroom only grows;
+	// several logs sharing a heap each raise it to their own block size.
+	hr := (headerBlockSize + heapo.PageSize - 1) / heapo.PageSize
+	if b := (cfg.BlockSize + heapo.PageSize - 1) / heapo.PageSize; b > hr {
+		hr = b
+	}
+	h.EnsureHeadroom(hr)
 	w := &NVWAL{
 		heap:      h,
 		dev:       dev,
@@ -428,7 +455,10 @@ func Open(h *heapo.Manager, db pager.DBFile, cfg Config, m *metrics.Counters) (*
 		}
 		return w, nil
 	}
-	blk, err := h.NVMalloc(headerBlockSize)
+	// The header allocation rides the headroom carve-out: creating a log
+	// must succeed even when outstanding reservations or watermark
+	// pressure would deny an ordinary allocation.
+	blk, err := h.NVMallocHeadroom(headerBlockSize)
 	if err != nil {
 		return nil, err
 	}
@@ -539,9 +569,14 @@ func (w *NVWAL) appendBlock(minSize int) error {
 	}
 	var blk heapo.Block
 	var err error
-	if w.cfg.UserHeap {
+	switch {
+	case w.res != nil && w.cfg.UserHeap:
+		blk, err = w.res.PreMalloc(size) // promised, pending
+	case w.res != nil:
+		blk, err = w.res.Malloc(size) // promised, in-use immediately
+	case w.cfg.UserHeap:
 		blk, err = w.heap.NVPreMalloc(size) // pending
-	} else {
+	default:
 		blk, err = w.heap.NVMalloc(size) // in-use immediately
 	}
 	if err != nil {
@@ -564,6 +599,11 @@ func (w *NVWAL) appendBlock(minSize int) error {
 		// Algorithm 1 line 13: mark in-use now that the reference is
 		// persistent.
 		if err := w.heap.NVMallocSetUsedFlag(blk); err != nil {
+			// Unlink the pending block before failing, so the abort
+			// leaves neither a dangling reference nor a leaked block.
+			w.dev.PutUint64(linkAddr, 0)
+			w.persistRange(linkAddr, 8)
+			_ = w.heap.NVFree(blk)
 			return err
 		}
 	}
@@ -675,52 +715,172 @@ func (w *NVWAL) writeFrames(frames []pager.Frame, commit bool) error {
 	if w.broken != nil {
 		return w.broken
 	}
-	if err := w.writeFramesLog(frames, commit); err != nil {
-		w.broken = err
-		return err
-	}
-	return nil
+	return w.writeFramesLog(frames, commit)
 }
 
-func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
-	if len(frames) == 0 {
-		return nil
-	}
-	var written []frameRef
-	var hist []histFrame
-	chain := w.chain
-	newVersions := make(map[uint32][]byte, len(frames))
+// planItem is one dirty page's precomputed logging work.
+type planItem struct {
+	fr      pager.Frame
+	skip    bool // identical image under differential logging
+	full    bool
+	extents []Extent
+}
 
+// writePlan is the shape of one WriteFrames call, computed before any
+// NVRAM mutation: what each page logs, how many fresh blocks the append
+// needs, and the largest single allocation — exactly what Reserve must
+// promise for the append to be incapable of running out of space.
+type writePlan struct {
+	items     []planItem
+	newBlocks int
+	maxAlloc  int // largest single block allocation, bytes
+}
+
+// planFrames simulates the append — extent computation, tail packing,
+// block allocation — without touching NVRAM, mirroring the rules of
+// writeFramesLog/allocFrameSpace/appendBlock step for step.
+func (w *NVWAL) planFrames(frames []pager.Frame) (*writePlan, error) {
+	p := &writePlan{items: make([]planItem, 0, len(frames))}
+	simBlocks := len(w.blocks)
+	simTailCap := w.tailCapacity()
+	simTailUsed := w.tailUsed
 	for _, fr := range frames {
 		if len(fr.Data) != w.pageSize {
-			return fmt.Errorf("nvwal: frame for page %d has %d bytes, want %d", fr.Pgno, len(fr.Data), w.pageSize)
+			return nil, fmt.Errorf("nvwal: frame for page %d has %d bytes, want %d", fr.Pgno, len(fr.Data), w.pageSize)
 		}
 		// First-touch pages log a "full" frame; its trailing clean
 		// (zero) region is truncated per §3.2 so early-split pages fit
 		// the user-heap block layout. Replay of a full frame resets the
 		// page to zero first, so the truncation can never resurrect
 		// stale tail bytes from an older database-file image.
-		full := true
-		extents := []Extent{{Off: 0, Len: w.pageSize - trailingZeros(fr.Data)}}
-		if extents[0].Len == 0 {
-			extents[0].Len = 8 // all-zero page: log a minimal frame
+		it := planItem{fr: fr, full: true}
+		it.extents = []Extent{{Off: 0, Len: w.pageSize - trailingZeros(fr.Data)}}
+		if it.extents[0].Len == 0 {
+			it.extents[0].Len = 8 // all-zero page: log a minimal frame
 		}
 		if old, ok := w.versions[fr.Pgno]; ok && w.cfg.Differential {
 			// §3.2: the page already has frames in the log, so only the
 			// differences need to be logged.
-			full = false
-			extents = diffExtents(old, fr.Data, w.cfg.GapMerge)
-			if len(extents) == 0 {
+			it.full = false
+			it.extents = diffExtents(old, fr.Data, w.cfg.GapMerge)
+			if len(it.extents) == 0 {
 				// Identical image (e.g. a page dirtied and restored);
 				// nothing to log for this page.
-				img := make([]byte, w.pageSize)
-				copy(img, fr.Data)
-				newVersions[fr.Pgno] = img
+				it.skip = true
+				p.items = append(p.items, it)
 				continue
 			}
 		}
 		groupTotal := 0
-		for _, e := range extents {
+		for _, e := range it.extents {
+			groupTotal += align8(frameHdrSize + e.Len)
+		}
+		if !w.cfg.UserHeap && simBlocks > 0 {
+			simTailUsed = simTailCap // legacy: tail space not reused across frames
+		}
+		for _, e := range it.extents {
+			need := align8(frameHdrSize + e.Len)
+			if w.cfg.UserHeap && need > w.cfg.BlockSize-blockLinkSize {
+				return nil, fmt.Errorf("%w: frame %d bytes, block %d", ErrBlockFull, need, w.cfg.BlockSize)
+			}
+			if simBlocks == 0 || simTailUsed+need > simTailCap {
+				alloc := w.cfg.BlockSize
+				if !w.cfg.UserHeap {
+					alloc = need
+					if groupTotal > alloc {
+						alloc = groupTotal
+					}
+					alloc += blockLinkSize
+				}
+				simBlocks++
+				p.newBlocks++
+				if alloc > p.maxAlloc {
+					p.maxAlloc = alloc
+				}
+				// Heapo rounds allocations up to whole pages.
+				simTailCap = (alloc + heapo.PageSize - 1) / heapo.PageSize * heapo.PageSize
+				simTailUsed = blockLinkSize
+			}
+			simTailUsed += need
+		}
+		p.items = append(p.items, it)
+	}
+	return p, nil
+}
+
+// abortAppend unwinds a failed append back to the pre-transaction
+// state: fresh blocks are returned to the heap, the tail cursor is
+// restored, the dangling link is cleared, and the first garbage frame
+// slot is invalidated (same no-resurrection discipline recovery
+// applies at its resume point). Volatile indexes were not yet touched —
+// writeFramesLog updates them only after all NVRAM writes succeed. An
+// unwind that itself fails latches the writer.
+func (w *NVWAL) abortAppend(nBlocks, tailUsed int, cause error) error {
+	for i := len(w.blocks) - 1; i >= nBlocks; i-- {
+		if err := w.heap.NVFree(w.blocks[i]); err != nil {
+			w.blocks = w.blocks[:i+1]
+			w.broken = fmt.Errorf("nvwal: append abort could not free block %#x: %v (aborting on: %v)",
+				w.blocks[i].Addr, err, cause)
+			return w.broken
+		}
+	}
+	w.blocks = w.blocks[:nBlocks]
+	w.tailUsed = tailUsed
+	w.clearLink(w.linkAddrForNext())
+	if len(w.blocks) > 0 {
+		tail := w.blocks[len(w.blocks)-1]
+		if tailUsed+frameHdrSize <= tail.Size() {
+			zero := make([]byte, frameHdrSize)
+			a := tail.Addr + uint64(tailUsed)
+			w.dev.Write(a, zero)
+			w.persistRange(a, frameHdrSize)
+		}
+	}
+	if errors.Is(cause, heapo.ErrNoSpace) {
+		return fmt.Errorf("%w: %v", ErrLogFull, cause)
+	}
+	return cause
+}
+
+func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	// Plan first, then reserve: after this point the append cannot run
+	// out of NVRAM space mid-way — every block it will link is promised.
+	plan, err := w.planFrames(frames)
+	if err != nil {
+		return err // read-only failure: nothing to latch
+	}
+	if plan.newBlocks > 0 && !w.disableReserve {
+		res, err := w.heap.Reserve(plan.newBlocks, plan.maxAlloc)
+		if err != nil {
+			return fmt.Errorf("%w: cannot promise %d blocks of %d bytes: %v",
+				ErrLogFull, plan.newBlocks, plan.maxAlloc, err)
+		}
+		w.res = res
+		defer func() {
+			w.res = nil
+			res.Release()
+		}()
+	}
+	undoBlocks, undoTail := len(w.blocks), w.tailUsed
+
+	var written []frameRef
+	var hist []histFrame
+	chain := w.chain
+	newVersions := make(map[uint32][]byte, len(frames))
+
+	for _, it := range plan.items {
+		fr := it.fr
+		if it.skip {
+			img := make([]byte, w.pageSize)
+			copy(img, fr.Data)
+			newVersions[fr.Pgno] = img
+			continue
+		}
+		groupTotal := 0
+		for _, e := range it.extents {
 			groupTotal += align8(frameHdrSize + e.Len)
 		}
 		if !w.cfg.UserHeap && len(w.blocks) > 0 {
@@ -728,12 +888,12 @@ func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
 			// frame — leftover tail space is not reused across frames.
 			w.tailUsed = w.tailCapacity()
 		}
-		for _, e := range extents {
+		for _, e := range it.extents {
 			payload := fr.Data[e.Off : e.Off+e.Len]
-			buf, next := w.encodeFrame(fr.Pgno, e.Off, payload, chain, full)
+			buf, next := w.encodeFrame(fr.Pgno, e.Off, payload, chain, it.full)
 			addr, err := w.allocFrameSpace(len(buf), groupTotal)
 			if err != nil {
-				return err
+				return w.abortAppend(undoBlocks, undoTail, err)
 			}
 			w.dev.Write(addr, buf) // Algorithm 1 line 17: memcpy
 			w.step(StepAfterMemcpy)
@@ -754,7 +914,7 @@ func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
 			written = append(written, frameRef{addr: addr, size: len(buf), pgno: fr.Pgno})
 			pl := make([]byte, len(payload))
 			copy(pl, payload)
-			hist = append(hist, histFrame{pgno: fr.Pgno, off: e.Off, full: full, payload: pl})
+			hist = append(hist, histFrame{pgno: fr.Pgno, off: e.Off, full: it.full, payload: pl})
 			chain = next
 			w.m.Inc(MetricLoggedBytes, int64(len(buf)))
 		}

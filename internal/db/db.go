@@ -17,6 +17,7 @@
 package db
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -128,6 +129,15 @@ type Options struct {
 	// support (every WAL mode; not rollback). A background checkpoint
 	// failure is latched and reported by Close.
 	BackgroundCheckpoint bool
+	// CommitTimeout bounds (in virtual time) how long a write may stall
+	// under NVRAM-space backpressure: both the admission wait at Begin
+	// when the heap is below the hard watermark, and the commit-side
+	// retry when the journal reports the log full. On expiry the
+	// operation fails with an error matching errors.Is(err, ErrBusy) and
+	// the transaction is rolled back cleanly. 0 means no deadline —
+	// stalls last until space frees or exhaustion is proven permanent
+	// (ErrDegraded). JournalNVWAL only; other modes never stall.
+	CommitTimeout time.Duration
 	// ScrubEvery runs the background media scrubber (JournalNVWAL only):
 	// after every N commits a dedicated goroutine audits the durable
 	// image of the log's committed frames against their chained CRCs,
@@ -214,6 +224,9 @@ type DB struct {
 	openMarks map[int]int
 	// gc is the writer queue implementing group commit.
 	gc *groupCommitter
+	// pressure holds the NVRAM free-space watermarks (JournalNVWAL
+	// only; nil otherwise — no backpressure).
+	pressure *pressureState
 
 	// Background checkpointer (Options.BackgroundCheckpoint): commits
 	// and closing readers kick the goroutine instead of checkpointing
@@ -273,6 +286,7 @@ func Open(plat *platform.Platform, name string, opts Options) (*DB, error) {
 			cfg.Name = "nvwal:" + name
 		}
 		d.jrn, err = core.Open(plat.Heap, d.dbf, cfg, plat.Metrics)
+		d.pressure = newPressureState(plat.Heap)
 	case JournalOptimizedWAL:
 		d.jrn, err = wal.Open(plat.FS, name+"-wal", d.dbf,
 			wal.Options{Mode: wal.ModeOptimized, InitialPrealloc: opts.WALPrealloc}, plat.Metrics)
@@ -292,7 +306,7 @@ func Open(plat *platform.Platform, name string, opts Options) (*DB, error) {
 	if size < 1 {
 		size = 1
 	}
-	d.gc = &groupCommitter{jrn: d.jrn, size: size}
+	d.gc = &groupCommitter{jrn: d.jrn, size: size, db: d}
 	if opts.BackgroundCheckpoint {
 		if _, ok := d.jrn.(pager.IncrementalJournal); !ok {
 			return nil, fmt.Errorf("db: journal mode %s does not support background checkpointing", opts.Journal)
@@ -456,6 +470,9 @@ func (d *DB) CreateTable(table string) error {
 	if err := d.Degraded(); err != nil {
 		return err
 	}
+	if err := d.admitWriter(context.Background()); err != nil {
+		return err
+	}
 	if err := d.acquireSlot(); err != nil {
 		return err
 	}
@@ -502,7 +519,7 @@ func (d *DB) CreateTable(table string) error {
 	binary.LittleEndian.PutUint16(hdr[catalogOff:], uint16(n+1))
 	d.chargeCPU(d.opts.CPU.TxnFixed)
 	d.cacheTree(table, t)
-	if _, err := d.commitHeldTxn(); err != nil { // releases the slot
+	if _, err := d.commitHeldTxn(d.newDeadline(context.Background())); err != nil { // releases the slot
 		d.uncacheTree(table)
 		return err
 	}
@@ -514,6 +531,9 @@ func (d *DB) CreateTable(table string) error {
 // transaction.
 func (d *DB) DropTable(table string) error {
 	if err := d.Degraded(); err != nil {
+		return err
+	}
+	if err := d.admitWriter(context.Background()); err != nil {
 		return err
 	}
 	if err := d.acquireSlot(); err != nil {
@@ -568,7 +588,7 @@ func (d *DB) DropTable(table string) error {
 	}
 	d.chargeCPU(d.opts.CPU.TxnFixed)
 	d.uncacheTree(table)
-	_, err = d.commitHeldTxn() // releases the slot
+	_, err = d.commitHeldTxn(d.newDeadline(context.Background())) // releases the slot
 	return err
 }
 
@@ -603,6 +623,7 @@ func (d *DB) HasTable(table string) bool {
 // from Begin until Commit or Rollback.
 type Tx struct {
 	db     *DB
+	ctx    context.Context // from BeginCtx; bounds Commit's stall too
 	done   bool
 	ownReg bool   // this txn registered itself with the group committer
 	seq    uint64 // commit sequence number, set by a successful Commit
@@ -616,8 +637,24 @@ func (tx *Tx) Seq() uint64 { return tx.seq }
 
 // Begin opens a write transaction. In Concurrent mode it blocks until
 // the current writer finishes; in legacy mode it returns ErrTxnOpen.
-func (d *DB) Begin() (*Tx, error) {
+// Under NVRAM-space pressure Begin may stall at the hard watermark
+// (see Options.CommitTimeout); BeginCtx bounds that stall with a
+// context.
+func (d *DB) Begin() (*Tx, error) { return d.BeginCtx(context.Background()) }
+
+// BeginCtx is Begin with a context bounding the backpressure stall: if
+// the heap is below the hard watermark and ctx is cancelled before
+// checkpointing frees space, BeginCtx fails with an error matching
+// errors.Is(err, ErrBusy). The context also bounds the commit-side
+// stall of this transaction's Commit (CommitCtx overrides it).
+func (d *DB) BeginCtx(ctx context.Context) (*Tx, error) {
 	if err := d.Degraded(); err != nil {
+		return nil, err
+	}
+	// Admission runs before any lock or registration: a stalled NEW
+	// writer must not block the checkpointer, readers, or in-flight
+	// writers.
+	if err := d.admitWriter(ctx); err != nil {
 		return nil, err
 	}
 	// Register before contending for the slot, so a group waiting for
@@ -633,7 +670,7 @@ func (d *DB) Begin() (*Tx, error) {
 		return nil, err
 	}
 	d.pg.Begin()
-	return &Tx{db: d, ownReg: true}, nil
+	return &Tx{db: d, ctx: ctx, ownReg: true}, nil
 }
 
 // Writer is a registered long-lived writer session. Registration is
@@ -654,11 +691,18 @@ func (d *DB) Writer() *Writer {
 }
 
 // Begin opens a write transaction owned by the session.
-func (w *Writer) Begin() (*Tx, error) {
+func (w *Writer) Begin() (*Tx, error) { return w.BeginCtx(context.Background()) }
+
+// BeginCtx is Begin with a context bounding the backpressure stall,
+// like DB.BeginCtx.
+func (w *Writer) BeginCtx(ctx context.Context) (*Tx, error) {
 	if w.closed {
 		return nil, errors.New("db: writer session closed")
 	}
 	if err := w.d.Degraded(); err != nil {
+		return nil, err
+	}
+	if err := w.d.admitWriter(ctx); err != nil {
 		return nil, err
 	}
 	if err := w.d.acquireSlot(); err != nil {
@@ -669,7 +713,7 @@ func (w *Writer) Begin() (*Tx, error) {
 		return nil, err
 	}
 	w.d.pg.Begin()
-	return &Tx{db: w.d}, nil
+	return &Tx{db: w.d, ctx: ctx}, nil
 }
 
 // Close unregisters the session, releasing any group waiting on it.
@@ -797,15 +841,27 @@ func (tx *Tx) Count(table string) (int, error) {
 // rolls the transaction back — its dirty pages can never leak into the
 // next transaction. An auto-checkpoint failure after a successful
 // commit is reported wrapped in ErrCheckpointDeferred: the transaction
-// IS durable.
+// IS durable. When the NVRAM heap is full, Commit stalls while
+// checkpointing frees space; Options.CommitTimeout (or the context of
+// BeginCtx/CommitCtx) bounds the stall with a clean ErrBusy rollback.
 func (tx *Tx) Commit() error {
+	ctx := tx.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return tx.CommitCtx(ctx)
+}
+
+// CommitCtx is Commit with an explicit context bounding the
+// backpressure stall (overriding the one captured at BeginCtx).
+func (tx *Tx) CommitCtx(ctx context.Context) error {
 	if err := tx.guard(); err != nil {
 		return err
 	}
 	tx.done = true
 	d := tx.db
 	d.chargeCPU(d.opts.CPU.TxnFixed)
-	seq, err := d.commitHeldTxn() // releases the slot
+	seq, err := d.commitHeldTxn(d.newDeadline(ctx)) // releases the slot
 	if tx.ownReg {
 		d.gc.unregister()
 	}
@@ -834,8 +890,9 @@ func (tx *Tx) Rollback() {
 // returns its commit sequence number (1-based, in journal-application
 // order). Called with the writer slot held; the slot is released by the
 // time it returns (the grouped path must free it so the rest of the
-// group can enqueue behind it).
-func (d *DB) commitHeldTxn() (uint64, error) {
+// group can enqueue behind it). The deadline bounds any NVRAM-space
+// stall the flush runs into.
+func (d *DB) commitHeldTxn(dl deadline) (uint64, error) {
 	gc := d.gc
 	gc.mu.Lock()
 	if gc.failed != nil {
@@ -848,15 +905,26 @@ func (d *DB) commitHeldTxn() (uint64, error) {
 	if len(gc.queue) == 0 && (gc.size <= 1 || gc.writers <= 1) {
 		// Solo fast path: no group to join and no peer on the way.
 		// Flush synchronously while the pager transaction is still open,
-		// so a journal failure rolls it back cleanly. The seq assignment
-		// is ordered: no other commit can touch the journal until this
-		// writer releases the slot.
+		// so a journal failure — including a backpressure deadline — rolls
+		// it back cleanly. The seq assignment is ordered: no other commit
+		// can touch the journal until this writer releases the slot.
 		gc.nextSeq++
 		seq := gc.nextSeq
 		gc.mu.Unlock()
-		err := d.pg.Commit()
+		frames, err := d.pg.PrepareCommit()
+		if err != nil {
+			d.pg.Rollback()
+			d.releaseSlot()
+			return 0, err
+		}
+		if err := d.flushSolo(dl, frames); err != nil {
+			d.pg.Rollback()
+			d.releaseSlot()
+			return 0, fmt.Errorf("pager: commit failed, transaction rolled back: %w", err)
+		}
+		d.pg.FinishCommit()
 		d.releaseSlot()
-		return seq, err
+		return seq, nil
 	}
 	// Grouped path: hand the frames to the queue, close the pager
 	// transaction (later writers build on its cache), free the slot, and
@@ -870,7 +938,7 @@ func (d *DB) commitHeldTxn() (uint64, error) {
 		return 0, err
 	}
 	gc.nextSeq++
-	req := &commitReq{frames: cloneFrames(frames), done: make(chan struct{})}
+	req := &commitReq{frames: cloneFrames(frames), done: make(chan struct{}), until: dl.until}
 	seq := gc.nextSeq
 	d.pg.FinishCommit()
 	gc.queue = append(gc.queue, req)
@@ -951,17 +1019,27 @@ func (d *DB) ckptGate(watermark int) bool {
 // log below the frame limit without ever taking the writer slot, so
 // commits overlap the checkpoint's page writeback and fsync. A round
 // deferred by an open reader waits for the next kick (readers kick on
-// Close); a real failure is latched for Close to report.
+// Close); a real failure is latched for Close to report. Space
+// pressure lowers the bar: below the soft watermark any non-empty log
+// is drained, so stalled writers get pages back before the frame limit
+// would have triggered.
 func (d *DB) checkpointLoop() {
 	defer close(d.ckptDone)
 	ij := d.jrn.(pager.IncrementalJournal)
+	needsRound := func() bool {
+		frames := d.jrn.FramesSinceCheckpoint()
+		if frames >= d.opts.CheckpointLimit {
+			return true
+		}
+		return frames > 0 && d.pressure != nil && d.pressure.avail() < d.pressure.soft
+	}
 	for {
 		select {
 		case <-d.ckptQuit:
 			return
 		case <-d.ckptKick:
 		}
-		for d.jrn.FramesSinceCheckpoint() >= d.opts.CheckpointLimit {
+		for needsRound() {
 			if d.Degraded() != nil {
 				break
 			}

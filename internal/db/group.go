@@ -1,19 +1,26 @@
 package db
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/pager"
 )
 
 // commitReq is one transaction waiting in the group-commit queue: its
 // frame set (deep-copied — the pager reuses its cache buffers as soon
 // as the next writer runs) and the channel its committer blocks on
-// until a leader flushes the group.
+// until a leader flushes the group. until is the committer's
+// backpressure deadline on the virtual clock (0 = none); the group's
+// flush honors the earliest one.
 type commitReq struct {
 	frames []pager.Frame
 	done   chan struct{}
+	until  time.Duration
 	err    error
 }
 
@@ -31,6 +38,9 @@ type commitReq struct {
 type groupCommitter struct {
 	jrn  pager.Journal
 	size int
+	// db backs the NVRAM-space retry in flushLocked (checkpoint +
+	// backoff on ErrLogFull); nil in journal-only unit tests.
+	db *DB
 
 	mu      sync.Mutex
 	writers int          // registered writers (sessions + in-flight anonymous txns)
@@ -91,7 +101,7 @@ func (gc *groupCommitter) flushLocked() {
 	gc.queue = nil
 	err := gc.failed
 	if err == nil {
-		if err = gc.flush(reqs); err != nil {
+		if err = gc.flushWithBackpressure(reqs); err != nil {
 			gc.failed = fmt.Errorf("db: group commit failed, engine disabled: %w", err)
 			err = gc.failed
 		}
@@ -99,6 +109,52 @@ func (gc *groupCommitter) flushLocked() {
 	for _, r := range reqs {
 		r.err = err
 		close(r.done)
+	}
+}
+
+// flushWithBackpressure is flush plus the NVRAM-space retry. ErrLogFull
+// from the NVWAL journal is pre-mutation and all-or-nothing (the whole
+// group goes through one reserved append), so retrying the identical
+// flush after a checkpoint is safe. Unlike the solo path, a group that
+// cannot flush is terminal: its members' pre-images are gone and later
+// writers have built on its pages, so a deadline expiry here latches
+// the engine failed AND degrades the DB — which is why the retry only
+// gives up on the earliest member deadline or on provable exhaustion.
+// Called with gc.mu held; the retry's checkpoint goes through
+// db.reclaim, which takes neither gc.mu nor the writer slot.
+func (gc *groupCommitter) flushWithBackpressure(reqs []*commitReq) error {
+	err := gc.flush(reqs)
+	if err == nil || gc.db == nil || !errors.Is(err, core.ErrLogFull) {
+		return err
+	}
+	d := gc.db
+	d.plat.Metrics.Inc(metrics.PressureStalls, 1)
+	var until time.Duration
+	for _, r := range reqs {
+		if r.until > 0 && (until == 0 || r.until < until) {
+			until = r.until
+		}
+	}
+	backoff := stallBackoffMin
+	for {
+		drained := d.jrn.FramesSinceCheckpoint() == 0
+		if rerr := d.reclaim(); rerr != nil {
+			return rerr
+		}
+		err = gc.flush(reqs)
+		if err == nil || !errors.Is(err, core.ErrLogFull) {
+			return err
+		}
+		if drained {
+			d.degrade(fmt.Errorf("NVRAM heap exhausted during group commit: %v", err))
+			return fmt.Errorf("%w (%v)", ErrDegraded, err)
+		}
+		if until > 0 && d.plat.Clock.Now() >= until {
+			d.plat.Metrics.Inc(metrics.CommitTimeouts, 1)
+			d.degrade(fmt.Errorf("group commit abandoned at its deadline under NVRAM exhaustion"))
+			return fmt.Errorf("%w: group deadline elapsed (%v)", ErrBusy, err)
+		}
+		backoff = d.stallStep(backoff)
 	}
 }
 

@@ -1,0 +1,315 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/heapo"
+	"repro/internal/metrics"
+	"repro/internal/nvram"
+	"repro/internal/platform"
+)
+
+// newTinyHeapDB opens a database on a platform whose NVRAM heap holds
+// exactly `pages` heap pages — small enough that a handful of
+// transactions exhausts it.
+func newTinyHeapDB(t testing.TB, pages int, opts Options) (*DB, *platform.Platform) {
+	t.Helper()
+	plat, err := platform.New(platform.Config{
+		NVRAM: nvram.Config{Size: heapo.SizeForPages(pages)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(plat, "tiny.db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, plat
+}
+
+// assertCleanPressureErr fails the test if err is anything other than
+// the sanctioned exhaustion outcomes: nil, ErrBusy, ErrDegraded, or
+// ErrCheckpointDeferred. A raw heapo.ErrNoSpace is the bug this PR
+// exists to kill.
+func assertCleanPressureErr(t testing.TB, err error) {
+	t.Helper()
+	if err == nil {
+		return
+	}
+	if errors.Is(err, heapo.ErrNoSpace) {
+		t.Fatalf("raw heapo.ErrNoSpace escaped to the caller: %v", err)
+	}
+	if !errors.Is(err, ErrBusy) && !errors.Is(err, ErrDegraded) && !errors.Is(err, ErrCheckpointDeferred) {
+		t.Fatalf("unsanctioned exhaustion error: %v", err)
+	}
+}
+
+// TestPressureSustainedWritesSurvive is the headline acceptance test:
+// sustained writes against a heap sized for fewer than ten transactions
+// all succeed — the watermarks and the commit-side retry checkpoint the
+// log under the workload — and the caller never sees an allocation
+// error. CheckpointLimit is left at its 1000-frame default so ONLY the
+// pressure machinery can be freeing space.
+func TestPressureSustainedWritesSurvive(t *testing.T) {
+	d, plat := newTinyHeapDB(t, 64, Options{
+		Journal: JournalNVWAL,
+		NVWAL:   core.VariantUHLSDiff(),
+	})
+	if err := d.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]string)
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("k%d", i%8)
+		// Every byte of the value changes per write: differential logging
+		// (VariantUHLSDiff) logs only changed extents, so near-identical
+		// values would produce byte-sized diffs and no log growth at all.
+		val := strings.Repeat(string(rune('a'+i%26)), 2048)
+		tx, err := d.Begin()
+		if err != nil {
+			t.Fatalf("txn %d: Begin: %v", i, err)
+		}
+		if err := tx.Insert("t", []byte(key), []byte(val)); err != nil {
+			t.Fatalf("txn %d: Insert: %v", i, err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("txn %d: Commit: %v", i, err)
+		}
+		want[key] = val
+	}
+	if plat.Metrics.Count(metrics.UrgentCheckpoints) == 0 {
+		t.Fatal("300 2KB txns on a 64-page heap never triggered an urgent checkpoint; no pressure exercised")
+	}
+	for k, v := range want {
+		got, ok, err := d.Get("t", []byte(k))
+		if err != nil || !ok || string(got) != v {
+			t.Fatalf("key %q: ok=%v err=%v match=%v", k, ok, err, string(got) == v)
+		}
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPressureDeadlineErrBusy pins the log with an open snapshot reader
+// so checkpointing cannot free space, and proves a stalled commit comes
+// back as a clean ErrBusy at its CommitTimeout — transaction rolled
+// back, engine fully usable once the reader closes.
+func TestPressureDeadlineErrBusy(t *testing.T) {
+	d, plat := newTinyHeapDB(t, 64, Options{
+		Journal:       JournalNVWAL,
+		NVWAL:         core.VariantUHLSDiff(),
+		CommitTimeout: 2 * time.Millisecond,
+	})
+	if err := d.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	mustCommitKV(t, d, "t", map[string]string{"seed": "v"})
+
+	// The reader's mark predates everything below: no checkpoint round
+	// may pass it, so the log can only grow.
+	rd, err := d.BeginRead()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	busy := false
+	for i := 0; i < 100 && !busy; i++ {
+		key := []byte(fmt.Sprintf("fill%d", i))
+		tx, err := d.Begin()
+		if err != nil {
+			assertCleanPressureErr(t, err)
+			if errors.Is(err, ErrBusy) {
+				busy = true
+			}
+			continue
+		}
+		if err := tx.Insert("t", key, make([]byte, 2048)); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+		if err := tx.Commit(); err != nil {
+			assertCleanPressureErr(t, err)
+			if errors.Is(err, ErrBusy) {
+				busy = true
+			}
+		}
+	}
+	if !busy {
+		t.Fatal("100 fill txns against a pinned 64-page heap never hit ErrBusy")
+	}
+	if plat.Metrics.Count(metrics.CommitTimeouts) == 0 {
+		t.Fatal("ErrBusy returned but commit_timeouts counter is zero")
+	}
+	if d.Degraded() != nil {
+		t.Fatalf("deadline expiry must not latch degraded mode: %v", d.Degraded())
+	}
+
+	// The reader still sees its snapshot, and closing it unsticks the
+	// engine completely.
+	if _, ok, err := rd.Get("t", []byte("seed")); err != nil || !ok {
+		t.Fatalf("pinned snapshot lost its view: %v %v", ok, err)
+	}
+	rd.Close()
+	mustCommitKV(t, d, "t", map[string]string{"after": "busy"})
+	if v, ok, _ := d.Get("t", []byte("after")); !ok || string(v) != "busy" {
+		t.Fatal("commit after reader close lost")
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPressureDegradedWhenCheckpointCannotHelp proves the last rung of
+// the degradation ladder: a transaction too large to ever fit the heap
+// fails even against a fully drained log, so the engine latches
+// ErrDegraded read-only instead of stalling the writer forever — and
+// reads keep serving the last good state.
+func TestPressureDegradedWhenCheckpointCannotHelp(t *testing.T) {
+	d, _ := newTinyHeapDB(t, 24, Options{
+		Journal: JournalNVWAL,
+		NVWAL:   core.VariantUHLSDiff(),
+	})
+	if err := d.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	mustCommitKV(t, d, "t", map[string]string{"seed": "good"})
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ~200 KB of dirty pages against a 96 KB heap: no checkpoint can
+	// ever free enough, because the log is already empty.
+	tx, err := d.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := tx.Insert("t", []byte(fmt.Sprintf("big%03d", i)), make([]byte, 1024)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	err = tx.Commit()
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("oversized commit = %v, want ErrDegraded", err)
+	}
+	if errors.Is(err, heapo.ErrNoSpace) {
+		t.Fatalf("raw heapo.ErrNoSpace escaped: %v", err)
+	}
+
+	// The latch is sticky for writes; reads keep serving committed state.
+	if _, err := d.Begin(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Begin after degrade = %v, want ErrDegraded", err)
+	}
+	if v, ok, _ := d.Get("t", []byte("seed")); !ok || string(v) != "good" {
+		t.Fatal("degraded mode lost committed data on the read path")
+	}
+	if _, ok, _ := d.Get("t", []byte("big000")); ok {
+		t.Fatal("rolled-back oversized transaction left data behind")
+	}
+}
+
+// TestPressureRaceStress hammers a tiny heap from concurrent writers
+// and snapshot readers with the background checkpointer on — run under
+// -race by the CI test tier. Every outcome must be a sanctioned one;
+// the workload as a whole must make progress.
+func TestPressureRaceStress(t *testing.T) {
+	d, _ := newTinyHeapDB(t, 256, Options{
+		Journal:              JournalNVWAL,
+		NVWAL:                core.VariantUHLSDiff(),
+		Concurrent:           true,
+		BackgroundCheckpoint: true,
+		CheckpointLimit:      16,
+		CommitTimeout:        50 * time.Millisecond,
+	})
+	if err := d.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, txnsPerWriter = 4, 40
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		committed int
+	)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < txnsPerWriter; i++ {
+				tx, err := d.Begin()
+				if err != nil {
+					assertCleanPressureErr(t, err)
+					if errors.Is(err, ErrDegraded) {
+						return
+					}
+					continue
+				}
+				key := []byte(fmt.Sprintf("w%d-k%d", w, i%10))
+				if err := tx.Insert("t", key, make([]byte, 512)); err != nil {
+					tx.Rollback()
+					t.Errorf("writer %d: Insert: %v", w, err)
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					assertCleanPressureErr(t, err)
+					if errors.Is(err, ErrDegraded) {
+						return
+					}
+					continue
+				}
+				mu.Lock()
+				committed++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	stopReaders := make(chan struct{})
+	var rwg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				rd, err := d.BeginRead()
+				if err != nil {
+					t.Errorf("BeginRead: %v", err)
+					return
+				}
+				_, _, _ = rd.Get("t", []byte("w0-k0"))
+				time.Sleep(100 * time.Microsecond)
+				rd.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopReaders)
+	rwg.Wait()
+
+	if committed == 0 {
+		t.Fatal("no transaction ever committed under pressure")
+	}
+	if d.Degraded() == nil {
+		if err := d.Check(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Close(); err != nil && !errors.Is(err, ErrBusySnapshot) {
+			assertCleanPressureErr(t, err)
+		}
+	} else {
+		d.Abandon()
+	}
+}

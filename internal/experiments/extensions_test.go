@@ -205,3 +205,37 @@ func TestCheckpointStallShapes(t *testing.T) {
 		t.Fatalf("background p99 %dns > 2x blocking p99 %dns", bg, bl)
 	}
 }
+
+func TestPressureShapes(t *testing.T) {
+	r, err := Pressure(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(r.Rows))
+	}
+	var urgentOnSmallest int64
+	for _, row := range r.Rows {
+		// The headline property: every transaction either committed or came
+		// back ErrBusy — Pressure returns an error for anything else, so
+		// reaching here with full accounting is the assertion.
+		if row.Committed+row.Busy != row.Txns {
+			t.Fatalf("unaccounted transactions: %+v", row)
+		}
+		if row.Committed == 0 {
+			t.Fatalf("no commits ever succeeded: %+v", row)
+		}
+		if row.P99CommitNs < row.P50CommitNs {
+			t.Fatalf("p99 below p50: %+v", row)
+		}
+		if row.HeapPages == 24 {
+			urgentOnSmallest += row.UrgentCkpts
+		}
+	}
+	// A 24-page heap cannot absorb 120 1KB overwrites without the
+	// watermarks checkpointing early; zero urgent rounds would mean the
+	// sweep exercised no pressure at all.
+	if urgentOnSmallest == 0 {
+		t.Fatal("24-page cells triggered no urgent checkpoints")
+	}
+}

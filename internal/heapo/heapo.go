@@ -98,6 +98,18 @@ type Manager struct {
 	mu sync.Mutex
 	// freeHint is a volatile scan cursor; rebuilt state lives in NVRAM.
 	freeHint int
+	// freePages caches the number of StateFree pages so watermark checks
+	// are O(1); the persistent metadata remains the source of truth and
+	// Attach rebuilds the cache with one scan.
+	freePages int
+	// reservedByRun counts outstanding promised blocks by run length
+	// (pages per block); see reserve.go for the admission invariant that
+	// keeps every promise satisfiable.
+	reservedByRun map[int]int
+	// headroom is the page count of the checkpoint carve-out: ordinary
+	// admission keeps a free run of at least this length available, and
+	// only NVMallocHeadroom may consume it.
+	headroom int
 	// recycled pools pending blocks by run length so NVPreMalloc can
 	// reuse a checkpoint-freed block without any kernel call: the block
 	// is already in the pending state, which is exactly what
@@ -127,6 +139,7 @@ func Format(dev *nvram.Device) (*Manager, error) {
 		dev.Write(off, zero[:n])
 	}
 	m.persistRange(0, m.heapBase)
+	m.freePages = m.pageCount
 	return m, nil
 }
 
@@ -138,6 +151,11 @@ func Attach(dev *nvram.Device) (*Manager, error) {
 	}
 	if got := int(dev.Uint64(8)); got != m.pageCount {
 		return nil, fmt.Errorf("heapo: device size changed (heap has %d pages, device fits %d)", got, m.pageCount)
+	}
+	for page := 0; page < m.pageCount; page++ {
+		if st, _ := m.readMeta(page); st == StateFree {
+			m.freePages++
+		}
 	}
 	return m, nil
 }
@@ -229,6 +247,7 @@ func (m *Manager) allocate(bytes int, headState int) (Block, error) {
 	m.writeMeta(start, headState, need)
 	m.persistRange(m.metaAddr(start), m.metaAddr(start+need))
 	m.freeHint = start + need
+	m.freePages -= need
 	m.dev.Metrics().Inc(metrics.HeapAlloc, 1)
 	return Block{Addr: m.pageAddr(start), Pages: need}, nil
 }
@@ -265,9 +284,17 @@ func (m *Manager) findRun(need int) (int, bool) {
 
 // NVMalloc allocates a block and marks it in-use immediately — the
 // legacy path the non-user-heap NVWAL variants use once per WAL frame.
+// It is denied with ErrNoSpace when the allocation would eat space
+// promised to an outstanding reservation or to the checkpoint headroom.
 func (m *Manager) NVMalloc(bytes int) (Block, error) {
+	if bytes <= 0 {
+		return Block{}, fmt.Errorf("heapo: invalid allocation size %d", bytes)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if !m.admitLocked(ceilDiv(bytes, PageSize), 0, false) {
+		return Block{}, ErrNoSpace
+	}
 	return m.allocate(bytes, StateInUse)
 }
 
@@ -285,11 +312,19 @@ func (m *Manager) NVPreMalloc(bytes int) (Block, error) {
 	defer m.mu.Unlock()
 	need := (bytes + PageSize - 1) / PageSize
 	if pool := m.recycled[need]; len(pool) > 0 {
+		// A pool block counts toward reserved capacity of its class, so
+		// even the kernel-free reuse path needs admission.
+		if !m.admitLocked(0, need, false) {
+			return Block{}, ErrNoSpace
+		}
 		b := pool[len(pool)-1]
 		m.recycled[need] = pool[:len(pool)-1]
 		m.recycledPages -= need
 		m.dev.Metrics().Inc(metrics.HeapRecycleHits, 1)
 		return b, nil
+	}
+	if !m.admitLocked(need, 0, false) {
+		return Block{}, ErrNoSpace
 	}
 	return m.allocate(bytes, StatePending)
 }
@@ -427,6 +462,7 @@ func (m *Manager) freeLocked(page, run int) error {
 	if page < m.freeHint {
 		m.freeHint = page
 	}
+	m.freePages += run
 	m.dev.Metrics().Inc(metrics.HeapFree, 1)
 	return nil
 }
@@ -483,6 +519,7 @@ func (m *Manager) ReclaimPending() int {
 				m.writeMeta(i, StateFree, 0)
 			}
 			m.persistRange(m.metaAddr(page), m.metaAddr(page+run))
+			m.freePages += run
 			reclaimed++
 		}
 		page += run
@@ -495,13 +532,7 @@ func (m *Manager) ReclaimPending() int {
 func (m *Manager) FreePages() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	n := 0
-	for page := 0; page < m.pageCount; page++ {
-		if st, _ := m.readMeta(page); st == StateFree {
-			n++
-		}
-	}
-	return n
+	return m.freePages
 }
 
 // TotalPages reports the heap capacity in pages.

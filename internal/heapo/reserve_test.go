@@ -1,0 +1,309 @@
+package heapo
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestSizeForPagesRoundTrip(t *testing.T) {
+	for _, pages := range []int{1, 2, 7, 16, 40, 100, 513, 4096} {
+		h, _, _ := newHeap(t, SizeForPages(pages))
+		if got := h.TotalPages(); got != pages {
+			t.Fatalf("SizeForPages(%d): formatted heap has %d pages", pages, got)
+		}
+		if got := h.FreePages(); got != pages {
+			t.Fatalf("SizeForPages(%d): fresh heap reports %d free pages", pages, got)
+		}
+	}
+}
+
+func TestReserveDebitRelease(t *testing.T) {
+	h, _, _ := newHeap(t, SizeForPages(32))
+	res, err := h.Reserve(4, 2*PageSize)
+	if err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	if got := h.ReservedPages(); got != 8 {
+		t.Fatalf("ReservedPages = %d, want 8", got)
+	}
+	var blocks []Block
+	for i := 0; i < 4; i++ {
+		b, err := res.PreMalloc(2 * PageSize)
+		if err != nil {
+			t.Fatalf("PreMalloc %d: %v", i, err)
+		}
+		blocks = append(blocks, b)
+	}
+	if _, err := res.PreMalloc(PageSize); !errors.Is(err, ErrReservationSpent) {
+		t.Fatalf("over-debit error = %v, want ErrReservationSpent", err)
+	}
+	if got := h.ReservedPages(); got != 0 {
+		t.Fatalf("ReservedPages after full debit = %d, want 0", got)
+	}
+	res.Release() // must be a no-op on a spent reservation
+	for _, b := range blocks {
+		if err := h.NVFree(b); err != nil {
+			t.Fatalf("NVFree: %v", err)
+		}
+	}
+}
+
+func TestReleaseReturnsPromises(t *testing.T) {
+	h, _, _ := newHeap(t, SizeForPages(8))
+	res, err := h.Reserve(4, 2*PageSize)
+	if err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	// The whole heap is promised: nothing else may allocate.
+	if _, err := h.NVMalloc(PageSize); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("NVMalloc under full reservation = %v, want ErrNoSpace", err)
+	}
+	if _, err := h.Reserve(1, PageSize); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("second Reserve = %v, want ErrNoSpace", err)
+	}
+	res.Release()
+	if _, err := h.NVMalloc(PageSize); err != nil {
+		t.Fatalf("NVMalloc after Release: %v", err)
+	}
+}
+
+func TestReserveRespectsContiguity(t *testing.T) {
+	// 8 free pages in 4 separate 2-page islands: 8 single pages or 4
+	// two-page blocks fit, but a 3-page block does not — and Reserve
+	// must know that.
+	h, _, _ := newHeap(t, SizeForPages(16))
+	var all []Block
+	for i := 0; i < 8; i++ {
+		b, err := h.NVMalloc(2 * PageSize)
+		if err != nil {
+			t.Fatalf("NVMalloc %d: %v", i, err)
+		}
+		all = append(all, b)
+	}
+	var pins []Block
+	for i, b := range all {
+		if i%2 == 0 {
+			if err := h.NVFree(b); err != nil {
+				t.Fatalf("NVFree: %v", err)
+			}
+		} else {
+			pins = append(pins, b)
+		}
+	}
+	// The map is now [free free used used]×4.
+	if got := h.FreePages(); got != 8 {
+		t.Fatalf("FreePages = %d, want 8", got)
+	}
+	if _, err := h.Reserve(1, 3*PageSize); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("Reserve of a 3-page block on 2-page islands = %v, want ErrNoSpace", err)
+	}
+	res, err := h.Reserve(4, 2*PageSize)
+	if err != nil {
+		t.Fatalf("Reserve of four 2-page blocks: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := res.Malloc(2 * PageSize); err != nil {
+			t.Fatalf("promised Malloc %d: %v", i, err)
+		}
+	}
+	for _, b := range pins {
+		_ = h.NVFree(b)
+	}
+}
+
+func TestHeadroomSurvivesFullReservation(t *testing.T) {
+	h, _, _ := newHeap(t, SizeForPages(16))
+	h.EnsureHeadroom(2)
+	if got := h.Headroom(); got != 2 {
+		t.Fatalf("Headroom = %d, want 2", got)
+	}
+	h.EnsureHeadroom(1) // never shrinks
+	if got := h.Headroom(); got != 2 {
+		t.Fatalf("Headroom shrank to %d", got)
+	}
+	// Reserve everything admission will give us.
+	blocks := 0
+	var last *Reservation
+	for {
+		res, err := h.Reserve(1, 2*PageSize)
+		if err != nil {
+			break
+		}
+		last = res
+		blocks++
+	}
+	if blocks == 0 || blocks > 7 {
+		t.Fatalf("reserved %d two-page blocks of 16 pages with 2 headroom", blocks)
+	}
+	// Ordinary allocation is denied, headroom-privileged succeeds.
+	if _, err := h.NVMalloc(PageSize); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("NVMalloc = %v, want ErrNoSpace", err)
+	}
+	hb, err := h.NVMallocHeadroom(2 * PageSize)
+	if err != nil {
+		t.Fatalf("NVMallocHeadroom under full reservation: %v", err)
+	}
+	if hb.Pages != 2 {
+		t.Fatalf("headroom block has %d pages, want 2", hb.Pages)
+	}
+	_ = last
+}
+
+// TestFragmentationModel is the findRun fragmentation coverage: seeded
+// interleavings of NVMalloc / NVPreMalloc / Recycle / Quarantine /
+// NVFree against a shadow model of the page map, asserting FreePages
+// accounting stays exact and that a successful Reserve is always
+// backed by runs findRun can actually satisfy contiguously.
+func TestFragmentationModel(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			const pages = 64
+			h, _, _ := newHeap(t, SizeForPages(pages))
+			free := pages      // shadow free-page count
+			quarantined := 0   // shadow quarantine count
+			var live []Block   // in-use blocks
+			var parked []Block // pending blocks from NVPreMalloc
+
+			for step := 0; step < 400; step++ {
+				switch op := rng.Intn(10); {
+				case op < 3: // NVMalloc of 1..4 pages
+					n := 1 + rng.Intn(4)
+					b, err := h.NVMalloc(n * PageSize)
+					if err == nil {
+						live = append(live, b)
+						free -= b.Pages
+					} else if !errors.Is(err, ErrNoSpace) {
+						t.Fatalf("step %d: NVMalloc: %v", step, err)
+					}
+				case op < 5: // NVPreMalloc (maybe a pool hit)
+					n := 1 + rng.Intn(3)
+					before := h.RecycledPages()
+					b, err := h.NVPreMalloc(n * PageSize)
+					if err == nil {
+						parked = append(parked, b)
+						if h.RecycledPages() == before {
+							free -= b.Pages // fresh carve, not a pool hit
+						}
+					} else if !errors.Is(err, ErrNoSpace) {
+						t.Fatalf("step %d: NVPreMalloc: %v", step, err)
+					}
+				case op < 6 && len(parked) > 0: // commit a pending block
+					i := rng.Intn(len(parked))
+					b := parked[i]
+					parked = append(parked[:i], parked[i+1:]...)
+					if err := h.NVMallocSetUsedFlag(b); err != nil {
+						t.Fatalf("step %d: SetUsedFlag: %v", step, err)
+					}
+					live = append(live, b)
+				case op < 8 && len(live) > 0: // Recycle (pool park or free)
+					i := rng.Intn(len(live))
+					b := live[i]
+					live = append(live[:i], live[i+1:]...)
+					before := h.RecycledPages()
+					if err := h.Recycle(b); err != nil {
+						t.Fatalf("step %d: Recycle: %v", step, err)
+					}
+					if h.RecycledPages() == before {
+						free += b.Pages // past the pool limit: freed outright
+					}
+				case op < 9 && len(live) > 0: // NVFree
+					i := rng.Intn(len(live))
+					b := live[i]
+					live = append(live[:i], live[i+1:]...)
+					if err := h.NVFree(b); err != nil {
+						t.Fatalf("step %d: NVFree: %v", step, err)
+					}
+					free += b.Pages
+				case len(live) > 0: // Quarantine
+					i := rng.Intn(len(live))
+					b := live[i]
+					live = append(live[:i], live[i+1:]...)
+					if err := h.Quarantine(b); err != nil {
+						t.Fatalf("step %d: Quarantine: %v", step, err)
+					}
+					quarantined += b.Pages
+				}
+
+				if got := h.FreePages(); got != free {
+					t.Fatalf("step %d: FreePages = %d, model says %d", step, got, free)
+				}
+				if got := h.QuarantinedPages(); got != quarantined {
+					t.Fatalf("step %d: QuarantinedPages = %d, model says %d", step, got, quarantined)
+				}
+
+				// Every fifth step, probe that Reserve never over-promises:
+				// whatever it grants must be fully debitable right now.
+				if step%5 == 4 {
+					n := 1 + rng.Intn(3)
+					want := 1 + rng.Intn(3)
+					res, err := h.Reserve(want, n*PageSize)
+					if errors.Is(err, ErrNoSpace) {
+						continue
+					}
+					if err != nil {
+						t.Fatalf("step %d: Reserve: %v", step, err)
+					}
+					for i := 0; i < want; i++ {
+						b, err := res.PreMalloc(n * PageSize)
+						if err != nil {
+							t.Fatalf("step %d: promised block %d/%d of %d pages failed: %v",
+								step, i+1, want, n, err)
+						}
+						parked = append(parked, b)
+						if h.FreePages() < free-(i+1)*n {
+							t.Fatalf("step %d: debit consumed more than its run", step)
+						}
+					}
+					free = h.FreePages() // resync (pool hits consume no free pages)
+					res.Release()
+				}
+			}
+		})
+	}
+}
+
+// TestReservationSurvivesChurn races promised debits against unreserved
+// allocation churn: admission must deny the churn before it can ever
+// make a promised block fail.
+func TestReservationSurvivesChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h, _, _ := newHeap(t, SizeForPages(48))
+	res, err := h.Reserve(8, 2*PageSize)
+	if err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	var churn []Block
+	debited := 0
+	for step := 0; step < 200 && debited < 8; step++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			if b, err := h.NVMalloc((1 + rng.Intn(5)) * PageSize); err == nil {
+				churn = append(churn, b)
+			} else if !errors.Is(err, ErrNoSpace) {
+				t.Fatalf("churn NVMalloc: %v", err)
+			}
+		case 2:
+			if len(churn) > 0 {
+				i := rng.Intn(len(churn))
+				if err := h.NVFree(churn[i]); err != nil {
+					t.Fatalf("churn NVFree: %v", err)
+				}
+				churn = append(churn[:i], churn[i+1:]...)
+			}
+		case 3:
+			if _, err := res.PreMalloc(2 * PageSize); err != nil {
+				t.Fatalf("promised PreMalloc after %d debits: %v", debited, err)
+			}
+			debited++
+		}
+	}
+	for debited < 8 {
+		if _, err := res.PreMalloc(2 * PageSize); err != nil {
+			t.Fatalf("promised PreMalloc after %d debits: %v", debited, err)
+		}
+		debited++
+	}
+}

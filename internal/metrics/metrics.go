@@ -62,6 +62,13 @@ const (
 	FramesSalvaged     = "frames_salvaged"      // committed frames recovery kept from a damaged log
 	FramesDropped      = "frames_dropped"       // frames recovery discarded as corrupt/unreachable
 	BlocksQuarantined  = "blocks_quarantined"   // NVRAM blocks retired to the heap quarantine
+	// NVRAM-space exhaustion (reservations, watermark backpressure).
+	HeapReservations  = "heap_reservations"   // commit-time block reservations granted
+	HeapReserveDenied = "heap_reserve_denied" // reservations refused up front (admission)
+	PressureStalls    = "pressure_stalls"     // writers stalled by the space watermarks / log-full retry
+	PressureStallNs   = "pressure_stall_ns"   // virtual ns spent stalled under backpressure
+	UrgentCheckpoints = "urgent_checkpoints"  // checkpoint rounds forced by space pressure
+	CommitTimeouts    = "commit_timeouts"     // backpressure stalls abandoned at their deadline
 )
 
 // Standard time keys.

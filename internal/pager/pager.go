@@ -462,6 +462,12 @@ func (p *Pager) SetJournal(jrn Journal) {
 	p.jrnInto, _ = jrn.(PageVersionInto)
 }
 
+// Journal returns the journal the pager currently commits through
+// (the one SetJournal last installed). Callers that flush prepared
+// frames themselves — group commit, backpressure retry — go through it
+// so journal wrappers installed by fault harnesses stay effective.
+func (p *Pager) Journal() Journal { return p.jrn }
+
 // DropCache empties the page cache (after recovery, or to simulate a
 // cold start). Illegal mid-transaction.
 func (p *Pager) DropCache() {

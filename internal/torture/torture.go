@@ -12,7 +12,9 @@ import (
 	"repro/internal/blockdev"
 	"repro/internal/core"
 	"repro/internal/db"
+	"repro/internal/heapo"
 	"repro/internal/memsim"
+	"repro/internal/nvram"
 	"repro/internal/platform"
 )
 
@@ -51,6 +53,13 @@ type Options struct {
 	// every worker — a prefix of each worker's deterministic
 	// transaction stream, the shrinker's fine handle.
 	MaxTxns int
+	// HeapPages, when > 0, shrinks the platform's NVRAM heap to that
+	// many pages — small enough that ordinary rounds exhaust it — and
+	// arms the backpressure machinery: chains get a short CommitTimeout
+	// and a tight checkpoint limit, and workers treat ErrBusy (clean
+	// rolled-back stall) as a legal outcome that never enters the
+	// oracle history. A raw heapo.ErrNoSpace remains a violation.
+	HeapPages int
 	// Logf receives progress lines; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -134,6 +143,18 @@ func Run(opts Options) Report {
 	}
 	rep.Elapsed = time.Since(start)
 	return rep
+}
+
+// newChainPlatform builds a chain's platform: the Tuna profile, or —
+// in tiny-heap mode — a default platform whose NVRAM holds exactly
+// Options.HeapPages heap pages.
+func newChainPlatform(opts Options) (*platform.Platform, error) {
+	if opts.HeapPages > 0 {
+		return platform.New(platform.Config{
+			NVRAM: nvram.Config{Size: heapo.SizeForPages(opts.HeapPages)},
+		})
+	}
+	return platform.NewTuna()
 }
 
 // chainCfg is one chain's sampled configuration.
@@ -237,6 +258,12 @@ func sampleChain(rng *rand.Rand, opts Options) chainCfg {
 			memsim.FailDropAll, memsim.FailKeepCompleted, memsim.FailAdversarial,
 		}
 	}
+	if opts.HeapPages > 0 {
+		// A tiny heap cannot hold a hundred log frames: keep the limit
+		// tight so routine rounds checkpoint, and let the watermarks and
+		// commit-side retries carry the overload.
+		cfg.ckptLimit = 4 + rng.Intn(12)
+	}
 
 	if opts.Faults {
 		// NVRAM damage lands only on the heap's data pages (log blocks
@@ -330,6 +357,9 @@ func runChain(opts Options, step int) chainResult {
 	if opts.MaxTxns > 0 {
 		repro += fmt.Sprintf(" -max-txns %d", opts.MaxTxns)
 	}
+	if opts.HeapPages > 0 {
+		repro += fmt.Sprintf(" -heap-pages %d", opts.HeapPages)
+	}
 	fail := func(round int, v Violation) {
 		res.violations = append(res.violations, ViolationReport{
 			Step: step, Seed: opts.Seed, Round: round, Chain: cfg.String(),
@@ -337,7 +367,7 @@ func runChain(opts Options, step int) chainResult {
 		})
 	}
 
-	plat, err := platform.NewTuna()
+	plat, err := newChainPlatform(opts)
 	if err != nil {
 		fail(-1, Violation{Kind: "error", Worker: -1, Detail: "platform: " + err.Error()})
 		return res
@@ -360,6 +390,12 @@ func runChain(opts Options, step int) chainResult {
 		BackgroundCheckpoint: cfg.bgCkpt,
 		CheckpointLimit:      cfg.ckptLimit,
 		ScrubEvery:           cfg.scrubEvery,
+	}
+	if opts.HeapPages > 0 {
+		// Tiny-heap chains stall under backpressure; the deadline keeps a
+		// saturated chain from hanging a fuzz run (ErrBusy is a legal
+		// worker outcome, see runWorkload).
+		dbOpts.CommitTimeout = 250 * time.Millisecond
 	}
 	d, err := db.Open(plat, "fuzz", dbOpts)
 	if err != nil {
@@ -411,6 +447,13 @@ func runChain(opts Options, step int) chainResult {
 		hist, wvs := runWorkload(d, plat, cfg, base, seed, round, txnsPer)
 		res.txns += len(hist.Txns)
 
+		if d.Degraded() != nil && opts.HeapPages > 0 {
+			// Provable exhaustion latched the engine read-only mid-round.
+			// That is a sanctioned tiny-heap outcome, and the crash/reboot
+			// below clears the latch — committed state must still survive,
+			// which the oracle checks as usual.
+			res.degraded = true
+		}
 		d.Abandon()
 		plat.PowerFail(policy, pfSeed)
 		if err := plat.Reboot(); err != nil {
@@ -604,6 +647,17 @@ func runWorkload(d *db.DB, plat *platform.Platform, cfg chainCfg,
 				ops := genOps(wrng, w, round, idx)
 				tx, err := d.Begin()
 				if err != nil {
+					// Backpressure outcomes are legal on a tiny heap: ErrBusy
+					// means the admission stall hit its deadline (nothing
+					// started — try the next transaction), ErrDegraded means
+					// the engine latched read-only (stop writing). A raw
+					// heapo.ErrNoSpace still falls through to the violation.
+					if errors.Is(err, db.ErrBusy) {
+						continue
+					}
+					if errors.Is(err, db.ErrDegraded) {
+						return
+					}
 					mu.Lock()
 					if !plat.CrashTriggered() {
 						violations = append(violations, Violation{Kind: "error", Worker: w,
@@ -650,6 +704,17 @@ func runWorkload(d *db.DB, plat *platform.Platform, cfg chainCfg,
 					continue
 				}
 				err = tx.Commit()
+				if err != nil && (errors.Is(err, db.ErrBusy) || errors.Is(err, db.ErrDegraded)) {
+					// Clean backpressure failure: ErrLogFull is pre-mutation,
+					// so nothing of this transaction reached the journal —
+					// it is a rollback, not a ghost, and stays out of the
+					// oracle history. ErrBusy retries; ErrDegraded ends the
+					// worker (the engine is read-only until the next reboot).
+					if errors.Is(err, db.ErrDegraded) {
+						return
+					}
+					continue
+				}
 				if err != nil && !errors.Is(err, db.ErrCheckpointDeferred) {
 					if !plat.CrashTriggered() {
 						mu.Lock()

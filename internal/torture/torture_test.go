@@ -56,6 +56,24 @@ func TestFuzzFaultsShortRun(t *testing.T) {
 		rep.Chains, rep.Rounds, rep.Txns, rep.Damaged, rep.Degraded)
 }
 
+// TestFuzzTinyHeapShortRun drives crash chains on a 24-page heap: the
+// backpressure machinery (urgent checkpoints, admission stalls, the
+// commit deadline) absorbs routine exhaustion, and workers may legally
+// see ErrBusy/ErrDegraded — any oracle violation or raw allocation
+// error escaping to a worker is a real bug.
+func TestFuzzTinyHeapShortRun(t *testing.T) {
+	rep := Run(Options{Seed: 5, Steps: 6, Step: -1, HeapPages: 24, Logf: t.Logf})
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s worker=%d %s\n  repro: %s", v.Kind, v.Worker, v.Detail, v.Repro)
+		}
+	}
+	if rep.Txns == 0 {
+		t.Fatal("tiny-heap fuzzer committed no transactions")
+	}
+	t.Logf("chains=%d rounds=%d txns=%d degraded=%d", rep.Chains, rep.Rounds, rep.Txns, rep.Degraded)
+}
+
 // TestMinimizeShrinksPlantedBug finds the planted-bug violation on a
 // single-worker chain (bit-deterministic, so replay under clamps is
 // exact) and expects the shrinker to reproduce it under a bounded
