@@ -123,12 +123,15 @@ func BenchmarkPersistencyModels(b *testing.B) {
 
 // BenchmarkCommitPath measures the simulator's own wall-clock cost of
 // one NVWAL commit (not a paper figure; a sanity benchmark for the
-// reproduction itself).
+// reproduction itself). ReportAllocs makes allocs/op part of the
+// default output: the zero-copy commit path is audited by allocation
+// count, not just latency (DESIGN.md §15).
 func BenchmarkCommitPath(b *testing.B) {
 	plat, err := platform.NewNexus5()
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	d, err := db.Open(plat, "bench.db", db.Options{
 		Journal: db.JournalNVWAL,
 		NVWAL:   core.VariantUHLSDiff(),

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/mobibench"
@@ -21,9 +22,10 @@ import (
 
 func main() {
 	txns := flag.Int("txns", 0, "transactions per measurement (0 = experiment default)")
-	jsonOut := flag.String("json", "", "also write the experiment's result as JSON to this file (checkpoint and pressure only)")
+	jsonOut := flag.String("json", "", "also write the experiment's result as JSON to this file (allocs, checkpoint and pressure only)")
+	gate := flag.String("gate", "", "baseline JSON to gate against (allocs only): exit non-zero when allocs/op regress above it")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: nvwal-bench [-txns N] [-json FILE] table1|table2|fig5|fig6|fig7|fig8|fig9|persistency|prealloc|baselines|cschecksum|groupcommit|concurrent|checkpoint|pressure|all")
+		fmt.Fprintln(os.Stderr, "usage: nvwal-bench [-txns N] [-json FILE] [-gate FILE] table1|table2|fig5|fig6|fig7|fig8|fig9|persistency|prealloc|baselines|cschecksum|groupcommit|concurrent|checkpoint|pressure|allocs|all")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -31,7 +33,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *txns, *jsonOut); err != nil {
+	if err := run(flag.Arg(0), *txns, *jsonOut, *gate); err != nil {
 		fmt.Fprintln(os.Stderr, "nvwal-bench:", err)
 		os.Exit(1)
 	}
@@ -46,7 +48,39 @@ func writeJSON(path string, v any) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func run(name string, txns int, jsonOut string) error {
+// gateAllocs compares the measured allocation audit against a recorded
+// baseline and fails on regression. Allocs/op is near-deterministic for
+// a fixed op count, but map-growth boundaries and pool warmup shift it
+// by a fraction; the gate allows 10% + 2 allocs of slack before calling
+// a regression, and ignores latency (wall-clock, machine-dependent).
+func gateAllocs(r *experiments.CommitAllocsResult, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading allocs baseline: %w", err)
+	}
+	var base experiments.CommitAllocsResult
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing allocs baseline %s: %w", path, err)
+	}
+	var failures []string
+	for _, want := range base.Rows {
+		got := r.Row(want.Path)
+		if got == nil {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run", want.Path))
+			continue
+		}
+		if limit := want.AllocsPerOp*1.10 + 2; got.AllocsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: %.2f allocs/op exceeds baseline %.2f (limit %.2f)",
+				want.Path, got.AllocsPerOp, want.AllocsPerOp, limit))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("allocs/op regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func run(name string, txns int, jsonOut, gate string) error {
 	out := os.Stdout
 	switch name {
 	case "table1":
@@ -152,10 +186,27 @@ func run(name string, txns int, jsonOut string) error {
 				return err
 			}
 		}
+	case "allocs":
+		r, err := experiments.CommitAllocs(txns)
+		if err != nil {
+			return err
+		}
+		r.Print(out)
+		if jsonOut != "" {
+			if err := writeJSON(jsonOut, r); err != nil {
+				return err
+			}
+		}
+		if gate != "" {
+			if err := gateAllocs(r, gate); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "allocs/op gate passed against %s\n", gate)
+		}
 	case "all":
-		for _, sub := range []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "persistency", "prealloc", "baselines", "cschecksum", "groupcommit", "concurrent", "checkpoint", "pressure"} {
+		for _, sub := range []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "persistency", "prealloc", "baselines", "cschecksum", "groupcommit", "concurrent", "checkpoint", "pressure", "allocs"} {
 			fmt.Fprintf(out, "==== %s ====\n", sub)
-			if err := run(sub, txns, jsonOut); err != nil {
+			if err := run(sub, txns, jsonOut, gate); err != nil {
 				return err
 			}
 			fmt.Fprintln(out)

@@ -30,10 +30,16 @@ type Extent struct {
 // (§3.2's "truncate the preceding and trailing clean regions" applied
 // per dirty region).
 func diffExtents(old, new []byte, gapMerge int) []Extent {
+	return diffExtentsInto(nil, old, new, gapMerge)
+}
+
+// diffExtentsInto is diffExtents appending into out[:0], so a caller
+// with a commit loop can reuse one backing array across transactions.
+func diffExtentsInto(out []Extent, old, new []byte, gapMerge int) []Extent {
 	if len(old) != len(new) {
 		panic("core: diffExtents requires equal-length images")
 	}
-	var out []Extent
+	out = out[:0]
 	i := 0
 	for i < len(new) {
 		if old[i] == new[i] {

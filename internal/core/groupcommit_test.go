@@ -50,17 +50,33 @@ func TestCommitGroup(t *testing.T) {
 		}
 	}
 
-	// An empty group is a no-op.
+	// A nil group (no member transactions) is a true no-op.
 	mid := e.m.Snapshot()
 	if err := w.CommitGroup(nil); err != nil {
 		t.Fatal(err)
 	}
+	d2 := e.m.Snapshot().Sub(mid)
+	if d2.Count(metrics.Transactions) != 0 || d2.Count(metrics.GroupCommits) != 0 {
+		t.Fatalf("nil group moved metrics: %v", d2)
+	}
+
+	// A group whose members coalesce to zero frames still committed its
+	// member transactions: nothing reaches NVRAM, but the txn and group
+	// tallies (which throughput numbers and the torture oracle count)
+	// must include them.
+	mid = e.m.Snapshot()
 	if err := w.CommitGroup([][]pager.Frame{{}, {}}); err != nil {
 		t.Fatal(err)
 	}
-	d2 := e.m.Snapshot().Sub(mid)
-	if d2.Count(metrics.Transactions) != 0 || d2.Count(metrics.GroupCommits) != 0 {
-		t.Fatalf("empty group moved metrics: %v", d2)
+	d2 = e.m.Snapshot().Sub(mid)
+	if got := d2.Count(metrics.Transactions); got != 2 {
+		t.Fatalf("zero-frame group Transactions delta = %d, want 2", got)
+	}
+	if got := d2.Count(metrics.GroupCommits); got != 1 {
+		t.Fatalf("zero-frame group GroupCommits delta = %d, want 1", got)
+	}
+	if got := d2.Count(metrics.WALFrames); got != 0 {
+		t.Fatalf("zero-frame group wrote %d frames, want 0", got)
 	}
 
 	// The single commit mark covers the whole group across a crash.

@@ -221,6 +221,12 @@ const RecommendedPageReserve = frameHdrSize + blockLinkSize
 
 var crcTab = crc32.MakeTable(crc32.Castagnoli)
 
+// zeroFrameHdr is the shared all-zero frame-header image used to scrub
+// a garbage frame slot (abort unwind, recovery's resume point); sharing
+// it keeps the scrub off the commit path's allocation budget. Never
+// written to.
+var zeroFrameHdr [frameHdrSize]byte
+
 // Metric keys specific to NVWAL.
 const (
 	// MetricLoggedBytes counts WAL payload + frame-header bytes written
@@ -322,6 +328,19 @@ type NVWAL struct {
 	// disableReserve (tests only) skips commit-time reservation so the
 	// mid-append ErrNoSpace unwind path can be exercised directly.
 	disableReserve bool
+
+	// Commit-path scratch, reused across transactions (guarded by w.mu)
+	// so steady-state commits do not allocate per frame — the allocation
+	// audit of DESIGN.md §15. Only the plan/index bookkeeping lives here;
+	// payload and image bytes that outlive the commit (history, versions)
+	// are freshly allocated each transaction and handed off.
+	plan    writePlan
+	written []frameRef
+	newHist []histFrame
+	newVers map[uint32][]byte
+	hdrBuf  [frameHdrSize]byte
+	coal    pager.Coalescer
+	resv    heapo.Reservation
 
 	// Volatile state, rebuilt by recovery (the wal-index analogue).
 	blocks   []heapo.Block // live generation's block chain in order
@@ -641,37 +660,44 @@ func (w *NVWAL) allocFrameSpace(size, groupTotal int) (uint64, error) {
 	return addr, nil
 }
 
-// encodeFrame builds the frame image (header + payload) with the commit
-// mark clear and advances the checksum chain. full marks a frame whose
-// replay must reset the page to zero first (§3.2 truncated full page).
-func (w *NVWAL) encodeFrame(pgno uint32, off int, payload []byte, prev uint32, full bool) ([]byte, uint32) {
-	buf := make([]byte, frameHdrSize+len(payload))
-	binary.LittleEndian.PutUint64(buf[0:], 0) // commit mark written later
-	binary.LittleEndian.PutUint64(buf[8:], w.salt)
-	binary.LittleEndian.PutUint32(buf[16:], pgno)
+// encodeFrameAt encodes one frame — header plus differential payload —
+// directly into the reserved NVRAM region at addr with the commit mark
+// clear, and advances the checksum chain. Nothing is staged in DRAM
+// beyond the 32-byte header scratch: the CRC runs over the header
+// fields and the caller's payload bytes in place, and one gather write
+// places both ranges (the zero-copy commit path). full marks a frame
+// whose replay must reset the page to zero first (§3.2 truncated full
+// page).
+func (w *NVWAL) encodeFrameAt(addr uint64, pgno uint32, off int, payload []byte, prev uint32, full bool) uint32 {
+	hdr := w.hdrBuf[:]
+	binary.LittleEndian.PutUint64(hdr[0:], 0) // commit mark written later
+	binary.LittleEndian.PutUint64(hdr[8:], w.salt)
+	binary.LittleEndian.PutUint32(hdr[16:], pgno)
 	offWord := uint32(off)
 	if full {
 		offWord |= offFullFlag
 	}
-	binary.LittleEndian.PutUint32(buf[20:], offWord)
-	binary.LittleEndian.PutUint32(buf[24:], uint32(len(payload)))
-	copy(buf[frameHdrSize:], payload)
-	sum := crc32.Update(prev, crcTab, buf[8:28])
+	binary.LittleEndian.PutUint32(hdr[20:], offWord)
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(len(payload)))
+	sum := crc32.Update(prev, crcTab, hdr[8:28])
 	sum = crc32.Update(sum, crcTab, payload)
-	binary.LittleEndian.PutUint32(buf[28:], sum)
-	return buf, sum
+	binary.LittleEndian.PutUint32(hdr[28:], sum)
+	w.dev.WriteV(addr, hdr, payload) // Algorithm 1 line 17: memcpy
+	return sum
 }
 
-// lockWriter takes the exclusive writer lock, charging the wait to the
-// commit-stall metric — the stall the incremental checkpoint exists to
-// shrink (wall time, not virtual: the simulated clock does not advance
-// while a goroutine merely waits on a mutex).
+// lockWriter takes the exclusive writer lock, charging a contended wait
+// to the commit-stall metric — the stall the incremental checkpoint
+// exists to shrink (wall time, not virtual: the simulated clock does
+// not advance while a goroutine merely waits on a mutex). An
+// uncontended acquisition charges nothing.
 func (w *NVWAL) lockWriter() {
+	if w.mu.TryLock() {
+		return
+	}
 	start := time.Now()
 	w.mu.Lock()
-	if d := time.Since(start); d > 0 {
-		w.m.Inc(metrics.CommitStallNanos, d.Nanoseconds())
-	}
+	w.m.Inc(metrics.CommitStallNanos, time.Since(start).Nanoseconds())
 }
 
 // CommitTransaction implements pager.Journal.
@@ -685,10 +711,18 @@ func (w *NVWAL) CommitTransaction(frames []pager.Frame) error {
 // single Algorithm 1 sequence — one flush batch, one persist barrier,
 // one commit-mark persist for the whole group.
 func (w *NVWAL) CommitGroup(groups [][]pager.Frame) error {
+	if len(groups) == 0 {
+		return nil
+	}
 	w.lockWriter()
 	defer w.mu.Unlock()
-	coalesced := pager.CoalesceGroups(groups)
+	coalesced := w.coal.Coalesce(groups)
 	if len(coalesced) == 0 {
+		// A group of no-op transactions still committed: its members were
+		// acknowledged, so the transaction and group tallies must include
+		// them even though nothing reaches NVRAM.
+		w.m.Inc(metrics.Transactions, int64(len(groups)))
+		w.m.Inc(metrics.GroupCommits, 1)
 		return nil
 	}
 	if err := w.writeFrames(coalesced, true); err != nil {
@@ -729,18 +763,40 @@ type planItem struct {
 // writePlan is the shape of one WriteFrames call, computed before any
 // NVRAM mutation: what each page logs, how many fresh blocks the append
 // needs, and the largest single allocation — exactly what Reserve must
-// promise for the append to be incapable of running out of space.
+// promise for the append to be incapable of running out of space. The
+// frame and payload totals size the append's history arena up front.
+// An NVWAL reuses one writePlan (and its items' extent arrays) across
+// commits under w.mu.
 type writePlan struct {
-	items     []planItem
-	newBlocks int
-	maxAlloc  int // largest single block allocation, bytes
+	items        []planItem
+	newBlocks    int
+	maxAlloc     int // largest single block allocation, bytes
+	frames       int // physical frames the append will write
+	payloadBytes int // differential payload bytes across all frames
+}
+
+// nextItem returns the plan's next item slot with its extent array
+// emptied for reuse, growing the slice as needed.
+func (p *writePlan) nextItem() *planItem {
+	if len(p.items) < cap(p.items) {
+		p.items = p.items[:len(p.items)+1]
+	} else {
+		p.items = append(p.items, planItem{})
+	}
+	it := &p.items[len(p.items)-1]
+	it.extents = it.extents[:0]
+	return it
 }
 
 // planFrames simulates the append — extent computation, tail packing,
 // block allocation — without touching NVRAM, mirroring the rules of
-// writeFramesLog/allocFrameSpace/appendBlock step for step.
+// writeFramesLog/allocFrameSpace/appendBlock step for step. The
+// returned plan is w.plan, reused across commits; it is only valid
+// until the next call.
 func (w *NVWAL) planFrames(frames []pager.Frame) (*writePlan, error) {
-	p := &writePlan{items: make([]planItem, 0, len(frames))}
+	p := &w.plan
+	p.items = p.items[:0]
+	p.newBlocks, p.maxAlloc, p.frames, p.payloadBytes = 0, 0, 0, 0
 	simBlocks := len(w.blocks)
 	simTailCap := w.tailCapacity()
 	simTailUsed := w.tailUsed
@@ -748,33 +804,37 @@ func (w *NVWAL) planFrames(frames []pager.Frame) (*writePlan, error) {
 		if len(fr.Data) != w.pageSize {
 			return nil, fmt.Errorf("nvwal: frame for page %d has %d bytes, want %d", fr.Pgno, len(fr.Data), w.pageSize)
 		}
-		// First-touch pages log a "full" frame; its trailing clean
-		// (zero) region is truncated per §3.2 so early-split pages fit
-		// the user-heap block layout. Replay of a full frame resets the
-		// page to zero first, so the truncation can never resurrect
-		// stale tail bytes from an older database-file image.
-		it := planItem{fr: fr, full: true}
-		it.extents = []Extent{{Off: 0, Len: w.pageSize - trailingZeros(fr.Data)}}
-		if it.extents[0].Len == 0 {
-			it.extents[0].Len = 8 // all-zero page: log a minimal frame
-		}
+		it := p.nextItem()
+		it.fr, it.skip, it.full = fr, false, true
 		if old, ok := w.versions[fr.Pgno]; ok && w.cfg.Differential {
 			// §3.2: the page already has frames in the log, so only the
 			// differences need to be logged.
 			it.full = false
-			it.extents = diffExtents(old, fr.Data, w.cfg.GapMerge)
+			it.extents = diffExtentsInto(it.extents, old, fr.Data, w.cfg.GapMerge)
 			if len(it.extents) == 0 {
 				// Identical image (e.g. a page dirtied and restored);
 				// nothing to log for this page.
 				it.skip = true
-				p.items = append(p.items, it)
 				continue
 			}
+		} else {
+			// First-touch pages log a "full" frame; its trailing clean
+			// (zero) region is truncated per §3.2 so early-split pages fit
+			// the user-heap block layout. Replay of a full frame resets the
+			// page to zero first, so the truncation can never resurrect
+			// stale tail bytes from an older database-file image.
+			n := w.pageSize - trailingZeros(fr.Data)
+			if n == 0 {
+				n = 8 // all-zero page: log a minimal frame
+			}
+			it.extents = append(it.extents, Extent{Off: 0, Len: n})
 		}
 		groupTotal := 0
 		for _, e := range it.extents {
 			groupTotal += align8(frameHdrSize + e.Len)
 		}
+		p.frames += len(it.extents)
+		p.payloadBytes += extentBytes(it.extents)
 		if !w.cfg.UserHeap && simBlocks > 0 {
 			simTailUsed = simTailCap // legacy: tail space not reused across frames
 		}
@@ -803,7 +863,6 @@ func (w *NVWAL) planFrames(frames []pager.Frame) (*writePlan, error) {
 			}
 			simTailUsed += need
 		}
-		p.items = append(p.items, it)
 	}
 	return p, nil
 }
@@ -830,9 +889,8 @@ func (w *NVWAL) abortAppend(nBlocks, tailUsed int, cause error) error {
 	if len(w.blocks) > 0 {
 		tail := w.blocks[len(w.blocks)-1]
 		if tailUsed+frameHdrSize <= tail.Size() {
-			zero := make([]byte, frameHdrSize)
 			a := tail.Addr + uint64(tailUsed)
-			w.dev.Write(a, zero)
+			w.dev.Write(a, zeroFrameHdr[:])
 			w.persistRange(a, frameHdrSize)
 		}
 	}
@@ -853,30 +911,39 @@ func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
 		return err // read-only failure: nothing to latch
 	}
 	if plan.newBlocks > 0 && !w.disableReserve {
-		res, err := w.heap.Reserve(plan.newBlocks, plan.maxAlloc)
-		if err != nil {
+		if err := w.heap.ReserveInto(&w.resv, plan.newBlocks, plan.maxAlloc); err != nil {
 			return fmt.Errorf("%w: cannot promise %d blocks of %d bytes: %v",
 				ErrLogFull, plan.newBlocks, plan.maxAlloc, err)
 		}
-		w.res = res
+		w.res = &w.resv
 		defer func() {
 			w.res = nil
-			res.Release()
+			w.resv.Release()
 		}()
 	}
 	undoBlocks, undoTail := len(w.blocks), w.tailUsed
 
-	var written []frameRef
-	var hist []histFrame
+	written := w.written[:0]
+	hist := w.newHist[:0]
 	chain := w.chain
-	newVersions := make(map[uint32][]byte, len(frames))
+	if w.newVers == nil {
+		w.newVers = make(map[uint32][]byte, len(frames))
+	}
+	newVersions := w.newVers
+	clear(newVersions)
+	// One arena holds every history payload of this append — the plan
+	// already knows the total — so snapshot bookkeeping costs a single
+	// allocation instead of one per frame. The arena is handed off to
+	// w.history below and dropped wholesale when a checkpoint retires
+	// these frames.
+	arena := make([]byte, plan.payloadBytes)
 
-	for _, it := range plan.items {
+	for i := range plan.items {
+		it := &plan.items[i]
 		fr := it.fr
 		if it.skip {
-			img := make([]byte, w.pageSize)
-			copy(img, fr.Data)
-			newVersions[fr.Pgno] = img
+			// Identical image: the version the log already holds is
+			// byte-for-byte this one, so there is nothing to replace.
 			continue
 		}
 		groupTotal := 0
@@ -890,19 +957,20 @@ func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
 		}
 		for _, e := range it.extents {
 			payload := fr.Data[e.Off : e.Off+e.Len]
-			buf, next := w.encodeFrame(fr.Pgno, e.Off, payload, chain, it.full)
-			addr, err := w.allocFrameSpace(len(buf), groupTotal)
+			size := frameHdrSize + len(payload)
+			addr, err := w.allocFrameSpace(size, groupTotal)
 			if err != nil {
+				w.written, w.newHist = written[:0], hist[:0]
 				return w.abortAppend(undoBlocks, undoTail, err)
 			}
-			w.dev.Write(addr, buf) // Algorithm 1 line 17: memcpy
+			chain = w.encodeFrameAt(addr, fr.Pgno, e.Off, payload, chain, it.full)
 			w.step(StepAfterMemcpy)
 			switch w.cfg.Sync {
 			case SyncEager:
 				// Figure 4(b): synchronize per log entry.
 				w.dev.MemoryBarrier()
 				w.dev.Syscall()
-				w.dev.Flush(addr, addr+uint64(len(buf)))
+				w.dev.Flush(addr, addr+uint64(size))
 				w.dev.MemoryBarrier()
 				w.dev.PersistBarrier()
 			case SyncStrictPersistency:
@@ -911,12 +979,12 @@ func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
 				// write drains before the next may persist.
 				w.dev.Domain().EpochBarrier()
 			}
-			written = append(written, frameRef{addr: addr, size: len(buf), pgno: fr.Pgno})
-			pl := make([]byte, len(payload))
+			written = append(written, frameRef{addr: addr, size: size, pgno: fr.Pgno})
+			pl := arena[:len(payload):len(payload)]
+			arena = arena[len(payload):]
 			copy(pl, payload)
 			hist = append(hist, histFrame{pgno: fr.Pgno, off: e.Off, full: it.full, payload: pl})
-			chain = next
-			w.m.Inc(MetricLoggedBytes, int64(len(buf)))
+			w.m.Inc(MetricLoggedBytes, int64(size))
 		}
 		img := make([]byte, w.pageSize)
 		copy(img, fr.Data)
@@ -995,6 +1063,9 @@ func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
 	for pgno, img := range newVersions {
 		w.versions[pgno] = img
 	}
+	// Hand the (possibly grown) scratch backing arrays back to the
+	// writer so the next transaction reuses their capacity.
+	w.written, w.newHist = written[:0], hist[:0]
 	w.m.Inc(metrics.WALFrames, int64(len(written)))
 	if commit {
 		w.m.Inc(metrics.Transactions, 1)

@@ -232,9 +232,8 @@ func (w *NVWAL) recover() error {
 		// resurrect them — so the torn frame slot is invalidated physically.
 		tail := w.blocks[len(w.blocks)-1]
 		if resumeOff+frameHdrSize <= tail.Size() {
-			zero := make([]byte, frameHdrSize)
 			a := tail.Addr + uint64(resumeOff)
-			w.dev.Write(a, zero)
+			w.dev.Write(a, zeroFrameHdr[:])
 			w.persistRange(a, frameHdrSize)
 		}
 		if w.isBad(tail.Addr) {

@@ -183,10 +183,19 @@ func (gc *groupCommitter) flush(reqs []*commitReq) error {
 }
 
 // cloneFrames deep-copies a frame set out of the pager's cache buffers.
+// All payloads are carved from one arena allocation: the clone lives
+// only until the group committer hands it to the journal, so the whole
+// set is freed together and two allocations replace 1+N.
 func cloneFrames(frames []pager.Frame) []pager.Frame {
+	total := 0
+	for _, fr := range frames {
+		total += len(fr.Data)
+	}
+	arena := make([]byte, total)
 	out := make([]pager.Frame, len(frames))
 	for i, fr := range frames {
-		data := make([]byte, len(fr.Data))
+		data := arena[:len(fr.Data):len(fr.Data)]
+		arena = arena[len(fr.Data):]
 		copy(data, fr.Data)
 		out[i] = pager.Frame{Pgno: fr.Pgno, Data: data}
 	}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pager"
+)
+
+// CommitAllocsRow is one commit-path shape of the allocation audit:
+// host-side allocations per operation (the quantity DESIGN.md §15's
+// zero-copy work drives down) next to the wall-clock latency
+// percentiles of the same loop. Virtual-time metrics are untouched by
+// this experiment — it audits the simulator's own cost, not the
+// paper's.
+type CommitAllocsRow struct {
+	Path        string  `json:"path"`
+	Ops         int     `json:"ops"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	P50Ns       int64   `json:"p50_commit_ns"`
+	P99Ns       int64   `json:"p99_commit_ns"`
+}
+
+// CommitAllocsResult holds the audit across commit-path shapes.
+type CommitAllocsResult struct {
+	Rows []CommitAllocsRow `json:"rows"`
+}
+
+// Row returns the named row, or nil.
+func (r *CommitAllocsResult) Row(path string) *CommitAllocsRow {
+	for i := range r.Rows {
+		if r.Rows[i].Path == path {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// CommitAllocs measures steady-state heap allocations per operation on
+// the three commit-path shapes the zero-copy work targets: a solo
+// end-to-end transaction (B-tree insert through NVWAL), a group commit
+// driven straight at the journal, and the PageVersionInto read path.
+// Measurement is runtime.MemStats deltas (Mallocs and TotalAlloc are
+// monotonic, so a concurrent GC cannot skew them) over a single
+// measuring goroutine.
+func CommitAllocs(txns int) (*CommitAllocsResult, error) {
+	if txns <= 0 {
+		txns = 300
+	}
+	res := &CommitAllocsResult{}
+
+	solo, err := soloCommitAllocs(txns)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, solo)
+
+	group, pvi, err := journalAllocs(txns)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, group, pvi)
+	return res, nil
+}
+
+// measureAllocs runs op n times on the calling goroutine and returns
+// the allocation and latency profile. A warmup round runs first so
+// one-time pool/scratch growth is not billed to the steady state under
+// audit.
+func measureAllocs(path string, n int, op func(i int) error) (CommitAllocsRow, error) {
+	const warmup = 16
+	for i := 0; i < warmup; i++ {
+		if err := op(i); err != nil {
+			return CommitAllocsRow{}, err
+		}
+	}
+	lats := make([]time.Duration, 0, n)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		if err := op(warmup + i); err != nil {
+			return CommitAllocsRow{}, err
+		}
+		lats = append(lats, time.Since(t0))
+	}
+	runtime.ReadMemStats(&after)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) int64 {
+		return lats[int(p*float64(len(lats)-1))].Nanoseconds()
+	}
+	return CommitAllocsRow{
+		Path:        path,
+		Ops:         n,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+		P50Ns:       pct(0.50),
+		P99Ns:       pct(0.99),
+	}, nil
+}
+
+// soloCommitAllocs drives one-insert transactions end to end through
+// the database layer, the BenchmarkCommitPath shape.
+func soloCommitAllocs(txns int) (CommitAllocsRow, error) {
+	// A checkpoint limit far above the transaction count keeps
+	// checkpoint I/O out of the audited loop.
+	s, err := NewNVWALSetup(Tuna, core.VariantUHLSDiff(), 1<<20)
+	if err != nil {
+		return CommitAllocsRow{}, err
+	}
+	if err := s.DB.CreateTable("bench"); err != nil {
+		return CommitAllocsRow{}, err
+	}
+	val := make([]byte, 100)
+	key := make([]byte, 8)
+	row, err := measureAllocs("solo-commit", txns, func(i int) error {
+		tx, err := s.DB.Begin()
+		if err != nil {
+			return err
+		}
+		binary.BigEndian.PutUint64(key, uint64(i))
+		if err := tx.Insert("bench", key, val); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+	if err != nil {
+		return CommitAllocsRow{}, err
+	}
+	return row, s.DB.Close()
+}
+
+// journalAllocs drives the NVWAL journal directly: a 4-member group
+// commit per operation, then the PageVersionInto read path over the
+// committed pages.
+func journalAllocs(txns int) (CommitAllocsRow, CommitAllocsRow, error) {
+	var zero CommitAllocsRow
+	s, err := NewNVWALSetup(Tuna, core.VariantUHLSDiff(), 1<<20)
+	if err != nil {
+		return zero, zero, err
+	}
+	gj, ok := s.DB.Journal().(pager.GroupJournal)
+	if !ok {
+		return zero, zero, fmt.Errorf("experiments: NVWAL journal lost its GroupJournal capability")
+	}
+	const members = 4
+	const ps = 4096 // db.Open's default page size
+	pages := make([][]byte, members)
+	groups := make([][]pager.Frame, members)
+	frames := make([][1]pager.Frame, members)
+	for g := range pages {
+		pages[g] = make([]byte, ps)
+		frames[g][0] = pager.Frame{Pgno: uint32(100 + g), Data: pages[g]}
+		groups[g] = frames[g][:]
+	}
+	group, err := measureAllocs("group-commit", txns, func(i int) error {
+		for g := range pages {
+			// A small dirty region per member keeps the differential
+			// logger on its steady-state diff path.
+			binary.LittleEndian.PutUint64(pages[g][(i%64)*16:], uint64(i+1))
+		}
+		return gj.CommitGroup(groups)
+	})
+	if err != nil {
+		return zero, zero, err
+	}
+
+	pvi, ok := s.DB.Journal().(pager.PageVersionInto)
+	if !ok {
+		return zero, zero, fmt.Errorf("experiments: NVWAL journal lost its PageVersionInto capability")
+	}
+	buf := make([]byte, ps)
+	read, err := measureAllocs("page-version-into", txns, func(i int) error {
+		if !pvi.PageVersionInto(uint32(100+i%members), buf) {
+			return fmt.Errorf("experiments: committed page %d has no version", 100+i%members)
+		}
+		return nil
+	})
+	if err != nil {
+		return zero, zero, err
+	}
+	return group, read, s.DB.Close()
+}
+
+// Print renders the audit.
+func (r *CommitAllocsResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Commit-path allocation audit (host-side allocs; NVWAL UH+LS+Diff on Tuna)")
+	fmt.Fprintf(w, "%-18s %6s %12s %12s %10s %10s\n",
+		"path", "ops", "allocs/op", "bytes/op", "p50(µs)", "p99(µs)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-18s %6d %12.2f %12.1f %10.1f %10.1f\n",
+			row.Path, row.Ops, row.AllocsPerOp, row.BytesPerOp,
+			float64(row.P50Ns)/1000, float64(row.P99Ns)/1000)
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCommitAllocsShapes(t *testing.T) {
+	r, err := CommitAllocs(testTxns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"solo-commit", "group-commit", "page-version-into"} {
+		row := r.Row(path)
+		if row == nil {
+			t.Fatalf("audit missing row %q", path)
+		}
+		if row.Ops != testTxns {
+			t.Fatalf("%s measured %d ops, want %d", path, row.Ops, testTxns)
+		}
+		if row.AllocsPerOp < 0 || row.BytesPerOp < 0 {
+			t.Fatalf("%s reported negative allocations: %+v", path, row)
+		}
+	}
+	// The read path is the zero-copy poster child: no allocations at
+	// all once the caller supplies the buffer.
+	if row := r.Row("page-version-into"); row.AllocsPerOp != 0 {
+		t.Fatalf("page-version-into allocates %.2f/op, want 0", row.AllocsPerOp)
+	}
+	// The commit paths hand off a bounded set of buffers per
+	// transaction; far above this means an intermediate frame image
+	// crept back in. The bound is deliberately loose — the CI gate
+	// against results/BENCH_commit_allocs.json does the tight tracking.
+	if row := r.Row("solo-commit"); row.AllocsPerOp > 40 {
+		t.Fatalf("solo-commit allocates %.2f/op, want the zero-copy steady state", row.AllocsPerOp)
+	}
+	if r.Row("unknown") != nil {
+		t.Fatal("Row invented a path")
+	}
+	var b bytes.Buffer
+	r.Print(&b)
+	if !strings.Contains(b.String(), "allocation audit") || !strings.Contains(b.String(), "group-commit") {
+		t.Fatalf("Print output unexpected:\n%s", b.String())
+	}
+}

@@ -118,6 +118,10 @@ type Manager struct {
 	recycled      map[int][]Block
 	recycledPages int
 	recycleLimit  int
+	// runScratch backs freeRunLensLocked so the admission check on every
+	// reservation and unpromised allocation reuses one slice instead of
+	// growing a fresh one per call.
+	runScratch []int
 }
 
 // Format initializes a heapo heap on the device, erasing any previous

@@ -67,8 +67,23 @@ func ceilDiv(a, b int) int { return (a + b - 1) / b }
 // checkpoint headroom. The caller must Release the reservation when
 // done; debiting it past `blocks` fails with ErrReservationSpent.
 func (m *Manager) Reserve(blocks, maxBytes int) (*Reservation, error) {
+	r := new(Reservation)
+	if err := m.ReserveInto(r, blocks, maxBytes); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ReserveInto is Reserve writing the promise into a caller-owned
+// Reservation, so a commit loop can reuse one Reservation value across
+// transactions instead of allocating a fresh one per Reserve. r must be
+// fresh or fully released/spent; on failure r is left released.
+func (m *Manager) ReserveInto(r *Reservation, blocks, maxBytes int) error {
 	if blocks <= 0 || maxBytes <= 0 {
-		return nil, fmt.Errorf("heapo: invalid reservation (%d blocks of %d bytes)", blocks, maxBytes)
+		return fmt.Errorf("heapo: invalid reservation (%d blocks of %d bytes)", blocks, maxBytes)
+	}
+	if r.remaining > 0 {
+		return fmt.Errorf("heapo: reservation still holds %d promised blocks", r.remaining)
 	}
 	run := ceilDiv(maxBytes, PageSize)
 	m.mu.Lock()
@@ -81,10 +96,12 @@ func (m *Manager) Reserve(blocks, maxBytes int) (*Reservation, error) {
 	if !m.admitLocked(0, 0, false) {
 		m.unreserveLocked(run, blocks)
 		m.dev.Metrics().Inc(metrics.HeapReserveDenied, 1)
-		return nil, ErrNoSpace
+		*r = Reservation{m: m}
+		return ErrNoSpace
 	}
 	m.dev.Metrics().Inc(metrics.HeapReservations, 1)
-	return &Reservation{m: m, run: run, remaining: blocks}, nil
+	*r = Reservation{m: m, run: run, remaining: blocks}
+	return nil
 }
 
 // PreMalloc debits one promised block in the pending state (the
@@ -257,10 +274,11 @@ func (m *Manager) admitLocked(carvePages, poolClass int, headroomPrivileged bool
 }
 
 // freeRunLensLocked scans the page metadata and returns the length of
-// every maximal free run. Called with m.mu held; reads cost no
-// simulated time, so the scan only spends host CPU.
+// every maximal free run, in a scratch slice valid until the next call
+// (m.mu serializes callers). Reads cost no simulated time, so the scan
+// only spends host CPU.
 func (m *Manager) freeRunLensLocked() []int {
-	var runs []int
+	runs := m.runScratch[:0]
 	cur := 0
 	for page := 0; page < m.pageCount; page++ {
 		if st, _ := m.readMeta(page); st == StateFree {
@@ -273,6 +291,7 @@ func (m *Manager) freeRunLensLocked() []int {
 	if cur > 0 {
 		runs = append(runs, cur)
 	}
+	m.runScratch = runs
 	return runs
 }
 

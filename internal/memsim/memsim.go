@@ -153,11 +153,29 @@ type lineState struct {
 	queued     bool          // write-back accepted by the memory controller
 	queuedData []byte        // content snapshot at flush/eviction time
 	completion time.Duration // virtual time the controller finishes the write-back
+	// node is the LRU list element backing lruElem, embedded so a
+	// clean→dirty transition costs no allocation. queuedData is likewise
+	// kept (not nil-ed) after a persist as a reusable snapshot buffer —
+	// persistLineLocked copies out of it immediately, so no consumer
+	// ever retains it.
+	node lruNode
 }
 
 type lruNode struct {
 	addr       uint64
 	prev, next *lruNode
+}
+
+// maxStatePool bounds the lineState recycle pool (host memory only).
+const maxStatePool = 1 << 14
+
+// snapBuf returns the line's snapshot scratch sized to one cache line,
+// reusing the previous snapshot's backing array when possible.
+func (st *lineState) snapBuf(lineSize int) []byte {
+	if cap(st.queuedData) < lineSize {
+		return make([]byte, lineSize)
+	}
+	return st.queuedData[:lineSize]
 }
 
 // crashArm is a one-shot power-failure trigger: when the domain's
@@ -191,6 +209,11 @@ type Domain struct {
 	persisted   []byte // content guaranteed to survive PowerFail
 
 	lines map[uint64]*lineState // keyed by line-aligned address
+	// statePool recycles lineStates (and their snapshot buffers) that
+	// the persist-barrier cleanup evicted from the map, so steady-state
+	// store traffic does not allocate per touched line. Host memory
+	// only; simulated cost is unaffected.
+	statePool []*lineState
 	// LRU list of dirty lines; head = most recent.
 	lruHead, lruTail *lruNode
 	dirtyCount       int
@@ -296,12 +319,55 @@ func (d *Domain) Write(addr uint64, p []byte) {
 	d.countOpLocked()
 }
 
+// WriteV stores the concatenation of parts contiguously at addr, with
+// the exact cost model of a single Write over the combined range: one
+// lock acquisition, one store-burst charge over the spanned lines, one
+// op count. It exists so a caller can place a frame header and its
+// payload into adjacent NVRAM without first gluing them together in an
+// intermediate DRAM buffer (the zero-copy commit path).
+func (d *Domain) WriteV(addr uint64, parts ...[]byte) {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	if n == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.checkRange(addr, n)
+	if d.failed {
+		return
+	}
+	pos := addr
+	for _, p := range parts {
+		copy(d.volatileMem[pos:], p)
+		pos += uint64(len(p))
+	}
+
+	first := d.lineAddr(addr)
+	last := d.lineAddr(addr + uint64(n) - 1)
+	nLines := int((last-first)/uint64(d.cfg.CacheLineSize)) + 1
+	d.clock.Advance(time.Duration(nLines) * d.cfg.StoreCostPerLine)
+	d.m.AddTime(metrics.TimeMemcpy, time.Duration(nLines)*d.cfg.StoreCostPerLine)
+
+	for la := first; la <= last; la += uint64(d.cfg.CacheLineSize) {
+		d.touchDirty(la)
+	}
+	d.countOpLocked()
+}
+
 // touchDirty marks line la dirty and most-recently-used, evicting the LRU
 // dirty line if the cache is over capacity. Caller holds d.mu.
 func (d *Domain) touchDirty(la uint64) {
 	st := d.lines[la]
 	if st == nil {
-		st = &lineState{}
+		if n := len(d.statePool); n > 0 {
+			st = d.statePool[n-1]
+			d.statePool = d.statePool[:n-1]
+		} else {
+			st = &lineState{}
+		}
 		d.lines[la] = st
 	}
 	if st.dirty {
@@ -309,7 +375,8 @@ func (d *Domain) touchDirty(la uint64) {
 		return
 	}
 	st.dirty = true
-	st.lruElem = &lruNode{addr: la}
+	st.node = lruNode{addr: la}
+	st.lruElem = &st.node
 	d.lruPushFront(st.lruElem)
 	d.dirtyCount++
 	for d.dirtyCount > d.cfg.CacheCapacityLines {
@@ -338,7 +405,7 @@ func (d *Domain) writeBackLocked(la uint64, timeKey string) {
 	st.lruElem = nil
 	d.dirtyCount--
 
-	snap := make([]byte, d.cfg.CacheLineSize)
+	snap := st.snapBuf(d.cfg.CacheLineSize)
 	copy(snap, d.volatileMem[la:la+uint64(d.cfg.CacheLineSize)])
 	st.queued = true
 	st.queuedData = snap
@@ -481,10 +548,14 @@ func (d *Domain) PersistBarrier() {
 		if st.queued {
 			d.persistLineLocked(d.persisted, la, st.queuedData)
 			st.queued = false
-			st.queuedData = nil
+			// queuedData is kept as the line's snapshot scratch; the
+			// persist above copied it into the durable image.
 		}
 		if !st.dirty && !st.queued {
 			delete(d.lines, la)
+			if len(d.statePool) < maxStatePool {
+				d.statePool = append(d.statePool, st)
+			}
 		}
 	}
 	// Counted after the queue drains, so a crash armed at this op index
@@ -517,7 +588,7 @@ func (d *Domain) EpochBarrier() {
 		d.lruRemove(st.lruElem)
 		st.lruElem = nil
 		d.dirtyCount--
-		snap := make([]byte, d.cfg.CacheLineSize)
+		snap := st.snapBuf(d.cfg.CacheLineSize)
 		copy(snap, d.volatileMem[la:la+uint64(d.cfg.CacheLineSize)])
 		st.queued = true
 		st.queuedData = snap
@@ -546,10 +617,14 @@ func (d *Domain) EpochBarrier() {
 		if st.queued {
 			d.persistLineLocked(d.persisted, la, st.queuedData)
 			st.queued = false
-			st.queuedData = nil
+			// queuedData is kept as the line's snapshot scratch; the
+			// persist above copied it into the durable image.
 		}
 		if !st.dirty && !st.queued {
 			delete(d.lines, la)
+			if len(d.statePool) < maxStatePool {
+				d.statePool = append(d.statePool, st)
+			}
 		}
 	}
 }

@@ -52,6 +52,13 @@ func (d *Device) WriteLatency() time.Duration { return d.dom.WriteLatency() }
 // Write stores p at addr through the cache hierarchy.
 func (d *Device) Write(addr uint64, p []byte) { d.dom.Write(addr, p) }
 
+// WriteV stores the concatenation of parts contiguously at addr through
+// the cache hierarchy, with the cost model of a single Write over the
+// combined range — one store burst, one op. The commit path uses it to
+// encode a frame header and its payload straight into reserved log
+// space without an intermediate DRAM image.
+func (d *Device) WriteV(addr uint64, parts ...[]byte) { d.dom.WriteV(addr, parts...) }
+
 // Read loads len(p) bytes at addr into p.
 func (d *Device) Read(addr uint64, p []byte) { d.dom.Read(addr, p) }
 

@@ -52,30 +52,43 @@ type GroupJournal interface {
 	CommitGroup(groups [][]Frame) error
 }
 
-// CoalesceGroups flattens a group commit's per-transaction frame sets
-// into one frame list holding a single image per page, ordered by page
-// number. Because the group persists atomically under one commit mark,
-// intermediate page versions are never visible to recovery — only each
-// page's final image needs logging, and later groups override earlier
-// ones. Journals implementing GroupJournal use this before handing the
-// merged set to their single-transaction path.
-func CoalesceGroups(groups [][]Frame) []Frame {
-	latest := make(map[uint32][]byte)
-	n := 0
+// Coalescer flattens group commits' per-transaction frame sets, reusing
+// its map and output slice across calls so the steady-state coalescing
+// path allocates nothing. A Coalescer is not safe for concurrent use;
+// journals embed one and call it under their writer lock.
+type Coalescer struct {
+	latest map[uint32][]byte
+	out    []Frame
+}
+
+// Coalesce merges the groups into one frame list holding a single image
+// per page, ordered by page number. Because the group persists
+// atomically under one commit mark, intermediate page versions are
+// never visible to recovery — only each page's final image needs
+// logging, and later groups override earlier ones. The returned slice
+// is owned by the Coalescer and only valid until the next call.
+func (c *Coalescer) Coalesce(groups [][]Frame) []Frame {
+	if c.latest == nil {
+		c.latest = make(map[uint32][]byte)
+	}
+	clear(c.latest)
 	for _, frames := range groups {
 		for _, fr := range frames {
-			if _, ok := latest[fr.Pgno]; !ok {
-				n++
-			}
-			latest[fr.Pgno] = fr.Data
+			c.latest[fr.Pgno] = fr.Data
 		}
 	}
-	out := make([]Frame, 0, n)
-	for pgno, data := range latest {
-		out = append(out, Frame{Pgno: pgno, Data: data})
+	c.out = c.out[:0]
+	for pgno, data := range c.latest {
+		c.out = append(c.out, Frame{Pgno: pgno, Data: data})
 	}
-	sortFrames(out)
-	return out
+	sortFrames(c.out)
+	return c.out
+}
+
+// CoalesceGroups is the one-shot form of Coalescer.Coalesce, for callers
+// without a commit loop to amortize the scratch across.
+func CoalesceGroups(groups [][]Frame) []Frame {
+	return new(Coalescer).Coalesce(groups)
 }
 
 // SnapshotJournal is implemented by journals that can serve point-in-
@@ -167,6 +180,11 @@ type Pager struct {
 	fresh map[uint32]bool
 	orig  map[uint32][]byte
 	inTxn bool
+	// frameScratch backs PrepareCommit's frame list, reused across
+	// transactions: both commit paths consume the frames (journal write
+	// or deep clone) before the writer slot is released, so the slice is
+	// free again by the time the next transaction prepares.
+	frameScratch []Frame
 }
 
 // Open attaches a pager to the database file and journal. A fresh
@@ -387,12 +405,13 @@ func (p *Pager) PrepareCommit() ([]Frame, error) {
 	if !p.inTxn {
 		return nil, ErrNoTxn
 	}
-	frames := make([]Frame, 0, len(p.dirty))
+	frames := p.frameScratch[:0]
 	for pgno := range p.dirty {
 		frames = append(frames, Frame{Pgno: pgno, Data: p.cache[pgno]})
 	}
 	// Deterministic frame order keeps experiments reproducible.
 	sortFrames(frames)
+	p.frameScratch = frames
 	return frames, nil
 }
 
@@ -445,9 +464,9 @@ func (p *Pager) Rollback() {
 }
 
 func (p *Pager) endTxn() {
-	p.dirty = make(map[uint32]bool)
-	p.fresh = make(map[uint32]bool)
-	p.orig = make(map[uint32][]byte)
+	clear(p.dirty)
+	clear(p.fresh)
+	clear(p.orig)
 	p.inTxn = false
 }
 

@@ -1,0 +1,135 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/pager"
+)
+
+// TestGroupCommitAccounting pins the GroupJournal metric contract the
+// file WAL shares with NVWAL: every member transaction is counted, one
+// group commit per batch — including a group whose members coalesce to
+// zero frames (those transactions were acknowledged; they must not
+// vanish from the txn count throughput numbers divide by).
+func TestGroupCommitAccounting(t *testing.T) {
+	e := newEnv(t)
+	w := e.open(t, ModeStock)
+
+	before := e.m.Snapshot()
+	groups := [][]pager.Frame{
+		{{Pgno: 2, Data: mkPage('a')}},
+		{{Pgno: 2, Data: mkPage('b')}},
+		{{Pgno: 3, Data: mkPage('c')}},
+	}
+	if err := w.CommitGroup(groups); err != nil {
+		t.Fatal(err)
+	}
+	delta := e.m.Snapshot().Sub(before)
+	if got := delta.Count(metrics.Transactions); got != 3 {
+		t.Fatalf("Transactions delta = %d, want 3", got)
+	}
+	if got := delta.Count(metrics.GroupCommits); got != 1 {
+		t.Fatalf("GroupCommits delta = %d, want 1", got)
+	}
+	if img, ok := w.PageVersion(2); !ok || !bytes.Equal(img, mkPage('b')) {
+		t.Fatal("coalesced group lost page 2's final image")
+	}
+
+	// Nil group: true no-op.
+	mid := e.m.Snapshot()
+	if err := w.CommitGroup(nil); err != nil {
+		t.Fatal(err)
+	}
+	d2 := e.m.Snapshot().Sub(mid)
+	if d2.Count(metrics.Transactions) != 0 || d2.Count(metrics.GroupCommits) != 0 {
+		t.Fatalf("nil group moved metrics: %v", d2)
+	}
+
+	// Zero-frame members still count as committed transactions.
+	mid = e.m.Snapshot()
+	if err := w.CommitGroup([][]pager.Frame{{}, {}}); err != nil {
+		t.Fatal(err)
+	}
+	d2 = e.m.Snapshot().Sub(mid)
+	if got := d2.Count(metrics.Transactions); got != 2 {
+		t.Fatalf("zero-frame group Transactions delta = %d, want 2", got)
+	}
+	if got := d2.Count(metrics.GroupCommits); got != 1 {
+		t.Fatalf("zero-frame group GroupCommits delta = %d, want 1", got)
+	}
+	if got := d2.Count(metrics.WALFrames); got != 0 {
+		t.Fatalf("zero-frame group wrote %d frames, want 0", got)
+	}
+}
+
+// TestCommitStallOnlyWhenContended mirrors the NVWAL fix on the file
+// WAL: uncontended commits charge nothing to CommitStallNanos.
+func TestCommitStallOnlyWhenContended(t *testing.T) {
+	e := newEnv(t)
+	w := e.open(t, ModeStock)
+	for i := byte(0); i < 10; i++ {
+		commit(t, w, map[uint32]byte{2: i})
+	}
+	if got := e.m.Count(metrics.CommitStallNanos); got != 0 {
+		t.Fatalf("uncontended commits charged %dns of commit stall, want 0", got)
+	}
+
+	for attempt := 0; attempt < 20; attempt++ {
+		w.mu.Lock()
+		done := make(chan struct{})
+		go func() {
+			w.lockWriter()
+			w.mu.Unlock()
+			close(done)
+		}()
+		time.Sleep(20 * time.Millisecond)
+		w.mu.Unlock()
+		<-done
+		if e.m.Count(metrics.CommitStallNanos) > 0 {
+			return
+		}
+	}
+	t.Fatal("contended lockWriter never charged the stall metric")
+}
+
+// TestCommitFrameEncodeScratchReuse pins the reused frame-encode
+// buffer: a commit frame followed by a non-commit frame in the same
+// buffer must not leak the stale commit word, or recovery would end a
+// transaction early.
+func TestCommitFrameEncodeScratchReuse(t *testing.T) {
+	e := newEnv(t)
+	w := e.open(t, ModeStock)
+	// Transaction 1 ends with a commit frame (sets the commit word in
+	// the scratch); transaction 2's first frame reuses the scratch and
+	// must clear it.
+	commit(t, w, map[uint32]byte{2: 'a'})
+	if err := w.CommitTransaction([]pager.Frame{
+		{Pgno: 3, Data: mkPage('b')},
+		{Pgno: 4, Data: mkPage('c')},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery decodes the on-file bytes, so a leaked commit word in
+	// frame 1's slot shows up here even though the in-memory index was
+	// built without re-reading the file.
+	w2, err := Open(e.fs, "test.db-wal", e.db, Options{Mode: ModeStock}, e.m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var commits []bool
+	for _, fi := range w2.frames {
+		commits = append(commits, fi.commit)
+	}
+	want := []bool{true, false, true}
+	if len(commits) != len(want) {
+		t.Fatalf("frame count = %d, want %d", len(commits), len(want))
+	}
+	for i := range want {
+		if commits[i] != want[i] {
+			t.Fatalf("frame %d commit flag = %v, want %v (stale commit word leaked from encode scratch)", i, commits[i], want[i])
+		}
+	}
+}
