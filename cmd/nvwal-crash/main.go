@@ -5,9 +5,16 @@
 // verifies that the database holds exactly the committed transactions —
 // the second transaction appears entirely or not at all.
 //
+// With -shards > 1 the matrix instead targets the cross-shard commit
+// protocol: a two-shard transaction is crashed at every Algorithm 1
+// step of the second participant's prepare (the decision never
+// persists, so it must vanish from both shards) and at each
+// coordinator stage boundary (before the decide record it vanishes
+// everywhere, after it lands everywhere).
+//
 // Usage:
 //
-//	nvwal-crash [-seeds N] [-variant UH+LS+Diff|LS|E|...]
+//	nvwal-crash [-seeds N] [-variant UH+LS+Diff|LS|E|...] [-shards N]
 package main
 
 import (
@@ -15,17 +22,25 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/db"
 	"repro/internal/memsim"
+	"repro/internal/nvram"
 	"repro/internal/platform"
+	"repro/internal/shard"
 )
 
 func main() {
 	seeds := flag.Int("seeds", 3, "adversarial seeds per case")
 	variant := flag.String("variant", "", "single variant label (default: all)")
+	shards := flag.Int("shards", 1, "run the cross-shard 2PC crash matrix over this many shards instead of the single-engine one")
 	flag.Parse()
+
+	if *shards > 1 {
+		os.Exit(runShardedMatrix(*shards, *seeds, *variant))
+	}
 
 	variants := append(core.Figure7Variants(), core.NamedConfig{Name: "NVWAL E", Cfg: core.VariantE()})
 	pass, fail := 0, 0
@@ -176,6 +191,221 @@ func runCase(cfg core.Config, step string, policy memsim.FailPolicy, seed int64)
 		return fmt.Errorf("post-recovery commit: %w", err)
 	}
 	return d2.Check()
+}
+
+// runShardedMatrix is the -shards > 1 mode: every write step of the
+// second participant's prepare plus every coordinator stage boundary,
+// under both survival policies. Exit code 1 on any failure.
+func runShardedMatrix(nshards, seeds int, variant string) int {
+	cfg := core.VariantUHLSDiff()
+	name := "UH+LS+Diff"
+	if variant != "" {
+		found := false
+		for _, v := range append(core.Figure7Variants(), core.NamedConfig{Name: "NVWAL E", Cfg: core.VariantE()}) {
+			if v.Cfg.Label() == variant {
+				cfg, name, found = v.Cfg, v.Cfg.Label(), true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "nvwal-crash: unknown variant %q\n", variant)
+			return 2
+		}
+	}
+	policies := []struct {
+		name   string
+		policy memsim.FailPolicy
+	}{{"dropall", memsim.FailDropAll}, {"adversarial", memsim.FailAdversarial}}
+	stages := []struct {
+		name  string
+		stage shard.Stage
+		want  bool // transaction present on both shards after recovery
+	}{
+		{"after-prepare", shard.StageAfterPrepare, false},
+		{"after-decide", shard.StageAfterDecide, true},
+		{"after-complete", shard.StageAfterComplete, true},
+	}
+	pass, fail := 0, 0
+	report := func(label string, err error) {
+		if err != nil {
+			fail++
+			fmt.Printf("FAIL %s: %v\n", label, err)
+		} else {
+			pass++
+			fmt.Printf("ok   %s\n", label)
+		}
+	}
+	for _, pol := range policies {
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			for _, step := range core.WriteSteps() {
+				err := runShardedCase(cfg, nshards, step, nil, pol.policy, seed)
+				report(fmt.Sprintf("%-12s shards=%d prepare@%-22s %-12s seed=%d", name, nshards, step, pol.name, seed), err)
+			}
+			for _, st := range stages {
+				err := runShardedCase(cfg, nshards, "", &st.want, pol.policy, seed, st.stage)
+				report(fmt.Sprintf("%-12s shards=%d %-30s %-12s seed=%d", name, nshards, st.name, pol.name, seed), err)
+			}
+		}
+	}
+	fmt.Printf("\n%d cases passed, %d failed\n", pass, fail)
+	if fail > 0 {
+		return 1
+	}
+	return 0
+}
+
+// shardedKey fabricates a key routed to the wanted shard.
+func shardedKey(s *shard.DB, sh int, stem string) []byte {
+	for i := 0; ; i++ {
+		k := []byte(fmt.Sprintf("%s-%d", stem, i))
+		if s.ShardOf(k) == sh {
+			return k
+		}
+	}
+}
+
+// runShardedCase commits one cross-shard transaction, crashes a second
+// one — at a write step of participant 1's prepare (step != "") or at a
+// coordinator stage (stage set) — recovers, and checks all-or-nothing
+// across both shards. want, when non-nil, pins the required outcome;
+// for participant-prepare crashes the decision never persisted, so the
+// transaction must vanish.
+func runShardedCase(cfg core.Config, nshards int, step string, want *bool, policy memsim.FailPolicy, seed int64, stage ...shard.Stage) error {
+	plat, err := shard.NewShared(platform.Config{
+		NVRAM: nvram.Config{
+			Size:              32 << 20,
+			CacheLineSize:     64,
+			NVRAMWriteLatency: 500 * time.Nanosecond,
+		},
+	}, nshards)
+	if err != nil {
+		return err
+	}
+	opts := shard.Options{DB: db.Options{NVWAL: cfg, CheckpointLimit: -1}}
+	s, err := shard.Open(plat, "crash.db", opts)
+	if err != nil {
+		return err
+	}
+	if err := s.CreateTable("t"); err != nil {
+		return err
+	}
+	baseA, baseB := shardedKey(s, 0, "base-a"), shardedKey(s, 1, "base-b")
+
+	// Transaction 1: a cross-shard commit that must survive.
+	if err := s.Apply([]shard.Op{
+		{Table: "t", Key: baseA, Value: bytes.Repeat([]byte{0xA1}, 100)},
+		{Table: "t", Key: baseB, Value: bytes.Repeat([]byte{0xA2}, 100)},
+	}); err != nil {
+		return err
+	}
+
+	// Transaction 2, crashed mid-protocol. Its volume exceeds a log
+	// block, so the prepare exercises the block-allocation steps too.
+	var ops []shard.Op
+	t2 := map[string]byte{}
+	for i := 0; i < 4; i++ {
+		a := shardedKey(s, 0, fmt.Sprintf("a%d", i))
+		b := shardedKey(s, 1, fmt.Sprintf("b%d", i))
+		t2[string(a)], t2[string(b)] = 0xB1, 0xB3
+		ops = append(ops,
+			shard.Op{Table: "t", Key: a, Value: bytes.Repeat([]byte{0xB1}, 2048)},
+			shard.Op{Table: "t", Key: b, Value: bytes.Repeat([]byte{0xB3}, 2048)})
+	}
+	crashed := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(crashSignal); !ok {
+					panic(r)
+				}
+				crashed = true
+			}
+		}()
+		if step != "" {
+			// Participants prepare in shard order, so the hook on shard
+			// 1's journal fires inside the second prepare: shard 0 is
+			// already prepared, the decide record never persists.
+			nv, ok := s.Shard(1).Journal().(*core.NVWAL)
+			if !ok {
+				panic("journal is not NVWAL")
+			}
+			nv.SetCrashHook(func(st string) {
+				if st == step {
+					panic(crashSignal{})
+				}
+			})
+			defer nv.SetCrashHook(nil)
+		} else {
+			s.SetCommitHook(func(st shard.Stage, gtx uint64) {
+				if st == stage[0] {
+					panic(crashSignal{})
+				}
+			})
+			defer s.SetCommitHook(nil)
+		}
+		_ = s.Apply(ops)
+	}()
+	if !crashed {
+		return fmt.Errorf("crash hook never fired")
+	}
+
+	s.Abandon()
+	plat.PowerFail(policy, seed)
+	if err := plat.Reboot(); err != nil {
+		return err
+	}
+	s2, err := shard.Open(plat, "crash.db", opts)
+	if err != nil {
+		return fmt.Errorf("reopen: %w", err)
+	}
+	if !s2.HasTable("t") {
+		return fmt.Errorf("table lost after recovery")
+	}
+
+	// All-or-nothing across the shards, with the outcome the protocol
+	// requires: absent unless the decide record persisted.
+	expect := false
+	if want != nil {
+		expect = *want
+	}
+	present, absent := 0, 0
+	for k, fill := range t2 {
+		got, ok, err := s2.Get("t", []byte(k))
+		if err != nil {
+			return err
+		}
+		if ok {
+			present++
+			if !bytes.Equal(got, bytes.Repeat([]byte{fill}, 2048)) {
+				return fmt.Errorf("surviving transaction corrupted at %q", k)
+			}
+		} else {
+			absent++
+		}
+	}
+	if present != 0 && absent != 0 {
+		return fmt.Errorf("cross-shard transaction torn: %d keys present, %d absent", present, absent)
+	}
+	if (present != 0) != expect {
+		return fmt.Errorf("transaction present=%v, protocol requires %v", present != 0, expect)
+	}
+	for k, fill := range map[string]byte{string(baseA): 0xA1, string(baseB): 0xA2} {
+		got, ok, err := s2.Get("t", []byte(k))
+		if err != nil {
+			return err
+		}
+		if !ok || !bytes.Equal(got, bytes.Repeat([]byte{fill}, 100)) {
+			return fmt.Errorf("baseline key %q lost or stale after recovery", k)
+		}
+	}
+	// The recovered system keeps working, including another 2PC.
+	if err := s2.Apply([]shard.Op{
+		{Table: "t", Key: shardedKey(s2, 0, "post-a"), Value: []byte("recovery")},
+		{Table: "t", Key: shardedKey(s2, 1, "post-b"), Value: []byte("recovery")},
+	}); err != nil {
+		return fmt.Errorf("post-recovery 2PC: %w", err)
+	}
+	return s2.Check()
 }
 
 func commit(d *db.DB, kv map[string][]byte) error {

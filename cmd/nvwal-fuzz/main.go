@@ -10,6 +10,7 @@
 //	nvwal-fuzz -seed 7 -step 42           # replay exactly chain 42
 //	nvwal-fuzz -faults -duration 60s      # media-fault chains (weak durability)
 //	nvwal-fuzz -heap-pages 64 -duration 60s  # tiny-heap exhaustion chains
+//	nvwal-fuzz -shards 4 -duration 60s    # sharded chains with cross-shard 2PC
 //	nvwal-fuzz -bug -duration 10s         # prove detection of a planted bug
 //
 // Every violation prints a deterministic repro command and, unless
@@ -42,6 +43,7 @@ func main() {
 		maxRounds = flag.Int("max-rounds", 0, "clamp crash rounds per chain (repro/shrink)")
 		maxTxns   = flag.Int("max-txns", 0, "clamp per-round txns per worker (repro/shrink)")
 		heapPages = flag.Int("heap-pages", 0, "shrink the NVRAM heap to this many pages: exercises exhaustion backpressure (ErrBusy/ErrDegraded become legal outcomes)")
+		shards    = flag.Int("shards", 1, "run sharded chains over this many engine shards: shard-local + cross-shard 2PC transactions, coordinator-stage crashes")
 		verbose   = flag.Bool("v", false, "log each chain's configuration")
 	)
 	flag.Parse()
@@ -57,6 +59,11 @@ func main() {
 		MaxRounds: *maxRounds,
 		MaxTxns:   *maxTxns,
 		HeapPages: *heapPages,
+		Shards:    *shards,
+	}
+	if *shards > 1 && (*bug || *faults || *heapPages > 0) {
+		fmt.Fprintln(os.Stderr, "nvwal-fuzz: -shards > 1 is incompatible with -bug, -faults and -heap-pages")
+		os.Exit(2)
 	}
 	if opts.Steps == 0 && opts.Duration == 0 && opts.Step < 0 {
 		opts.Duration = 30 * time.Second

@@ -83,6 +83,15 @@ type Config struct {
 	// study: asynchronous commit is probabilistically safe, and
 	// shrinking the checksum makes its failure mode observable.
 	ChecksumMask uint32
+	// PreparedResolver, when non-nil, resolves in-doubt prepared
+	// transactions found at the log tail during recovery: it is called
+	// with the global transaction id of each prepared-but-undecided
+	// frame group and returns true if the cross-shard coordinator
+	// decided commit (the id is covered by the persisted commit-sequence
+	// record), in which case recovery flips the provisional mark to a
+	// commit mark in place. False — or a nil resolver — aborts the
+	// in-doubt transaction by truncating it like any uncommitted tail.
+	PreparedResolver func(gtx uint64) bool
 	// UnsafeEarlyCommitMark deliberately breaks Algorithm 1's ordering
 	// for SyncLazy: the commit mark is written and persisted BEFORE the
 	// frame batch is flushed, and the batch's persist barrier is
@@ -201,6 +210,13 @@ const (
 	frameHdrSize  = 32
 	commitValue   = 1
 
+	// preparedFlag marks a frame group as provisionally committed by a
+	// cross-shard two-phase commit: mark = preparedFlag | gtx, written
+	// with the same 8-byte-atomic discipline as a commit mark. The mark
+	// word is outside the frame CRC, so recovery (or CompletePrepared)
+	// can flip prepared → committed in place without re-chaining.
+	preparedFlag = uint64(1) << 63
+
 	offFullFlag = uint32(1) << 31
 )
 
@@ -246,6 +262,14 @@ var (
 	// may be retried once a checkpoint frees space, and the error never
 	// latches the writer.
 	ErrLogFull = errors.New("nvwal: NVRAM heap full")
+	// ErrPreparedPending reports that a prepared (2PC) transaction is
+	// awaiting its decision; ordinary commits and new checkpoint rounds
+	// are refused until it completes or aborts, so the prepared frames
+	// stay the log tail.
+	ErrPreparedPending = errors.New("nvwal: prepared transaction pending")
+	// ErrNoPrepared reports a Complete/Abort for a global transaction id
+	// that is not the pending prepared transaction.
+	ErrNoPrepared = errors.New("nvwal: no such prepared transaction")
 )
 
 // frameRef locates one physical frame in NVRAM.
@@ -275,6 +299,21 @@ type ckptState struct {
 	blocks    []heapo.Block     // the frozen generation's chain, head first
 	salt      uint64            // the frozen generation's salt
 	synced    bool              // phase B done: pages durable in the DB file
+}
+
+// preparedTxn is the volatile side of one prepared-but-undecided 2PC
+// transaction: everything CompletePrepared needs to publish it, and
+// everything AbortPrepared needs to unwind it. Unlike the commit path's
+// reusable scratch, its buffers are freshly allocated — they outlive
+// the append by an arbitrary coordinator round-trip.
+type preparedTxn struct {
+	gtx        uint64
+	written    []frameRef
+	hist       []histFrame
+	newVers    map[uint32][]byte
+	chainAfter uint32
+	undoBlocks int
+	undoTail   int
 }
 
 func (st *ckptState) firstAddr() uint64 {
@@ -364,6 +403,11 @@ type NVWAL struct {
 	base map[uint32][]byte
 	// ckpt is the in-flight incremental checkpoint round, nil when none.
 	ckpt *ckptState
+	// pendingPrep is the in-flight prepared (2PC) transaction, nil when
+	// none. Its frames are physically in the log under a provisional
+	// mark but NOT in the volatile indexes — publish is deferred to
+	// CompletePrepared so an abort can unwind the append untouched.
+	pendingPrep *preparedTxn
 
 	// salvage is the report of the last crash recovery's salvage pass,
 	// nil for a freshly created log.
@@ -602,10 +646,24 @@ func (w *NVWAL) appendBlock(minSize int) error {
 		return err
 	}
 	w.step(StepAfterPreMalloc)
-	// Initialize the new block's link word before publishing it.
+	// Initialize the new block's link word before publishing it, and
+	// scrub its first frame slot: a recycled block can still hold
+	// chain-valid frames from a tail this same generation cut (crash-
+	// recovery truncation, aborted 2PC prepare). If such a block were
+	// re-linked at the very position it was cut from and power failed
+	// before any new frame persisted, those frames would scan valid
+	// again — and a prepared mark among them could resolve committed
+	// under a coordinator record that has since moved on. The scrub
+	// must be durable before the link is, hence it precedes the link
+	// persist below.
 	w.dev.PutUint64(blk.Addr, 0)
+	scrubEnd := blk.Addr + blockLinkSize
+	if blk.Size() >= blockLinkSize+frameHdrSize {
+		w.dev.Write(blk.Addr+blockLinkSize, zeroFrameHdr[:])
+		scrubEnd += frameHdrSize
+	}
 	if !w.hardwarePersistency() {
-		w.dev.Flush(blk.Addr, blk.Addr+blockLinkSize)
+		w.dev.Flush(blk.Addr, scrubEnd)
 	}
 
 	linkAddr := w.linkAddrForNext()
@@ -748,6 +806,12 @@ func (w *NVWAL) WriteFrames(frames []pager.Frame, commit bool) error {
 func (w *NVWAL) writeFrames(frames []pager.Frame, commit bool) error {
 	if w.broken != nil {
 		return w.broken
+	}
+	if w.pendingPrep != nil {
+		// A prepared transaction's frames must stay the log tail until
+		// its decision: an append on top would make an abort-unwind (or
+		// a recovery truncation) eat a committed transaction.
+		return ErrPreparedPending
 	}
 	return w.writeFramesLog(frames, commit)
 }
@@ -901,7 +965,16 @@ func (w *NVWAL) abortAppend(nBlocks, tailUsed int, cause error) error {
 }
 
 func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
-	if len(frames) == 0 {
+	return w.writeFramesMode(frames, commit, 0)
+}
+
+// writeFramesMode is the shared append path. prepGtx == 0 is the
+// ordinary Algorithm 1 commit; prepGtx != 0 appends the same physical
+// frames but writes preparedFlag|prepGtx as the (provisional) mark and
+// defers the volatile publish into w.pendingPrep — the 2PC prepare.
+// Crash-injection hooks fire at the same steps in both modes.
+func (w *NVWAL) writeFramesMode(frames []pager.Frame, commit bool, prepGtx uint64) error {
+	if len(frames) == 0 && prepGtx == 0 {
 		return nil
 	}
 	// Plan first, then reserve: after this point the append cannot run
@@ -923,14 +996,28 @@ func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
 	}
 	undoBlocks, undoTail := len(w.blocks), w.tailUsed
 
-	written := w.written[:0]
-	hist := w.newHist[:0]
-	chain := w.chain
-	if w.newVers == nil {
-		w.newVers = make(map[uint32][]byte, len(frames))
+	var (
+		written     []frameRef
+		hist        []histFrame
+		newVersions map[uint32][]byte
+	)
+	if prepGtx != 0 {
+		// Prepared appends own their buffers: they outlive this call
+		// (until the coordinator decides), so the reusable commit-path
+		// scratch cannot back them.
+		written = make([]frameRef, 0, plan.frames)
+		hist = make([]histFrame, 0, plan.frames)
+		newVersions = make(map[uint32][]byte, len(frames))
+	} else {
+		written = w.written[:0]
+		hist = w.newHist[:0]
+		if w.newVers == nil {
+			w.newVers = make(map[uint32][]byte, len(frames))
+		}
+		newVersions = w.newVers
+		clear(newVersions)
 	}
-	newVersions := w.newVers
-	clear(newVersions)
+	chain := w.chain
 	// One arena holds every history payload of this append — the plan
 	// already knows the total — so snapshot bookkeeping costs a single
 	// allocation instead of one per frame. The arena is handed off to
@@ -960,7 +1047,9 @@ func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
 			size := frameHdrSize + len(payload)
 			addr, err := w.allocFrameSpace(size, groupTotal)
 			if err != nil {
-				w.written, w.newHist = written[:0], hist[:0]
+				if prepGtx == 0 {
+					w.written, w.newHist = written[:0], hist[:0]
+				}
 				return w.abortAppend(undoBlocks, undoTail, err)
 			}
 			chain = w.encodeFrameAt(addr, fr.Pgno, e.Off, payload, chain, it.full)
@@ -996,10 +1085,14 @@ func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
 	// dirty in cache, then let the batch flush queue them without a
 	// persist barrier. The transaction is acknowledged durable while
 	// its frames would not survive a power failure.
+	markVal := uint64(commitValue)
+	if prepGtx != 0 {
+		markVal = preparedFlag | prepGtx
+	}
 	earlyMark := w.cfg.UnsafeEarlyCommitMark && w.cfg.Sync == SyncLazy
 	if earlyMark && commit && len(written) > 0 {
 		last := written[len(written)-1]
-		w.dev.PutUint64(last.addr, commitValue)
+		w.dev.PutUint64(last.addr, markVal)
 		w.dev.MemoryBarrier()
 		w.dev.Syscall()
 		w.dev.Flush(last.addr, last.addr+8)
@@ -1030,10 +1123,11 @@ func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
 	w.step(StepAfterLogFlush)
 
 	if commit && len(written) > 0 && !earlyMark {
-		// Algorithm 1 lines 29–35: set the commit mark in the last
-		// frame's header and persist it with 8-byte atomicity.
+		// Algorithm 1 lines 29–35: set the commit mark (or, for a 2PC
+		// prepare, the provisional mark) in the last frame's header and
+		// persist it with 8-byte atomicity.
 		last := written[len(written)-1]
-		w.dev.PutUint64(last.addr, commitValue)
+		w.dev.PutUint64(last.addr, markVal)
 		w.step(StepAfterCommitWrite)
 		switch w.cfg.Sync {
 		case SyncStrictPersistency, SyncEpochPersistency:
@@ -1046,6 +1140,23 @@ func (w *NVWAL) writeFramesLog(frames []pager.Frame, commit bool) error {
 			w.dev.PersistBarrier()
 		}
 		w.step(StepAfterCommitFlush)
+	}
+
+	if prepGtx != 0 {
+		// Prepare stops here: the frames are durable under a provisional
+		// mark, but none of the volatile state advances until the
+		// coordinator's decision. writeFrames/beginCheckpoint refuse new
+		// work meanwhile, so these frames remain the log tail.
+		w.pendingPrep = &preparedTxn{
+			gtx:        prepGtx,
+			written:    written,
+			hist:       hist,
+			newVers:    newVersions,
+			chainAfter: chain,
+			undoBlocks: undoBlocks,
+			undoTail:   undoTail,
+		}
+		return nil
 	}
 
 	w.chain = chain
@@ -1204,6 +1315,14 @@ func (w *NVWAL) beginCheckpoint(gate func(watermark int) bool) (*ckptState, erro
 		w.mu.Unlock()
 		return nil, nil
 	}
+	if w.pendingPrep != nil {
+		// Freezing the generation now would seal prepared frames that are
+		// not in history into the frozen chain — completing the round
+		// would free them. Prepared windows are short (the writer slot is
+		// held across the 2PC round-trip); let the caller retry.
+		w.mu.Unlock()
+		return nil, pager.ErrCheckpointPending
+	}
 	w.mu.Unlock()
 
 	// Consult the gate without w.mu held — the database layer takes its
@@ -1217,6 +1336,10 @@ func (w *NVWAL) beginCheckpoint(gate func(watermark int) bool) (*ckptState, erro
 			return nil, pager.ErrCheckpointPending
 		}
 		w.mu.Lock()
+		if w.pendingPrep != nil {
+			w.mu.Unlock()
+			return nil, pager.ErrCheckpointPending
+		}
 		if w.histBase+len(w.history) == end {
 			break
 		}

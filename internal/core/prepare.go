@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/pager"
+)
+
+// Two-phase commit over commit marks (cross-shard transactions).
+//
+// A multi-shard transaction is made crash-atomic without any inter-shard
+// ordering on the hot path, exploiting the same property Algorithm 1
+// already relies on: a frame group is invisible to recovery until the
+// 8-byte-atomic mark on its last frame says otherwise.
+//
+//   - Prepare (per shard): append the shard's frames exactly as a commit
+//     would, but write preparedFlag|gtx instead of the commit value as
+//     the mark and persist it. The frames are durable yet provisional.
+//   - Decide (coordinator): persist gtx into the shared commit-sequence
+//     record — one 8-byte-atomic store; this is the transaction's sole
+//     commit point.
+//   - Complete (per shard): flip the provisional mark to the commit
+//     value in place (the mark word is outside the frame CRC chain, so
+//     the flip never re-chains) and publish the frames to the volatile
+//     index.
+//
+// Recovery on a shard that crashed between prepare and complete finds a
+// prepared mark at its log tail and asks Config.PreparedResolver whether
+// the coordinator decided: yes → flip the mark and keep the frames; no →
+// truncate them like any uncommitted tail. Because the engine refuses
+// ordinary commits and new checkpoint rounds while a prepare is pending,
+// prepared frames are always the log tail and at most one transaction
+// per shard is ever in doubt.
+
+// PrepareTransaction appends frames under a provisional mark carrying
+// the global transaction id gtx (phase one of 2PC). gtx must be nonzero
+// and must not use the top bit. On success the transaction is pending:
+// the engine accepts no other append until CompletePrepared or
+// AbortPrepared resolves it. On failure the log is unwound and intact
+// (ErrLogFull is retryable, as on the commit path).
+func (w *NVWAL) PrepareTransaction(frames []pager.Frame, gtx uint64) error {
+	if gtx == 0 || gtx&preparedFlag != 0 {
+		return fmt.Errorf("nvwal: invalid global transaction id %#x", gtx)
+	}
+	w.lockWriter()
+	defer w.mu.Unlock()
+	if w.broken != nil {
+		return w.broken
+	}
+	if w.pendingPrep != nil {
+		return ErrPreparedPending
+	}
+	return w.writeFramesMode(frames, true, gtx)
+}
+
+// CompletePrepared commits the pending prepared transaction: the
+// provisional mark is flipped to the commit value with the same 8-byte-
+// atomic persist discipline as a commit mark, and the frames are
+// published to the volatile index. Call only after the coordinator's
+// decide record is durable.
+func (w *NVWAL) CompletePrepared(gtx uint64) error {
+	w.lockWriter()
+	defer w.mu.Unlock()
+	if w.broken != nil {
+		return w.broken
+	}
+	p := w.pendingPrep
+	if p == nil || p.gtx != gtx {
+		return fmt.Errorf("%w: gtx %d", ErrNoPrepared, gtx)
+	}
+	if len(p.written) > 0 {
+		last := p.written[len(p.written)-1]
+		w.dev.PutUint64(last.addr, commitValue)
+		w.step(StepAfterCommitWrite)
+		switch w.cfg.Sync {
+		case SyncStrictPersistency, SyncEpochPersistency:
+			w.dev.Domain().EpochBarrier()
+		default:
+			w.dev.MemoryBarrier()
+			w.dev.Syscall()
+			w.dev.Flush(last.addr, last.addr+8)
+			w.dev.MemoryBarrier()
+			w.dev.PersistBarrier()
+		}
+		w.step(StepAfterCommitFlush)
+	}
+	// Publish, exactly as writeFramesMode does for an ordinary commit.
+	w.chain = p.chainAfter
+	for _, f := range p.hist {
+		if _, tracked := w.byPage[f.pgno]; !tracked && !f.full {
+			w.base[f.pgno] = w.versions[f.pgno]
+		}
+		w.byPage[f.pgno] = append(w.byPage[f.pgno], w.histBase+len(w.history))
+		w.history = append(w.history, f)
+	}
+	for pgno, img := range p.newVers {
+		w.versions[pgno] = img
+	}
+	w.pendingPrep = nil
+	w.m.Inc(metrics.WALFrames, int64(len(p.written)))
+	w.m.Inc(metrics.Transactions, 1)
+	return nil
+}
+
+// AbortPrepared rolls the pending prepared transaction back: its frames
+// are unwound from the log (fresh blocks freed, tail cursor restored,
+// first garbage slot scrubbed) exactly like a failed append. Call when
+// the coordinator decides abort — the provisional mark was never a
+// commit, so nothing was ever visible.
+func (w *NVWAL) AbortPrepared(gtx uint64) error {
+	w.lockWriter()
+	defer w.mu.Unlock()
+	p := w.pendingPrep
+	if p == nil || p.gtx != gtx {
+		return fmt.Errorf("%w: gtx %d", ErrNoPrepared, gtx)
+	}
+	w.pendingPrep = nil
+	if len(p.written) == 0 {
+		return nil
+	}
+	return w.abortAppend(p.undoBlocks, p.undoTail, nil)
+}
+
+// PreparedGtx returns the pending prepared transaction's global id, or
+// zero when none is pending.
+func (w *NVWAL) PreparedGtx() uint64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	if w.pendingPrep == nil {
+		return 0
+	}
+	return w.pendingPrep.gtx
+}

@@ -16,6 +16,10 @@ type scannedFrame struct {
 	full    bool
 	payload []byte
 	commit  bool
+	// prepGtx is the global transaction id of a prepared (2PC) mark,
+	// zero for ordinary frames. Prepared frames past the last commit are
+	// in doubt: Config.PreparedResolver decides their fate.
+	prepGtx uint64
 	// chain value after this frame, for restoring w.chain at the
 	// resume point.
 	chainAfter uint32
@@ -194,6 +198,35 @@ func (w *NVWAL) recover() error {
 	for i, fr := range scanned {
 		if fr.commit {
 			lastCommit = i
+		}
+	}
+	// In-doubt 2PC resolution: frames past the last commit normally
+	// belong to a transaction that never committed, but a prepared mark
+	// means the decision lives elsewhere — in the coordinator's durable
+	// commit-sequence record, consulted through the resolver. Decided
+	// transactions get their mark flipped to a real commit in place (the
+	// mark word is outside the CRC chain, so the kept log stays chain-
+	// valid); undecided ones fall to the ordinary truncation below.
+	// The engine admits no append behind a pending prepare, so at most
+	// one group is ever in doubt: the frames between lastCommit and the
+	// prepared mark are exactly that group's.
+	if !frozenDamaged {
+		for i := lastCommit + 1; i < len(scanned); i++ {
+			fr := scanned[i]
+			if fr.prepGtx == 0 {
+				continue
+			}
+			if w.cfg.PreparedResolver == nil || !w.cfg.PreparedResolver(fr.prepGtx) {
+				rep.eventf("in-doubt transaction %d resolved aborted (no coordinator decision); frames truncated", fr.prepGtx)
+				break
+			}
+			a := blocks[fr.blockIdx].Addr + uint64(fr.blockOff)
+			w.dev.PutUint64(a, commitValue)
+			w.persistRange(a, 8)
+			scanned[i].commit = true
+			lastCommit = i
+			rep.eventf("in-doubt transaction %d resolved committed from the coordinator record; provisional mark flipped at block %#x off %d",
+				fr.prepGtx, blocks[fr.blockIdx].Addr, fr.blockOff)
 		}
 	}
 	kept := scanned[:lastCommit+1]
@@ -387,7 +420,7 @@ func (w *NVWAL) probeFrame(blk heapo.Block, off int, salt uint64) (int, bool) {
 	frSalt := binary.LittleEndian.Uint64(hdr[8:])
 	pgno := binary.LittleEndian.Uint32(hdr[16:])
 	size := int(binary.LittleEndian.Uint32(hdr[24:]))
-	if frSalt != salt || pgno == 0 || (mark != 0 && mark != commitValue) ||
+	if frSalt != salt || pgno == 0 || !validMark(mark) ||
 		size <= 0 || size > w.pageSize || off+frameHdrSize+size > blk.Size() {
 		return 0, false
 	}
@@ -576,7 +609,7 @@ func (w *NVWAL) readFrame(blk heapo.Block, off int, prev uint32, salt uint64) (s
 	inOff := int(offWord &^ offFullFlag)
 	size := int(binary.LittleEndian.Uint32(hdr[24:]))
 	stored := binary.LittleEndian.Uint32(hdr[28:])
-	if frSalt != salt || pgno == 0 || (mark != 0 && mark != commitValue) {
+	if frSalt != salt || pgno == 0 || !validMark(mark) {
 		return scannedFrame{}, 0, false, nil
 	}
 	if size <= 0 || size > w.pageSize || inOff < 0 || inOff+size > w.pageSize {
@@ -594,12 +627,22 @@ func (w *NVWAL) readFrame(blk heapo.Block, off int, prev uint32, salt uint64) (s
 	if mask := w.cfg.effMask(); sum&mask != stored&mask {
 		return scannedFrame{}, 0, false, nil
 	}
-	return scannedFrame{
+	fr := scannedFrame{
 		pgno:       pgno,
 		off:        inOff,
 		full:       full,
 		payload:    payload,
 		commit:     mark == commitValue,
 		chainAfter: sum,
-	}, sum, true, nil
+	}
+	if mark&preparedFlag != 0 {
+		fr.prepGtx = mark &^ preparedFlag
+	}
+	return fr, sum, true, nil
+}
+
+// validMark reports whether a frame's mark word is one the engine
+// writes: clear (mid-group), committed, or prepared (2PC provisional).
+func validMark(mark uint64) bool {
+	return mark == 0 || mark == commitValue || (mark&preparedFlag != 0 && mark&^preparedFlag != 0)
 }

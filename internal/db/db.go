@@ -627,6 +627,10 @@ type Tx struct {
 	done   bool
 	ownReg bool   // this txn registered itself with the group committer
 	seq    uint64 // commit sequence number, set by a successful Commit
+	// 2PC state (see twopc.go): a prepared transaction keeps its writer
+	// slot and pager transaction until CompletePrepared/AbortPrepared.
+	prepared bool
+	gtx      uint64 // global transaction id from Prepare
 }
 
 // Seq returns the transaction's commit sequence number: 1-based,
@@ -858,6 +862,9 @@ func (tx *Tx) CommitCtx(ctx context.Context) error {
 	if err := tx.guard(); err != nil {
 		return err
 	}
+	if tx.prepared {
+		return ErrPrepared
+	}
 	tx.done = true
 	d := tx.db
 	d.chargeCPU(d.opts.CPU.TxnFixed)
@@ -873,9 +880,15 @@ func (tx *Tx) CommitCtx(ctx context.Context) error {
 	return d.maybeAutoCheckpoint()
 }
 
-// Rollback abandons the transaction, restoring all pages.
+// Rollback abandons the transaction, restoring all pages. On a
+// prepared transaction it aborts the prepare first (the journal holds
+// provisional frames that must be unwound before the slot is freed).
 func (tx *Tx) Rollback() {
 	if tx.done {
+		return
+	}
+	if tx.prepared {
+		_ = tx.AbortPrepared()
 		return
 	}
 	tx.done = true

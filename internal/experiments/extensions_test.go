@@ -239,3 +239,47 @@ func TestPressureShapes(t *testing.T) {
 		t.Fatal("24-page cells triggered no urgent checkpoints")
 	}
 }
+
+func TestShardsShapes(t *testing.T) {
+	r, err := Shards(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 baseline cells (shards=0) + 4 shard counts × 3 writer counts.
+	if len(r.Rows) != 15 {
+		t.Fatalf("rows = %d, want 15", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Committed+row.Busy != row.Txns {
+			t.Fatalf("unaccounted transactions: %+v", row)
+		}
+		if row.Committed == 0 {
+			t.Fatalf("no commits ever succeeded: %+v", row)
+		}
+		if row.P99CommitNs < row.P50CommitNs {
+			t.Fatalf("p99 below p50: %+v", row)
+		}
+	}
+	// The headline property survives even a tiny sweep: with 32 writers,
+	// 8 shards on 8 lanes must out-commit 1 shard per unit virtual time.
+	one, eight := r.Row(1, 32), r.Row(8, 32)
+	if one == nil || eight == nil {
+		t.Fatal("sweep missing the 1- or 8-shard 32-writer cell")
+	}
+	if eight.Throughput < 2*one.Throughput {
+		t.Fatalf("8 shards only %.2fx over 1 at 32 writers",
+			eight.Throughput/one.Throughput)
+	}
+	// The shard layer may not tax the single-shard path: shards=1 stays
+	// in the same latency regime as the bare engine (loose 2x bound —
+	// the committed full-size run pins it within 10%).
+	base := r.Row(0, 1)
+	if s1 := r.Row(1, 1); s1.P50CommitNs > 2*base.P50CommitNs {
+		t.Fatalf("shards=1 p50 %dns vs bare-engine %dns", s1.P50CommitNs, base.P50CommitNs)
+	}
+	var b bytes.Buffer
+	r.Print(&b)
+	if !strings.Contains(b.String(), "scale-out") {
+		t.Fatal("printer output missing header")
+	}
+}

@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/nvram"
+	"repro/internal/platform"
+	"repro/internal/shard"
+)
+
+// ShardRow is one (shard count, writer count) cell of the scale-out
+// sweep. Shards == 0 is the direct single-engine baseline: the same
+// workload against one db.DB with no shard layer at all, which is what
+// the shards == 1 row must stay within 10% of — the router and the
+// coordinator record may not tax the single-shard path. Latencies are
+// virtual-clock nanoseconds measured on the committing shard's lane.
+type ShardRow struct {
+	Shards      int     `json:"shards"` // 0 = unsharded baseline
+	Writers     int     `json:"writers"`
+	Txns        int     `json:"txns"`
+	Committed   int     `json:"committed"`
+	Busy        int     `json:"busy"`
+	P50CommitNs int64   `json:"p50_commit_ns"`
+	P99CommitNs int64   `json:"p99_commit_ns"`
+	Throughput  float64 `json:"txn_per_sec"` // virtual-time transactions/sec
+}
+
+// ShardsResult holds the shard-count × writer sweep.
+type ShardsResult struct {
+	ValueBytes int           `json:"value_bytes"`
+	Latency    time.Duration `json:"nvram_latency_ns"`
+	Rows       []ShardRow    `json:"rows"`
+}
+
+// Shards measures single-key scale-out across engine shards. Each
+// writer is bound to a home shard and commits single-key transactions
+// against keys pre-routed there, so every transaction runs shard-local:
+// no 2PC, no cross-shard coordination. The laned platform gives each
+// shard its own virtual core — the parent clock advances by the max
+// over lanes — so throughput measures genuine parallelism: N shards
+// commit N transactions in the virtual time one shard commits one.
+func Shards(txns int) (*ShardsResult, error) {
+	if txns <= 0 {
+		txns = 4000
+	}
+	res := &ShardsResult{
+		ValueBytes: 256,
+		Latency:    500 * time.Nanosecond,
+	}
+	for _, writers := range []int{1, 8, 32} {
+		row, err := runShardBaseline(writers, txns, res.ValueBytes, res.Latency)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, writers := range []int{1, 8, 32} {
+			row, err := runSharded(shards, writers, txns, res.ValueBytes, res.Latency)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Row returns the cell for (shards, writers), nil if absent.
+func (r *ShardsResult) Row(shards, writers int) *ShardRow {
+	for i := range r.Rows {
+		if r.Rows[i].Shards == shards && r.Rows[i].Writers == writers {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+func shardBenchConfig(latency time.Duration) platform.Config {
+	return platform.Config{
+		NVRAM: nvram.Config{
+			Size:              64 << 20,
+			CacheLineSize:     64,
+			NVRAMWriteLatency: latency,
+		},
+	}
+}
+
+func shardBenchOpts() db.Options {
+	return db.Options{
+		Journal:         db.JournalNVWAL,
+		NVWAL:           core.VariantUHLSDiff(),
+		Concurrent:      true,
+		GroupCommit:     1,
+		CheckpointLimit: -1,
+	}
+}
+
+// benchValue fills a value whose every byte varies per iteration, so
+// differential logging produces real log volume.
+func benchValue(val []byte, w, i int) {
+	for j := range val {
+		val[j] = byte(i + j + w)
+	}
+}
+
+// runShardBaseline is the Shards == 0 row: the identical workload on a
+// bare engine, no shard layer.
+func runShardBaseline(writers, txns, valueBytes int, latency time.Duration) (ShardRow, error) {
+	plat, err := platform.New(shardBenchConfig(latency))
+	if err != nil {
+		return ShardRow{}, err
+	}
+	d, err := db.Open(plat, "bench.db", shardBenchOpts())
+	if err != nil {
+		return ShardRow{}, err
+	}
+	if err := d.CreateTable("bench"); err != nil {
+		return ShardRow{}, err
+	}
+	keys := make([][][]byte, writers)
+	for w := 0; w < writers; w++ {
+		keys[w] = make([][]byte, 8)
+		for k := range keys[w] {
+			keys[w][k] = []byte(fmt.Sprintf("w%d-k%d", w, k))
+		}
+	}
+	run := func(w, i int, lat *int64) error {
+		key := keys[w][i%8]
+		val := make([]byte, valueBytes)
+		benchValue(val, w, i)
+		tx, err := d.Begin()
+		if err != nil {
+			return err
+		}
+		if err := tx.Insert("bench", key, val); err != nil {
+			tx.Rollback()
+			return err
+		}
+		t0 := plat.Clock.Now()
+		err = tx.Commit()
+		*lat = int64(plat.Clock.Now() - t0)
+		return err
+	}
+	start := plat.Clock.Now()
+	committed, busy, lats, err := driveShardWriters(writers, txns/writers, run)
+	if err != nil {
+		return ShardRow{}, fmt.Errorf("baseline writers=%d: %w", writers, err)
+	}
+	return shardRowFrom(0, writers, txns/writers*writers, committed, busy, lats,
+		plat.Clock.Now()-start), nil
+}
+
+// runSharded is one laned-platform cell: writers bound to home shards
+// round-robin, keys pre-routed, commits timed on the home lane.
+func runSharded(shards, writers, txns, valueBytes int, latency time.Duration) (ShardRow, error) {
+	plat, err := shard.NewLaned(shardBenchConfig(latency), shards)
+	if err != nil {
+		return ShardRow{}, err
+	}
+	s, err := shard.Open(plat, "bench.db", shard.Options{DB: shardBenchOpts()})
+	if err != nil {
+		return ShardRow{}, err
+	}
+	if err := s.CreateTable("bench"); err != nil {
+		return ShardRow{}, err
+	}
+	// Pre-route 8 keys per writer to its home shard; the suffix search
+	// stands in for a client hashing its working set.
+	keys := make([][][]byte, writers)
+	for w := 0; w < writers; w++ {
+		home := w % shards
+		keys[w] = make([][]byte, 8)
+		for k := range keys[w] {
+			for n := 0; ; n++ {
+				cand := []byte(fmt.Sprintf("w%d-k%d-%d", w, k, n))
+				if s.ShardOf(cand) == home {
+					keys[w][k] = cand
+					break
+				}
+			}
+		}
+	}
+	run := func(w, i int, lat *int64) error {
+		key := keys[w][i%8]
+		val := make([]byte, valueBytes)
+		benchValue(val, w, i)
+		home := s.ShardOf(key) // the routed, shard-local path
+		d := s.Shard(home)
+		lane := plat.View(home).Clock
+		tx, err := d.Begin()
+		if err != nil {
+			return err
+		}
+		if err := tx.Insert("bench", key, val); err != nil {
+			tx.Rollback()
+			return err
+		}
+		t0 := lane.Now()
+		err = tx.Commit()
+		*lat = int64(lane.Now() - t0)
+		return err
+	}
+	start := plat.Clock.Now()
+	committed, busy, lats, err := driveShardWriters(writers, txns/writers, run)
+	if err != nil {
+		return ShardRow{}, fmt.Errorf("shards=%d writers=%d: %w", shards, writers, err)
+	}
+	return shardRowFrom(shards, writers, txns/writers*writers, committed, busy, lats,
+		plat.Clock.Now()-start), nil
+}
+
+// driveShardWriters runs the per-writer transaction loops and collects
+// outcomes. ErrBusy is a clean rollback, anything else is fatal.
+func driveShardWriters(writers, perWriter int, run func(w, i int, lat *int64) error) (int, int, []int64, error) {
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []int64
+		committed int
+		busy      int
+		hardErr   error
+	)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				var lat int64
+				err := run(w, i, &lat)
+				mu.Lock()
+				switch {
+				case err == nil:
+					committed++
+					latencies = append(latencies, lat)
+				case errors.Is(err, db.ErrBusy):
+					busy++
+				default:
+					if hardErr == nil {
+						hardErr = err
+					}
+				}
+				mu.Unlock()
+				if err != nil && !errors.Is(err, db.ErrBusy) {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return committed, busy, latencies, hardErr
+}
+
+func shardRowFrom(shards, writers, txns, committed, busy int, latencies []int64, elapsed time.Duration) ShardRow {
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	return ShardRow{
+		Shards:      shards,
+		Writers:     writers,
+		Txns:        txns,
+		Committed:   committed,
+		Busy:        busy,
+		P50CommitNs: pct(latencies, 50),
+		P99CommitNs: pct(latencies, 99),
+		Throughput:  float64(committed) / elapsed.Seconds(),
+	}
+}
+
+// Print renders the sweep with per-writer-count scaling factors.
+func (r *ShardsResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Shard scale-out sweep (UH+LS+Diff, %dB single-key txns, %v NVRAM, one lane per shard; shards=0 is the bare-engine baseline)\n",
+		r.ValueBytes, r.Latency)
+	fmt.Fprintf(w, "%-7s %-8s %-6s %-10s %-5s %12s %12s %10s %8s\n",
+		"shards", "writers", "txns", "committed", "busy", "p50(ns)", "p99(ns)", "txn/sec", "scale")
+	for _, row := range r.Rows {
+		scale := "-"
+		if row.Shards >= 1 {
+			if one := r.Row(1, row.Writers); one != nil && one.Throughput > 0 {
+				scale = fmt.Sprintf("%.2fx", row.Throughput/one.Throughput)
+			}
+		}
+		fmt.Fprintf(w, "%-7d %-8d %-6d %-10d %-5d %12d %12d %10.0f %8s\n",
+			row.Shards, row.Writers, row.Txns, row.Committed, row.Busy,
+			row.P50CommitNs, row.P99CommitNs, row.Throughput, scale)
+	}
+	fmt.Fprintln(w, "single-key transactions never cross shards; throughput scales with the shard count while per-commit latency holds")
+}

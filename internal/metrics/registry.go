@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Registry is a set of labeled Counters, one per shard (plus any number
+// of shared components such as the common NVRAM domain). It exists so N
+// engine shards can each count heap_*/pressure_*/checkpoint_* traffic
+// into their own sink without colliding, while the bench and the
+// sharded front-end read one Aggregate() view.
+//
+// The zero value is ready to use. All methods are safe for concurrent
+// use.
+type Registry struct {
+	mu      sync.Mutex
+	order   []string
+	members map[string]*Counters
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counters returns the counter sink registered under label, creating it
+// on first use. Repeated calls with the same label return the same
+// *Counters.
+func (r *Registry) Counters(label string) *Counters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members == nil {
+		r.members = make(map[string]*Counters)
+	}
+	c, ok := r.members[label]
+	if !ok {
+		c = &Counters{}
+		r.members[label] = c
+		r.order = append(r.order, label)
+	}
+	return c
+}
+
+// Labels returns the registered labels in registration order.
+func (r *Registry) Labels() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Snapshot returns a point-in-time copy of one member's counters (an
+// empty snapshot for an unknown label).
+func (r *Registry) Snapshot(label string) Snapshot {
+	r.mu.Lock()
+	c := r.members[label]
+	r.mu.Unlock()
+	if c == nil {
+		return Snapshot{Counts: map[string]int64{}, Times: map[string]time.Duration{}}
+	}
+	return c.Snapshot()
+}
+
+// Aggregate sums every member's counters and times into one snapshot —
+// the whole-system view a single-engine deployment would have reported.
+func (r *Registry) Aggregate() Snapshot {
+	r.mu.Lock()
+	members := make([]*Counters, 0, len(r.order))
+	for _, label := range r.order {
+		members = append(members, r.members[label])
+	}
+	r.mu.Unlock()
+	agg := Snapshot{Counts: make(map[string]int64), Times: make(map[string]time.Duration)}
+	for _, c := range members {
+		s := c.Snapshot()
+		for k, v := range s.Counts {
+			agg.Counts[k] += v
+		}
+		for k, v := range s.Times {
+			agg.Times[k] += v
+		}
+	}
+	return agg
+}

@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRegistryPerLabelIsolation(t *testing.T) {
+	r := NewRegistry()
+	r.Counters("shard0").Inc(Transactions, 3)
+	r.Counters("shard1").Inc(Transactions, 5)
+	r.Counters("shard1").AddTime(TimeFlush, 7*time.Nanosecond)
+	if got := r.Counters("shard0").Count(Transactions); got != 3 {
+		t.Fatalf("shard0 transactions = %d, want 3 (labels must not collide)", got)
+	}
+	if got := r.Snapshot("shard1").Count(Transactions); got != 5 {
+		t.Fatalf("shard1 snapshot = %d, want 5", got)
+	}
+	if got := r.Snapshot("nope").Count(Transactions); got != 0 {
+		t.Fatalf("unknown label snapshot = %d, want 0", got)
+	}
+}
+
+func TestRegistrySameLabelSameSink(t *testing.T) {
+	r := NewRegistry()
+	if r.Counters("a") != r.Counters("a") {
+		t.Fatal("same label must return the same Counters")
+	}
+}
+
+func TestRegistryAggregate(t *testing.T) {
+	r := NewRegistry()
+	r.Counters("shard0").Inc(WALFrames, 10)
+	r.Counters("shard1").Inc(WALFrames, 4)
+	r.Counters("device").Inc(WALFrames, 1)
+	r.Counters("shard0").AddTime(TimePersist, time.Microsecond)
+	r.Counters("shard1").AddTime(TimePersist, 2*time.Microsecond)
+	agg := r.Aggregate()
+	if got := agg.Count(WALFrames); got != 15 {
+		t.Fatalf("aggregate wal_frames = %d, want 15", got)
+	}
+	if got := agg.Time(TimePersist); got != 3*time.Microsecond {
+		t.Fatalf("aggregate t_persist = %v, want 3µs", got)
+	}
+	labels := r.Labels()
+	if len(labels) != 3 || labels[0] != "shard0" || labels[2] != "device" {
+		t.Fatalf("Labels() = %v, want registration order", labels)
+	}
+}

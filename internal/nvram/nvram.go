@@ -19,8 +19,14 @@ import (
 )
 
 // Device is one NVRAM DIMM: an address space with persistence controls.
+// A Device may be a window onto part of a larger DIMM (see Window):
+// every address it accepts is relative to the window base, so persistent
+// data structures built on a windowed device are position-independent
+// within the domain.
 type Device struct {
-	dom *memsim.Domain
+	dom  *memsim.Domain
+	base uint64 // window offset into the domain
+	size int    // window length; 0 = whole domain
 }
 
 // Config mirrors memsim.Config; see that package for field semantics and
@@ -32,12 +38,34 @@ func NewDevice(cfg Config, clock *simclock.Clock, m *metrics.Counters) *Device {
 	return &Device{dom: memsim.New(cfg, clock, m)}
 }
 
+// Window returns a device view covering size bytes of this device
+// starting at base. The view translates every address it is given by
+// base, so clients (heapo, NVWAL) run unmodified on a carved-out slice
+// of a shared DIMM — the sharded engine gives each shard one window so
+// all shards crash and survive as a single persistence domain. The
+// window must lie inside the device and be cache-line aligned.
+func (d *Device) Window(base uint64, size int) *Device {
+	if size <= 0 || base+uint64(size) > uint64(d.Size()) {
+		panic("nvram: window out of range")
+	}
+	if ls := uint64(d.LineSize()); base%ls != 0 {
+		panic("nvram: window base not line-aligned")
+	}
+	return &Device{dom: d.dom, base: d.base + base, size: size}
+}
+
 // Domain exposes the underlying persistence domain for components that
-// need raw flush/barrier control.
+// need raw flush/barrier control. Note that domain addresses are
+// absolute even when the device is a window.
 func (d *Device) Domain() *memsim.Domain { return d.dom }
 
 // Size returns the device capacity in bytes.
-func (d *Device) Size() int { return d.dom.Size() }
+func (d *Device) Size() int {
+	if d.size > 0 {
+		return d.size
+	}
+	return d.dom.Size()
+}
 
 // LineSize returns the cache line size governing flush granularity.
 func (d *Device) LineSize() int { return d.dom.LineSize() }
@@ -50,29 +78,29 @@ func (d *Device) SetWriteLatency(w time.Duration) { d.dom.SetWriteLatency(w) }
 func (d *Device) WriteLatency() time.Duration { return d.dom.WriteLatency() }
 
 // Write stores p at addr through the cache hierarchy.
-func (d *Device) Write(addr uint64, p []byte) { d.dom.Write(addr, p) }
+func (d *Device) Write(addr uint64, p []byte) { d.dom.Write(d.base+addr, p) }
 
 // WriteV stores the concatenation of parts contiguously at addr through
 // the cache hierarchy, with the cost model of a single Write over the
 // combined range — one store burst, one op. The commit path uses it to
 // encode a frame header and its payload straight into reserved log
 // space without an intermediate DRAM image.
-func (d *Device) WriteV(addr uint64, parts ...[]byte) { d.dom.WriteV(addr, parts...) }
+func (d *Device) WriteV(addr uint64, parts ...[]byte) { d.dom.WriteV(d.base+addr, parts...) }
 
 // Read loads len(p) bytes at addr into p.
-func (d *Device) Read(addr uint64, p []byte) { d.dom.Read(addr, p) }
+func (d *Device) Read(addr uint64, p []byte) { d.dom.Read(d.base+addr, p) }
 
 // ReadChecked loads len(p) bytes at addr into p through the ECC-checked
 // path: with an installed fault model it may return an uncorrectable
 // media error (wrapping memsim.ErrMediaRead) instead of data. Recovery
 // and scrub code must use this entry point.
-func (d *Device) ReadChecked(addr uint64, p []byte) error { return d.dom.ReadChecked(addr, p) }
+func (d *Device) ReadChecked(addr uint64, p []byte) error { return d.dom.ReadChecked(d.base+addr, p) }
 
 // ReadPersistedChecked is the ECC-checked read of the durable image —
 // what the media would hand back after a crash right now. Scrubbers use
 // it to audit persisted content whose volatile copy is still clean.
 func (d *Device) ReadPersistedChecked(addr uint64, p []byte) error {
-	return d.dom.ReadPersistedChecked(addr, p)
+	return d.dom.ReadPersistedChecked(d.base+addr, p)
 }
 
 // InjectFaults installs (or removes, with a zero config) the media-
@@ -82,7 +110,7 @@ func (d *Device) InjectFaults(cfg memsim.FaultConfig) { d.dom.InjectFaults(cfg) 
 // Flush issues cache-line flushes covering [start, end). It does not
 // charge a kernel-mode switch; user-level callers model the
 // cache_line_flush() syscall by pairing Flush with Syscall.
-func (d *Device) Flush(start, end uint64) { d.dom.CacheLineFlush(start, end) }
+func (d *Device) Flush(start, end uint64) { d.dom.CacheLineFlush(d.base+start, d.base+end) }
 
 // Syscall charges one kernel-mode switch.
 func (d *Device) Syscall() { d.dom.Syscall() }
@@ -108,13 +136,13 @@ func (d *Device) Recover() { d.dom.Recover() }
 func (d *Device) PutUint64(addr uint64, v uint64) {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
-	d.dom.Write(addr, buf[:])
+	d.dom.Write(d.base+addr, buf[:])
 }
 
 // Uint64 loads a little-endian uint64 from addr.
 func (d *Device) Uint64(addr uint64) uint64 {
 	var buf [8]byte
-	d.dom.Read(addr, buf[:])
+	d.dom.Read(d.base+addr, buf[:])
 	return binary.LittleEndian.Uint64(buf[:])
 }
 
@@ -122,18 +150,18 @@ func (d *Device) Uint64(addr uint64) uint64 {
 func (d *Device) PutUint32(addr uint64, v uint32) {
 	var buf [4]byte
 	binary.LittleEndian.PutUint32(buf[:], v)
-	d.dom.Write(addr, buf[:])
+	d.dom.Write(d.base+addr, buf[:])
 }
 
 // Uint32 loads a little-endian uint32 from addr.
 func (d *Device) Uint32(addr uint64) uint32 {
 	var buf [4]byte
-	d.dom.Read(addr, buf[:])
+	d.dom.Read(d.base+addr, buf[:])
 	return binary.LittleEndian.Uint32(buf[:])
 }
 
 // FlushValue flushes the cache line(s) covering an n-byte value at addr
 // (the "8 bytes padding" pattern used for the commit mark, §4.1).
 func (d *Device) FlushValue(addr uint64, n int) {
-	d.dom.CacheLineFlush(addr, addr+uint64(n))
+	d.dom.CacheLineFlush(d.base+addr, d.base+addr+uint64(n))
 }

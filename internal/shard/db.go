@@ -1,0 +1,363 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/db"
+	"repro/internal/metrics"
+)
+
+// Options configures every shard's engine. DB.Journal is forced to
+// JournalNVWAL: prepared transactions exist only there, and a sharded
+// deployment without cross-shard atomicity would be a different (and
+// broken) system.
+type Options struct {
+	DB db.Options
+}
+
+// DB is the sharded front-end: N independent engines behind a
+// deterministic hash router and a 2PC coordinator. Single-key
+// operations touch exactly one shard — no shared lock, no shared log,
+// no shared checkpointer — which is the entire scaling story.
+type DB struct {
+	plat   *Platform
+	shards []*db.DB
+	ctl    *ctlRecord
+
+	// mu serializes cross-shard transactions. One round at a time is
+	// what makes the ctl record's "gtx ≤ lastCommitted" resolver sound
+	// (see ctl.go); single-key traffic never takes it.
+	mu   sync.Mutex
+	hook func(stage Stage, gtx uint64)
+}
+
+// Stage identifies a point in the cross-shard commit protocol, for
+// crash-injection hooks.
+type Stage int
+
+const (
+	// StageAfterPrepare: every participant holds durable provisional
+	// frames; the decide record has not moved. A crash here must abort
+	// the transaction everywhere.
+	StageAfterPrepare Stage = iota
+	// StageAfterDecide: the commit sequence record is durable. A crash
+	// here must commit the transaction everywhere.
+	StageAfterDecide
+	// StageAfterComplete: every provisional mark has flipped.
+	StageAfterComplete
+)
+
+// Open opens (or creates) a sharded database over plat, one engine per
+// shard view. Recovery is two-layered: each shard's journal recovers
+// independently, and any prepared frames it finds at its log tail are
+// resolved against the coordinator's commit sequence record, read
+// before the first engine opens.
+func Open(plat *Platform, name string, opts Options) (*DB, error) {
+	ctl, err := openCtl(plat.View(0).Heap, plat.Shards())
+	if err != nil {
+		return nil, err
+	}
+	// Snapshot the decide record once: every shard recovers against the
+	// same coordinator state, no matter what later rounds do.
+	decided := ctl.lastCommitted()
+	s := &DB{plat: plat, ctl: ctl}
+	for i := 0; i < plat.Shards(); i++ {
+		o := opts.DB
+		o.Journal = db.JournalNVWAL
+		o.NVWAL.PreparedResolver = func(gtx uint64) bool { return gtx != 0 && gtx <= decided }
+		d, err := db.Open(plat.View(i), fmt.Sprintf("%s.s%d", name, i), o)
+		if err != nil {
+			for _, prev := range s.shards {
+				prev.Abandon()
+			}
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.shards = append(s.shards, d)
+	}
+	return s, nil
+}
+
+// Shards returns the shard count.
+func (s *DB) Shards() int { return len(s.shards) }
+
+// Shard returns shard i's engine, for shard-local transaction loops
+// (route keys with ShardOf first).
+func (s *DB) Shard(i int) *db.DB { return s.shards[i] }
+
+// ShardOf routes a key: FNV-1a over the key, reduced mod N. The hash is
+// part of the on-device layout contract — reopening with the same shard
+// count routes every key to the shard that holds it.
+func (s *DB) ShardOf(key []byte) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return int(h % uint64(len(s.shards)))
+}
+
+// SetCommitHook installs a callback fired between phases of every
+// cross-shard commit — the torture and crash harnesses panic out of it
+// to model a coordinator dying mid-protocol.
+func (s *DB) SetCommitHook(fn func(stage Stage, gtx uint64)) { s.hook = fn }
+
+func (s *DB) fire(stage Stage, gtx uint64) {
+	if s.hook != nil {
+		s.hook(stage, gtx)
+	}
+}
+
+// CreateTable creates the table on every shard.
+func (s *DB) CreateTable(table string) error {
+	for i, d := range s.shards {
+		if err := d.CreateTable(table); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// HasTable reports whether the table exists (on shard 0; CreateTable
+// keeps the catalog identical everywhere).
+func (s *DB) HasTable(table string) bool { return s.shards[0].HasTable(table) }
+
+// Put stores key/value in one auto-committed shard-local transaction.
+func (s *DB) Put(table string, key, value []byte) error {
+	d := s.shards[s.ShardOf(key)]
+	tx, err := d.Begin()
+	if err != nil {
+		return err
+	}
+	if err := tx.Insert(table, key, value); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// Get reads a key from its shard.
+func (s *DB) Get(table string, key []byte) ([]byte, bool, error) {
+	return s.shards[s.ShardOf(key)].Get(table, key)
+}
+
+// Delete removes a key in one auto-committed shard-local transaction.
+func (s *DB) Delete(table string, key []byte) (bool, error) {
+	d := s.shards[s.ShardOf(key)]
+	tx, err := d.Begin()
+	if err != nil {
+		return false, err
+	}
+	ok, err := tx.Delete(table, key)
+	if err != nil {
+		tx.Rollback()
+		return false, err
+	}
+	return ok, tx.Commit()
+}
+
+// Op is one mutation in a cross-shard batch.
+type Op struct {
+	Table  string
+	Key    []byte
+	Value  []byte
+	Delete bool
+}
+
+// Apply commits ops atomically across however many shards they touch.
+// One shard: a plain local transaction, indistinguishable from Put.
+// Several: two-phase commit — prepare provisional frames on every
+// participant (ascending shard order), persist the decide record, flip
+// the marks. All-or-nothing holds across any crash: recovery resolves
+// in-doubt shards against the decide record.
+func (s *DB) Apply(ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	byShard := make(map[int][]Op)
+	for _, op := range ops {
+		i := s.ShardOf(op.Key)
+		byShard[i] = append(byShard[i], op)
+	}
+	if len(byShard) == 1 {
+		for i := range byShard {
+			return s.applyLocal(i, byShard[i])
+		}
+	}
+	order := make([]int, 0, len(byShard))
+	for i := range byShard {
+		order = append(order, i)
+	}
+	sort.Ints(order)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncLanes(order)
+	gtx := s.ctl.allocate()
+	prepared := make([]*db.Tx, 0, len(order))
+	abort := func() {
+		for _, tx := range prepared {
+			_ = tx.AbortPrepared()
+		}
+	}
+	for _, i := range order {
+		tx, err := s.shards[i].Begin()
+		if err != nil {
+			abort()
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if err := applyOps(tx, byShard[i]); err != nil {
+			tx.Rollback()
+			abort()
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if err := tx.Prepare(gtx); err != nil {
+			// A failed Prepare rolled its own transaction back.
+			abort()
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		prepared = append(prepared, tx)
+	}
+	s.fire(StageAfterPrepare, gtx)
+	s.ctl.commit(gtx)
+	s.fire(StageAfterDecide, gtx)
+	for _, tx := range prepared {
+		if err := tx.CompletePrepared(); err != nil {
+			// The decide record is durable: the transaction IS committed
+			// and recovery will finish the flip. Surface the fault.
+			return fmt.Errorf("completing gtx %d: %w", gtx, err)
+		}
+	}
+	s.fire(StageAfterComplete, gtx)
+	s.syncLanes(order)
+	return nil
+}
+
+func (s *DB) applyLocal(i int, ops []Op) error {
+	tx, err := s.shards[i].Begin()
+	if err != nil {
+		return err
+	}
+	if err := applyOps(tx, ops); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+func applyOps(tx *db.Tx, ops []Op) error {
+	for _, op := range ops {
+		if op.Delete {
+			if _, err := tx.Delete(op.Table, op.Key); err != nil {
+				return err
+			}
+		} else if err := tx.Insert(op.Table, op.Key, op.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncLanes models the real cost of cross-shard coordination: the
+// participating shards' clock lanes meet at the current global maximum
+// before and after the round, so a 2PC transaction cannot finish
+// earlier than the busiest participant. No-op on a shared clock.
+func (s *DB) syncLanes(shards []int) {
+	now := s.plat.Clock.Now()
+	for _, i := range shards {
+		c := s.plat.View(i).Clock
+		if c != s.plat.Clock {
+			c.AdvanceTo(now)
+		}
+	}
+}
+
+// Scan iterates the whole keyspace in key order by merging the shards'
+// sorted streams.
+func (s *DB) Scan(table string, fn func(key, value []byte) bool) error {
+	type kv struct{ k, v []byte }
+	var all []kv
+	for i, d := range s.shards {
+		err := d.Scan(table, func(k, v []byte) bool {
+			all = append(all, kv{append([]byte(nil), k...), append([]byte(nil), v...)})
+			return true
+		})
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return string(all[a].k) < string(all[b].k) })
+	for _, e := range all {
+		if !fn(e.k, e.v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Count sums the table's record count over all shards.
+func (s *DB) Count(table string) (int, error) {
+	total := 0
+	for i, d := range s.shards {
+		n, err := d.Count(table)
+		if err != nil {
+			return 0, fmt.Errorf("shard %d: %w", i, err)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// Checkpoint checkpoints every shard.
+func (s *DB) Checkpoint() error {
+	for i, d := range s.shards {
+		if err := d.Checkpoint(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Check runs every shard's structural invariant check.
+func (s *DB) Check() error {
+	for i, d := range s.shards {
+		if err := d.Check(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Metrics returns the aggregate whole-machine snapshot; use
+// MetricsFor for one shard's view.
+func (s *DB) Metrics() metrics.Snapshot { return s.plat.Registry.Aggregate() }
+
+// MetricsFor returns one shard's labeled snapshot.
+func (s *DB) MetricsFor(i int) metrics.Snapshot {
+	return s.plat.Registry.Snapshot(shardLabel(i))
+}
+
+// Close closes every shard cleanly.
+func (s *DB) Close() error {
+	var first error
+	for i, d := range s.shards {
+		if err := d.Close(); err != nil && first == nil {
+			first = fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return first
+}
+
+// Abandon stops every shard's background goroutines without touching
+// the (possibly crashed) platform — the PowerFail-path counterpart of
+// Close.
+func (s *DB) Abandon() {
+	for _, d := range s.shards {
+		d.Abandon()
+	}
+}

@@ -20,10 +20,26 @@ import (
 // on a hot commit path can charge latency without lock contention.
 type Clock struct {
 	now atomic.Int64 // nanoseconds of virtual time
+	// parent, when non-nil, makes this clock a lane of a global clock:
+	// each advance pushes the parent forward to at least the lane's own
+	// time, so the parent always reads max(lanes) — the wall time of a
+	// system whose lanes run on parallel hardware.
+	parent *Clock
 }
 
 // New returns a clock starting at virtual time zero.
 func New() *Clock { return &Clock{} }
+
+// NewLane returns a child clock modelling an independent execution lane
+// (one shard's CPU + NVRAM bank set) of this clock. The lane starts at
+// the parent's current time and advances independently; the parent is
+// pushed to max over all lanes, so Throughput over the parent's elapsed
+// time reflects parallel lanes overlapping rather than summing.
+func (c *Clock) NewLane() *Clock {
+	l := &Clock{parent: c}
+	l.now.Store(int64(c.Now()))
+	return l
+}
 
 // Now returns the current virtual time as a duration since the clock's
 // origin.
@@ -37,7 +53,28 @@ func (c *Clock) Advance(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	c.now.Add(int64(d))
+	v := c.now.Add(int64(d))
+	if c.parent != nil {
+		c.parent.AdvanceTo(time.Duration(v))
+	}
+}
+
+// AdvanceTo moves the clock forward to at least t (monotone max; a t in
+// the past is a no-op). Cross-lane synchronization points — a 2PC
+// coordinator waiting on every participant — use it to align lanes.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur {
+			return
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			if c.parent != nil {
+				c.parent.AdvanceTo(t)
+			}
+			return
+		}
+	}
 }
 
 // Reset rewinds the clock to zero. Intended for test and benchmark set-up

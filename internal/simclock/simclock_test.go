@@ -89,3 +89,62 @@ func TestConcurrentAdvance(t *testing.T) {
 		t.Fatalf("Now() = %v, want %v", got, want)
 	}
 }
+
+func TestLaneTracksMaxOfLanes(t *testing.T) {
+	parent := New()
+	parent.Advance(5 * time.Nanosecond)
+	a := parent.NewLane()
+	b := parent.NewLane()
+	if a.Now() != 5*time.Nanosecond || b.Now() != 5*time.Nanosecond {
+		t.Fatalf("lanes must start at parent time: a=%v b=%v", a.Now(), b.Now())
+	}
+	a.Advance(100 * time.Nanosecond)
+	b.Advance(30 * time.Nanosecond)
+	if got, want := parent.Now(), 105*time.Nanosecond; got != want {
+		t.Fatalf("parent = %v, want max(lanes) = %v", got, want)
+	}
+	if got, want := b.Now(), 35*time.Nanosecond; got != want {
+		t.Fatalf("lane b advanced to %v, want %v (lanes are independent)", got, want)
+	}
+}
+
+func TestAdvanceToIsMonotoneMax(t *testing.T) {
+	c := New()
+	c.Advance(50 * time.Nanosecond)
+	c.AdvanceTo(20 * time.Nanosecond)
+	if got, want := c.Now(), 50*time.Nanosecond; got != want {
+		t.Fatalf("AdvanceTo into the past moved the clock: %v, want %v", got, want)
+	}
+	c.AdvanceTo(80 * time.Nanosecond)
+	if got, want := c.Now(), 80*time.Nanosecond; got != want {
+		t.Fatalf("AdvanceTo = %v, want %v", got, want)
+	}
+}
+
+func TestAdvanceToPropagatesToParent(t *testing.T) {
+	parent := New()
+	lane := parent.NewLane()
+	lane.AdvanceTo(time.Microsecond)
+	if got, want := parent.Now(), time.Microsecond; got != want {
+		t.Fatalf("parent = %v, want %v after lane AdvanceTo", got, want)
+	}
+}
+
+func TestConcurrentLanes(t *testing.T) {
+	parent := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		lane := parent.NewLane()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				lane.Advance(time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := parent.Now(), 1000*time.Nanosecond; got != want {
+		t.Fatalf("parent = %v, want %v (max of equal lanes, not sum)", got, want)
+	}
+}

@@ -176,6 +176,14 @@ func applyTxn(state map[string]string, t Txn) {
 // Verify checks a recovered survivor state against the round's history
 // and returns every invariant violation found (empty = consistent).
 func Verify(h History, survivor map[string]string) []Violation {
+	out, _ := verifyMatched(h, survivor)
+	return out
+}
+
+// verifyMatched is Verify plus the per-worker survived prefix lengths
+// (-1 = matched no prefix), which the sharded oracle needs to tie the
+// halves of a cross-shard transaction together.
+func verifyMatched(h History, survivor map[string]string) ([]Violation, []int) {
 	var out []Violation
 
 	// Resurrection of foreign keys: everything in the survivor must lie
@@ -211,7 +219,7 @@ func Verify(h History, survivor map[string]string) []Violation {
 			if t.Index != i+1 {
 				out = append(out, Violation{Kind: "error", Worker: w,
 					Detail: fmt.Sprintf("history gap: txn %d found at position %d", t.Index, i+1)})
-				return out
+				return out, matched
 			}
 		}
 		got := restrict(survivor, w)
@@ -269,5 +277,5 @@ func Verify(h History, survivor map[string]string) []Violation {
 			}
 		}
 	}
-	return out
+	return out, matched
 }

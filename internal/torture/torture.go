@@ -53,6 +53,13 @@ type Options struct {
 	// every worker — a prefix of each worker's deterministic
 	// transaction stream, the shrinker's fine handle.
 	MaxTxns int
+	// Shards, when > 1, runs sharded chains instead: the workload drives
+	// a shard.DB (N engines over one shared persistence domain) with a
+	// mix of shard-local and cross-shard transactions, random crash
+	// windows that can land mid-2PC, and deterministic coordinator
+	// crashes at protocol stages. Incompatible with Bug, Faults and
+	// HeapPages (see sharded.go).
+	Shards int
 	// HeapPages, when > 0, shrinks the platform's NVRAM heap to that
 	// many pages — small enough that ordinary rounds exhaust it — and
 	// arms the backpressure machinery: chains get a short CommitTimeout
@@ -128,7 +135,12 @@ func Run(opts Options) Report {
 		if opts.Duration > 0 && time.Since(start) >= opts.Duration {
 			break
 		}
-		res := runChain(opts, step+n)
+		var res chainResult
+		if opts.Shards > 1 {
+			res = runShardedChain(opts, step+n)
+		} else {
+			res = runChain(opts, step+n)
+		}
 		rep.Chains++
 		rep.Rounds += res.rounds
 		rep.Txns += res.txns

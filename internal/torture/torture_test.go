@@ -74,6 +74,26 @@ func TestFuzzTinyHeapShortRun(t *testing.T) {
 	t.Logf("chains=%d rounds=%d txns=%d degraded=%d", rep.Chains, rep.Rounds, rep.Txns, rep.Degraded)
 }
 
+// TestFuzzShardedShortRun drives sharded chains: per-shard single-key
+// workloads plus cross-shard 2PC transactions over a shared-domain
+// shard.DB, with power cuts at random persistence ops (including
+// between a participant's prepare and the coordinator's decide) and
+// staged coordinator crashes. The oracle verifies each shard's history
+// independently and checks cross-shard rounds all-or-nothing; any
+// violation is a real bug in the commit protocol or its recovery.
+func TestFuzzShardedShortRun(t *testing.T) {
+	rep := Run(Options{Seed: 9, Steps: 6, Step: -1, Shards: 4, Logf: t.Logf})
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s worker=%d %s\n  repro: %s", v.Kind, v.Worker, v.Detail, v.Repro)
+		}
+	}
+	if rep.Txns == 0 {
+		t.Fatal("sharded fuzzer committed no transactions")
+	}
+	t.Logf("chains=%d rounds=%d txns=%d", rep.Chains, rep.Rounds, rep.Txns)
+}
+
 // TestMinimizeShrinksPlantedBug finds the planted-bug violation on a
 // single-worker chain (bit-deterministic, so replay under clamps is
 // exact) and expects the shrinker to reproduce it under a bounded
