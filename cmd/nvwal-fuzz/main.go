@@ -11,6 +11,7 @@
 //	nvwal-fuzz -faults -duration 60s      # media-fault chains (weak durability)
 //	nvwal-fuzz -heap-pages 64 -duration 60s  # tiny-heap exhaustion chains
 //	nvwal-fuzz -shards 4 -duration 60s    # sharded chains with cross-shard 2PC
+//	nvwal-fuzz -mvcc -duration 60s        # overlapping-keyspace MVCC chains
 //	nvwal-fuzz -bug -duration 10s         # prove detection of a planted bug
 //
 // Every violation prints a deterministic repro command and, unless
@@ -44,6 +45,7 @@ func main() {
 		maxTxns   = flag.Int("max-txns", 0, "clamp per-round txns per worker (repro/shrink)")
 		heapPages = flag.Int("heap-pages", 0, "shrink the NVRAM heap to this many pages: exercises exhaustion backpressure (ErrBusy/ErrDegraded become legal outcomes)")
 		shards    = flag.Int("shards", 1, "run sharded chains over this many engine shards: shard-local + cross-shard 2PC transactions, coordinator-stage crashes")
+		mvcc      = flag.Bool("mvcc", false, "run overlapping-keyspace MVCC chains: concurrent sessions over one shared keyspace, first-committer-wins conflicts, seq-order oracle")
 		verbose   = flag.Bool("v", false, "log each chain's configuration")
 	)
 	flag.Parse()
@@ -60,9 +62,14 @@ func main() {
 		MaxTxns:   *maxTxns,
 		HeapPages: *heapPages,
 		Shards:    *shards,
+		MVCC:      *mvcc,
 	}
-	if *shards > 1 && (*bug || *faults || *heapPages > 0) {
-		fmt.Fprintln(os.Stderr, "nvwal-fuzz: -shards > 1 is incompatible with -bug, -faults and -heap-pages")
+	if *shards > 1 && (*bug || *faults || *heapPages > 0 || *mvcc) {
+		fmt.Fprintln(os.Stderr, "nvwal-fuzz: -shards > 1 is incompatible with -bug, -faults, -heap-pages and -mvcc")
+		os.Exit(2)
+	}
+	if *mvcc && (*bug || *faults) {
+		fmt.Fprintln(os.Stderr, "nvwal-fuzz: -mvcc is incompatible with -bug and -faults")
 		os.Exit(2)
 	}
 	if opts.Steps == 0 && opts.Duration == 0 && opts.Step < 0 {

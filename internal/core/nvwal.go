@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/heapo"
@@ -218,6 +219,19 @@ const (
 	preparedFlag = uint64(1) << 63
 
 	offFullFlag = uint32(1) << 31
+
+	// Per-writer stream tags live in offWord bits [16,28): in-page
+	// offsets never exceed pageSize-1 ≤ 65535 (plausiblePageSize caps
+	// pages at 64 KB), so the low 16 bits fully describe the offset and
+	// the bits between it and offFullFlag are free. A tag is pure
+	// provenance — frames from concurrent writers may interleave
+	// physically, and the tag names which writer's chain each frame
+	// belongs to. Tag 0 means "untagged" (solo commits, legacy logs);
+	// decode masks the tag out unconditionally, so old logs read
+	// identically.
+	offStreamShift = 16
+	maxStreamTag   = uint32(0xFFF)
+	offInOffMask   = uint32(1)<<offStreamShift - 1
 )
 
 // Checkpoint record phases.
@@ -423,6 +437,11 @@ type NVWAL struct {
 	// crash-injection tests can fail power at every point of Algorithm 1
 	// and of checkpointing (§4.3).
 	hook func(step string)
+
+	// streamTag hands out per-writer stream tags (NewStream); it is the
+	// only NVWAL field writers touch without w.mu, which is the point:
+	// stream staging runs fully in parallel.
+	streamTag atomic.Uint32
 }
 
 // Crash-injection step names, in execution order.
@@ -726,12 +745,12 @@ func (w *NVWAL) allocFrameSpace(size, groupTotal int) (uint64, error) {
 // places both ranges (the zero-copy commit path). full marks a frame
 // whose replay must reset the page to zero first (§3.2 truncated full
 // page).
-func (w *NVWAL) encodeFrameAt(addr uint64, pgno uint32, off int, payload []byte, prev uint32, full bool) uint32 {
+func (w *NVWAL) encodeFrameAt(addr uint64, pgno uint32, off int, payload []byte, prev uint32, full bool, stream uint32) uint32 {
 	hdr := w.hdrBuf[:]
 	binary.LittleEndian.PutUint64(hdr[0:], 0) // commit mark written later
 	binary.LittleEndian.PutUint64(hdr[8:], w.salt)
 	binary.LittleEndian.PutUint32(hdr[16:], pgno)
-	offWord := uint32(off)
+	offWord := uint32(off) | (stream&maxStreamTag)<<offStreamShift
 	if full {
 		offWord |= offFullFlag
 	}
@@ -1052,7 +1071,7 @@ func (w *NVWAL) writeFramesMode(frames []pager.Frame, commit bool, prepGtx uint6
 				}
 				return w.abortAppend(undoBlocks, undoTail, err)
 			}
-			chain = w.encodeFrameAt(addr, fr.Pgno, e.Off, payload, chain, it.full)
+			chain = w.encodeFrameAt(addr, fr.Pgno, e.Off, payload, chain, it.full, 0)
 			w.step(StepAfterMemcpy)
 			switch w.cfg.Sync {
 			case SyncEager:

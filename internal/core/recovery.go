@@ -16,6 +16,11 @@ type scannedFrame struct {
 	full    bool
 	payload []byte
 	commit  bool
+	// stream is the per-writer stream tag carried in the frame's offset
+	// word (0 = untagged). Frames of concurrent streams interleave
+	// physically; the append order — which the scan follows — is the
+	// commit order, so replay needs no reordering, only the provenance.
+	stream uint32
 	// prepGtx is the global transaction id of a prepared (2PC) mark,
 	// zero for ordinary frames. Prepared frames past the last commit are
 	// in doubt: Config.PreparedResolver decides their fate.
@@ -606,7 +611,8 @@ func (w *NVWAL) readFrame(blk heapo.Block, off int, prev uint32, salt uint64) (s
 	pgno := binary.LittleEndian.Uint32(hdr[16:])
 	offWord := binary.LittleEndian.Uint32(hdr[20:])
 	full := offWord&offFullFlag != 0
-	inOff := int(offWord &^ offFullFlag)
+	inOff := int(offWord & offInOffMask)
+	stream := (offWord &^ offFullFlag) >> offStreamShift
 	size := int(binary.LittleEndian.Uint32(hdr[24:]))
 	stored := binary.LittleEndian.Uint32(hdr[28:])
 	if frSalt != salt || pgno == 0 || !validMark(mark) {
@@ -633,6 +639,7 @@ func (w *NVWAL) readFrame(blk heapo.Block, off int, prev uint32, salt uint64) (s
 		full:       full,
 		payload:    payload,
 		commit:     mark == commitValue,
+		stream:     stream,
 		chainAfter: sum,
 	}
 	if mark&preparedFlag != 0 {

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/metrics"
+	"repro/internal/pager"
+)
+
+// stage is a test helper: stage one page into s, failing the test on a
+// staging error or an unexpected no-op skip.
+func stage(t *testing.T, s *Stream, pgno uint32, img, base []byte) {
+	t.Helper()
+	ok, err := s.StagePage(pgno, img, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("page %d unexpectedly staged as a no-op", pgno)
+	}
+}
+
+// TestStreamCommitAndRecovery merges two per-writer streams under one
+// CommitStreams flush and checks the published versions, the metrics
+// (one group, two transactions), and — the part the stream tags exist
+// for — that recovery replays the interleaved streams correctly after
+// a crash.
+func TestStreamCommitAndRecovery(t *testing.T) {
+	e := newEnv(t)
+	w := e.open(t, VariantUHLSDiff())
+
+	// Establish bases so the streams can stage differentials.
+	base2, base3 := fullPage('a'), fullPage('b')
+	if err := w.CommitTransaction([]pager.Frame{{Pgno: 2, Data: base2}, {Pgno: 3, Data: base3}}); err != nil {
+		t.Fatal(err)
+	}
+
+	s1, s2 := w.NewStream(), w.NewStream()
+	if s1.ID() == 0 || s1.ID() == s2.ID() {
+		t.Fatalf("stream tags not distinct/nonzero: %d %d", s1.ID(), s2.ID())
+	}
+	img2 := fullPage('a')
+	copy(img2[100:], []byte("stream-one"))
+	stage(t, s1, 2, img2, base2)
+	img3 := fullPage('b')
+	copy(img3[200:], []byte("stream-two"))
+	stage(t, s2, 3, img3, base3)
+	img4 := fullPage('d') // first touch: no base, full frame
+	stage(t, s2, 4, img4, nil)
+
+	before := e.m.Snapshot()
+	if err := w.CommitStreams([]*Stream{s1, s2}, 2); err != nil {
+		t.Fatal(err)
+	}
+	delta := e.m.Snapshot().Sub(before)
+	if got := delta.Count(metrics.Transactions); got != 2 {
+		t.Fatalf("Transactions delta = %d, want 2", got)
+	}
+	if got := delta.Count(metrics.GroupCommits); got != 1 {
+		t.Fatalf("GroupCommits delta = %d, want 1", got)
+	}
+
+	check := func(w *NVWAL, when string) {
+		t.Helper()
+		for _, want := range []struct {
+			pgno uint32
+			img  []byte
+		}{{2, img2}, {3, img3}, {4, img4}} {
+			got, ok := w.PageVersion(want.pgno)
+			if !ok {
+				t.Fatalf("%s: page %d missing", when, want.pgno)
+			}
+			if !bytes.Equal(got, want.img) {
+				t.Fatalf("%s: page %d image wrong", when, want.pgno)
+			}
+		}
+	}
+	check(w, "live")
+
+	// Crash + recover: the stream-tagged frames must replay in commit
+	// order under the single group commit mark.
+	w2 := e.reopen(t, VariantUHLSDiff(), memsim.FailDropAll, 7)
+	check(w2, "recovered")
+}
+
+// TestStreamDiffConvertsToFullOnUnknownBase: a page staged
+// differentially whose base the log no longer knows (never logged)
+// must be converted to a full frame — replaying the diff over a zero
+// base would corrupt the page.
+func TestStreamDiffConvertsToFullOnUnknownBase(t *testing.T) {
+	e := newEnv(t)
+	w := e.open(t, VariantUHLSDiff())
+
+	base := fullPage('x') // exists only in the "database file" world; never logged
+	img := fullPage('x')
+	copy(img[40:], []byte("delta"))
+	s := w.NewStream()
+	stage(t, s, 5, img, base)
+	if err := w.CommitStreams([]*Stream{s}, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := w.PageVersion(5)
+	if !ok {
+		t.Fatal("page 5 missing")
+	}
+	if !bytes.Equal(got, img) {
+		t.Fatal("diff against unknown base replayed wrong (not converted to full)")
+	}
+	w2 := e.reopen(t, VariantUHLSDiff(), memsim.FailDropAll, 9)
+	got, ok = w2.PageVersion(5)
+	if !ok || !bytes.Equal(got, img) {
+		t.Fatalf("page 5 wrong after crash (ok=%v)", ok)
+	}
+}
+
+// TestStreamEarlierStreamSuppliesBase: when an earlier stream in the
+// same group stages the page's first-ever image, a later stream's diff
+// against it may stay differential — the replay applies both in order.
+func TestStreamEarlierStreamSuppliesBase(t *testing.T) {
+	e := newEnv(t)
+	w := e.open(t, VariantUHLSDiff())
+
+	first := fullPage('m')
+	second := fullPage('m')
+	copy(second[300:], []byte("later"))
+	s1, s2 := w.NewStream(), w.NewStream()
+	stage(t, s1, 6, first, nil)    // full
+	stage(t, s2, 6, second, first) // diff vs s1's image
+	if err := w.CommitStreams([]*Stream{s1, s2}, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := w.PageVersion(6)
+	if !ok || !bytes.Equal(got, second) {
+		t.Fatalf("later stream's diff lost (ok=%v)", ok)
+	}
+	w2 := e.reopen(t, VariantUHLSDiff(), memsim.FailDropAll, 13)
+	got, ok = w2.PageVersion(6)
+	if !ok || !bytes.Equal(got, second) {
+		t.Fatalf("page 6 wrong after crash (ok=%v)", ok)
+	}
+}
+
+// TestStreamNoopSkip: byte-identical images stage nothing.
+func TestStreamNoopSkip(t *testing.T) {
+	e := newEnv(t)
+	w := e.open(t, VariantUHLSDiff())
+	img := fullPage('z')
+	s := w.NewStream()
+	ok, err := s.StagePage(7, img, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("identical image staged a frame")
+	}
+	if s.Pages() != 0 {
+		t.Fatal("no-op left staged pages behind")
+	}
+	// A group of only no-op streams still counts its transactions.
+	before := e.m.Snapshot()
+	if err := w.CommitStreams([]*Stream{s}, 1); err != nil {
+		t.Fatal(err)
+	}
+	delta := e.m.Snapshot().Sub(before)
+	if delta.Count(metrics.Transactions) != 1 || delta.Count(metrics.WALFrames) != 0 {
+		t.Fatalf("no-op stream commit: %d txns, %d frames", delta.Count(metrics.Transactions), delta.Count(metrics.WALFrames))
+	}
+}
+
+// TestStreamLogFullIsPreMutation: a stream group the heap cannot admit
+// fails with ErrLogFull before touching NVRAM — retryable after a
+// checkpoint, with no linked blocks or heap pages leaked.
+func TestStreamLogFullIsPreMutation(t *testing.T) {
+	e := newTinyEnv(t, 16)
+	w := e.open(t, Config{UserHeap: true, Differential: true})
+
+	var err error
+	for i := 0; i < 60; i++ {
+		s := w.NewStream()
+		if _, serr := s.StagePage(uint32(2+i%3), fullPage(byte(i+1)), nil); serr != nil {
+			t.Fatal(serr)
+		}
+		blocksBefore, freeBefore, markBefore := w.Blocks(), e.heap.FreePages(), w.Mark()
+		if err = w.CommitStreams([]*Stream{s}, 1); err != nil {
+			if !errors.Is(err, ErrLogFull) {
+				t.Fatalf("commit %d: error = %v, want ErrLogFull", i, err)
+			}
+			if w.Blocks() != blocksBefore || e.heap.FreePages() != freeBefore || w.Mark() != markBefore {
+				t.Fatal("ErrLogFull mutated the log or leaked heap pages")
+			}
+			// Retryable: checkpoint frees space, the same stream commits.
+			if cerr := w.Checkpoint(); cerr != nil {
+				t.Fatalf("checkpoint on full heap: %v", cerr)
+			}
+			if rerr := w.CommitStreams([]*Stream{s}, 1); rerr != nil {
+				t.Fatalf("retry after checkpoint: %v", rerr)
+			}
+			return
+		}
+	}
+	t.Fatal("16-page heap never filled over 60 stream commits; test proves nothing")
+}

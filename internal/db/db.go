@@ -228,6 +228,19 @@ type DB struct {
 	// only; nil otherwise — no backpressure).
 	pressure *pressureState
 
+	// MVCC session page allocator. Sessions allocate page numbers
+	// outside any pager transaction, so uniqueness is arbitrated by
+	// allocTop (monotone high-water page number, kept >= the committed
+	// page count) with rolled-back session pages recycled through
+	// allocPool. mvccAlloc records that the pager's extension hook is
+	// installed; it is only read and written under the writer slot. The
+	// hook is installed lazily on the first BeginConcurrent so purely
+	// legacy workloads keep exact page-count behaviour on rollback.
+	allocTop  atomic.Uint32
+	allocMu   sync.Mutex
+	allocPool []uint32
+	mvccAlloc bool
+
 	// Background checkpointer (Options.BackgroundCheckpoint): commits
 	// and closing readers kick the goroutine instead of checkpointing
 	// inline. A checkpoint error is latched into ckptErr.
@@ -920,9 +933,17 @@ func (d *DB) commitHeldTxn(dl deadline) (uint64, error) {
 		// Flush synchronously while the pager transaction is still open,
 		// so a journal failure — including a backpressure deadline — rolls
 		// it back cleanly. The seq assignment is ordered: no other commit
-		// can touch the journal until this writer releases the slot.
-		gc.nextSeq++
-		seq := gc.nextSeq
+		// can touch the journal until this writer releases the slot (the
+		// queue cannot grow either — enqueueing requires the slot), so
+		// taking it after PrepareCommit is safe and lets the version
+		// vector bump cover the actual frame set. The bump must precede
+		// the journal write: an MVCC session snapshotting between the two
+		// would otherwise miss both the frames (not yet in the log) and
+		// the conflict (vector not yet bumped) — a lost update. Bumping
+		// first, a racing session either conflicts (correct) or
+		// snapshots before the seq and conflicts at validation. A failed
+		// flush leaves a stale bump behind, which can only cause a
+		// spurious ErrConflict, never a lost update.
 		gc.mu.Unlock()
 		frames, err := d.pg.PrepareCommit()
 		if err != nil {
@@ -930,6 +951,11 @@ func (d *DB) commitHeldTxn(dl deadline) (uint64, error) {
 			d.releaseSlot()
 			return 0, err
 		}
+		gc.mu.Lock()
+		gc.nextSeq++
+		seq := gc.nextSeq
+		gc.bumpFrames(frames, seq)
+		gc.mu.Unlock()
 		if err := d.flushSolo(dl, frames); err != nil {
 			d.pg.Rollback()
 			d.releaseSlot()
@@ -953,6 +979,7 @@ func (d *DB) commitHeldTxn(dl deadline) (uint64, error) {
 	gc.nextSeq++
 	req := &commitReq{frames: cloneFrames(frames), done: make(chan struct{}), until: dl.until}
 	seq := gc.nextSeq
+	gc.bumpFrames(req.frames, seq)
 	d.pg.FinishCommit()
 	gc.queue = append(gc.queue, req)
 	if len(gc.queue) >= gc.size || len(gc.queue) >= gc.writers {

@@ -19,6 +19,11 @@ import (
 // flush honors the earliest one.
 type commitReq struct {
 	frames []pager.Frame
+	// stream carries an MVCC session's pre-staged per-writer log stream
+	// (nil for legacy transactions). When every request in a group has
+	// one and the journal is a bare NVWAL, the flush merges the streams
+	// under one Algorithm 1 append instead of re-coalescing frames.
+	stream *core.Stream
 	done   chan struct{}
 	until  time.Duration
 	err    error
@@ -55,6 +60,35 @@ type groupCommitter struct {
 	// pages in the pager cache, so the failure cannot be rolled back —
 	// the engine refuses further writes instead of corrupting state.
 	failed error
+	// versions is the per-page version vector behind MVCC first-
+	// committer-wins validation: versions[pgno] is the seq of the last
+	// committed transaction that wrote pgno (guarded by mu, bumped by
+	// every commit path — solo, grouped, and MVCC). A session whose
+	// snapshot seq is older than a written page's entry lost the race
+	// and gets ErrConflict. Lazily allocated: nil until the first bump.
+	versions map[uint32]uint64
+}
+
+// bumpPage records seq as the latest commit writing pgno. Caller holds mu.
+func (gc *groupCommitter) bumpPage(pgno uint32, seq uint64) {
+	if gc.versions == nil {
+		gc.versions = make(map[uint32]uint64)
+	}
+	gc.versions[pgno] = seq
+}
+
+// bumpFrames records seq against every page in a legacy frame set.
+// Caller holds mu.
+func (gc *groupCommitter) bumpFrames(frames []pager.Frame, seq uint64) {
+	if len(frames) == 0 {
+		return
+	}
+	if gc.versions == nil {
+		gc.versions = make(map[uint32]uint64)
+	}
+	for _, fr := range frames {
+		gc.versions[fr.Pgno] = seq
+	}
 }
 
 // register announces a writer that will commit transactions.
@@ -162,6 +196,24 @@ func (gc *groupCommitter) flushWithBackpressure(reqs []*commitReq) error {
 // when the journal supports it, else one commit per transaction in
 // queue (= logical commit) order.
 func (gc *groupCommitter) flush(reqs []*commitReq) error {
+	// Stream path: when every member staged a per-writer NVRAM stream
+	// and the journal is a bare NVWAL, merge the streams under one
+	// Algorithm 1 append + single commit mark. Frames are the fallback
+	// (file WAL, fault wrappers, mixed legacy/MVCC groups) — the stream
+	// is an optimization, not a correctness requirement.
+	if nv, ok := gc.jrn.(*core.NVWAL); ok {
+		streams := make([]*core.Stream, 0, len(reqs))
+		for _, r := range reqs {
+			if r.stream == nil {
+				streams = nil
+				break
+			}
+			streams = append(streams, r.stream)
+		}
+		if streams != nil {
+			return nv.CommitStreams(streams, len(reqs))
+		}
+	}
 	groups := make([][]pager.Frame, 0, len(reqs))
 	for _, r := range reqs {
 		if len(r.frames) > 0 {

@@ -1,0 +1,747 @@
+package db
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/pager"
+	"repro/internal/simclock"
+)
+
+// ErrConflict is returned by CTx.Commit when first-committer-wins
+// validation rejects the transaction: another transaction committed a
+// write to one of this session's written pages after the session's
+// snapshot. The session is rolled back cleanly (its page numbers are
+// recycled, nothing reached the journal) and the whole transaction is
+// safe to retry from a fresh BeginConcurrent.
+var ErrConflict = errors.New("db: transaction conflicts with a concurrent commit")
+
+// CTx is an MVCC write transaction: a writer session with its own
+// snapshot, its own page working set, and (under a bare NVWAL journal)
+// its own per-writer log stream. Unlike Tx, concurrent CTxs build
+// their changes fully in parallel — no writer slot is held between
+// Begin and Commit — and conflicts surface at commit as a retryable
+// ErrConflict under page-level first-committer-wins. One CTx must not
+// be shared between goroutines.
+type CTx struct {
+	d     *DB
+	ctx   context.Context
+	store *sessionStore
+	trees map[string]*btree.Tree
+	// stream is the session's per-writer NVRAM log stream (nil when the
+	// journal is not a bare NVWAL — fault wrappers and the file WAL fall
+	// back to plain frames).
+	stream *core.Stream
+	// clock, when set via SetClock, receives the session's CPU charges
+	// instead of the platform clock — a simclock lane modeling that
+	// independent writers burn CPU on independent cores.
+	clock *simclock.Clock
+	// snapSeq is gc.nextSeq at snapshot time: any versions-vector entry
+	// above it is a conflicting later commit.
+	snapSeq  uint64
+	mark     int
+	markHeld bool
+	done     bool
+	seq      uint64
+}
+
+// sessionStore is a CTx's private btree.PageStore: reads come from the
+// session snapshot (own working set, then the images of commits that
+// were queued but unflushed at snapshot time, then the journal at the
+// snapshot mark, then the database file) and every loaded page is a
+// private copy, so btree mutations never touch shared state. Page
+// numbers for fresh pages come from the DB-wide arbiter (allocTop /
+// allocPool), never from the shared freelist — popping the freelist
+// requires the writer slot the session deliberately does not hold.
+type sessionStore struct {
+	d        *DB
+	jrn      pager.SnapshotJournal
+	mark     int
+	pageSize int
+	// overlay holds the frame images of commits enqueued but not yet
+	// flushed at snapshot time: they are not reachable through the
+	// journal mark yet, but they ARE committed. Read-only shared
+	// references; Get copies out of them.
+	overlay map[uint32][]byte
+	pages   map[uint32][]byte // private working images
+	base    map[uint32][]byte // committed pre-image of each written page
+	dirty   map[uint32]bool
+	fresh   map[uint32]bool
+	freed   map[uint32]bool // non-fresh pages freed by this session
+	// freshFree recycles pages allocated and freed inside this session.
+	freshFree []uint32
+	// allocs are the page numbers taken from the shared arbiter; on
+	// rollback or conflict they return to the pool for other sessions.
+	allocs []uint32
+}
+
+func (st *sessionStore) PageSize() int { return st.pageSize }
+
+func (st *sessionStore) Get(pgno uint32) ([]byte, error) {
+	if pgno == 0 {
+		return nil, fmt.Errorf("db: page numbers start at 1")
+	}
+	if buf, ok := st.pages[pgno]; ok {
+		return buf, nil
+	}
+	buf := make([]byte, st.pageSize)
+	if img, ok := st.overlay[pgno]; ok {
+		copy(buf, img)
+	} else if v, ok := st.jrn.PageVersionAt(pgno, st.mark); ok {
+		copy(buf, v)
+	} else if err := st.d.dbf.ReadPage(pgno, buf); err != nil {
+		return nil, err
+	}
+	st.pages[pgno] = buf
+	return buf, nil
+}
+
+func (st *sessionStore) Allocate() (uint32, []byte, error) {
+	var pgno uint32
+	if n := len(st.freshFree); n > 0 {
+		pgno = st.freshFree[n-1]
+		st.freshFree = st.freshFree[:n-1]
+	} else if p := st.d.poolGet(); p != 0 {
+		pgno = p
+		st.allocs = append(st.allocs, pgno)
+	} else {
+		pgno = st.d.allocTop.Add(1)
+		st.allocs = append(st.allocs, pgno)
+	}
+	buf, ok := st.pages[pgno]
+	if ok {
+		clear(buf)
+	} else {
+		buf = make([]byte, st.pageSize)
+		st.pages[pgno] = buf
+	}
+	st.dirty[pgno] = true
+	st.fresh[pgno] = true
+	return pgno, buf, nil
+}
+
+func (st *sessionStore) Free(pgno uint32) error {
+	if pgno <= 1 {
+		return fmt.Errorf("db: cannot free page %d", pgno)
+	}
+	if st.fresh[pgno] {
+		// Never committed: recycle inside the session, no trace outside.
+		st.freshFree = append(st.freshFree, pgno)
+		delete(st.dirty, pgno)
+		return nil
+	}
+	// Committed page: freeing it is a write (the commit chains it onto
+	// the shared freelist), so capture the pre-image for the diff and
+	// claim it in the write set.
+	if _, ok := st.base[pgno]; !ok {
+		buf, err := st.Get(pgno)
+		if err != nil {
+			return err
+		}
+		pre := make([]byte, len(buf))
+		copy(pre, buf)
+		st.base[pgno] = pre
+	}
+	st.freed[pgno] = true
+	delete(st.dirty, pgno)
+	return nil
+}
+
+func (st *sessionStore) MarkDirty(pgno uint32) {
+	if st.dirty[pgno] {
+		return
+	}
+	st.dirty[pgno] = true
+	if st.fresh[pgno] {
+		return
+	}
+	if _, ok := st.base[pgno]; !ok {
+		if buf, ok := st.pages[pgno]; ok {
+			pre := make([]byte, len(buf))
+			copy(pre, buf)
+			st.base[pgno] = pre
+		}
+	}
+}
+
+// nextPageNumber is the pager's extension arbiter (pager.SetAllocBase):
+// it hands out page numbers above both the committed page count and
+// everything MVCC sessions have taken, so a legacy transaction
+// extending the file can never collide with an in-flight session.
+func (d *DB) nextPageNumber(pageCount uint32) uint32 {
+	for {
+		top := d.allocTop.Load()
+		n := pageCount
+		if top > n {
+			n = top
+		}
+		if d.allocTop.CompareAndSwap(top, n+1) {
+			return n + 1
+		}
+	}
+}
+
+// raiseAllocTop lifts the arbiter to at least n (monotone).
+func (d *DB) raiseAllocTop(n uint32) {
+	for {
+		top := d.allocTop.Load()
+		if top >= n || d.allocTop.CompareAndSwap(top, n) {
+			return
+		}
+	}
+}
+
+func (d *DB) poolGet() uint32 {
+	d.allocMu.Lock()
+	defer d.allocMu.Unlock()
+	if n := len(d.allocPool); n > 0 {
+		p := d.allocPool[n-1]
+		d.allocPool = d.allocPool[:n-1]
+		return p
+	}
+	return 0
+}
+
+func (d *DB) poolPut(pgnos []uint32) {
+	if len(pgnos) == 0 {
+		return
+	}
+	d.allocMu.Lock()
+	d.allocPool = append(d.allocPool, pgnos...)
+	d.allocMu.Unlock()
+}
+
+// BeginConcurrent opens an MVCC write transaction. Requires
+// Options.Concurrent and a snapshot-capable journal.
+func (d *DB) BeginConcurrent() (*CTx, error) {
+	return d.BeginConcurrentCtx(context.Background())
+}
+
+// BeginConcurrentCtx is BeginConcurrent with a context bounding the
+// admission stall under NVRAM-space backpressure (and, unless
+// CommitCtx overrides it, the commit-side stall too).
+//
+// The snapshot is taken in three phases because of the lock order
+// (slot → ckptMu → gc.mu, and ckptMu must never be held while waiting
+// on gc.mu — a group flush holding gc.mu reclaims space through the
+// checkpoint gate, which takes ckptMu): a provisional mark m0 pins the
+// checkpointer first, the real snapshot (seq, mark, overlay) is taken
+// under gc.mu where it is consistent with the queue, and the pin then
+// moves m0 → mark. Frames between m0 and mark stay readable throughout
+// because the gate refuses any watermark above m0 while it is pinned.
+// The slot is held only across Begin itself — never while the session
+// runs — which keeps solo commits (journal written outside gc.mu)
+// from racing the snapshot.
+func (d *DB) BeginConcurrentCtx(ctx context.Context) (*CTx, error) {
+	sj, ok := d.jrn.(pager.SnapshotJournal)
+	if !ok {
+		return nil, ErrNoSnapshots
+	}
+	if !d.opts.Concurrent {
+		return nil, errors.New("db: BeginConcurrent requires Options.Concurrent")
+	}
+	if err := d.Degraded(); err != nil {
+		return nil, err
+	}
+	if err := d.admitWriter(ctx); err != nil {
+		return nil, err
+	}
+	d.gc.register()
+	if err := d.acquireSlot(); err != nil {
+		d.gc.unregister()
+		return nil, err
+	}
+	if err := d.gc.bail(); err != nil {
+		d.releaseSlot()
+		d.gc.unregister()
+		return nil, err
+	}
+	// Arm the shared page-number arbiter (lazily, so purely legacy
+	// workloads keep exact page-count behaviour on rollback) and lift
+	// it over the committed page count.
+	if !d.mvccAlloc {
+		d.pg.SetAllocBase(d.nextPageNumber)
+		d.mvccAlloc = true
+	}
+	pc, err := d.pg.PageCount()
+	if err != nil {
+		d.releaseSlot()
+		d.gc.unregister()
+		return nil, err
+	}
+	d.raiseAllocTop(pc)
+
+	// Phase 1: provisional checkpoint pin.
+	d.ckptMu.Lock()
+	d.readers.Add(1)
+	m0 := sj.Mark()
+	d.openMarks[m0]++
+	d.ckptMu.Unlock()
+
+	// Phase 2: the real snapshot, consistent under gc.mu.
+	gc := d.gc
+	gc.mu.Lock()
+	snapSeq := gc.nextSeq
+	mark := sj.Mark()
+	var overlay map[uint32][]byte
+	for _, r := range gc.queue {
+		for _, fr := range r.frames {
+			if overlay == nil {
+				overlay = make(map[uint32][]byte)
+			}
+			overlay[fr.Pgno] = fr.Data
+		}
+	}
+	gc.mu.Unlock()
+
+	// Phase 3: move the pin to the real mark.
+	if mark != m0 {
+		d.ckptMu.Lock()
+		if n := d.openMarks[m0]; n <= 1 {
+			delete(d.openMarks, m0)
+		} else {
+			d.openMarks[m0] = n - 1
+		}
+		d.openMarks[mark]++
+		d.ckptMu.Unlock()
+	}
+
+	var stream *core.Stream
+	if nv, ok := d.jrn.(*core.NVWAL); ok {
+		stream = nv.NewStream()
+	}
+	d.releaseSlot()
+
+	return &CTx{
+		d:   d,
+		ctx: ctx,
+		store: &sessionStore{
+			d:        d,
+			jrn:      sj,
+			mark:     mark,
+			pageSize: d.pg.PageSize(),
+			overlay:  overlay,
+			pages:    make(map[uint32][]byte),
+			base:     make(map[uint32][]byte),
+			dirty:    make(map[uint32]bool),
+			fresh:    make(map[uint32]bool),
+			freed:    make(map[uint32]bool),
+		},
+		trees:    make(map[string]*btree.Tree),
+		stream:   stream,
+		snapSeq:  snapSeq,
+		mark:     mark,
+		markHeld: true,
+	}, nil
+}
+
+// SetClock redirects the session's CPU cost charges to a dedicated
+// simclock lane (benchmarks model independent writers as independent
+// cores this way). Must be called before any operation.
+func (tx *CTx) SetClock(c *simclock.Clock) { tx.clock = c }
+
+// Seq returns the commit sequence number (0 until Commit succeeds, and
+// for read-only sessions, which consume no seq).
+func (tx *CTx) Seq() uint64 { return tx.seq }
+
+func (tx *CTx) charge(dur time.Duration) {
+	if dur <= 0 {
+		return
+	}
+	if tx.clock != nil {
+		tx.clock.Advance(dur)
+		tx.d.plat.Metrics.AddTime(metrics.TimeCPU, dur)
+		return
+	}
+	tx.d.chargeCPU(dur)
+}
+
+func (tx *CTx) guard() error {
+	if tx.done {
+		return ErrNoTxn
+	}
+	return nil
+}
+
+// sessionCatalog parses the table catalog as of the snapshot.
+func (tx *CTx) sessionCatalog() (map[string]uint32, error) {
+	hdr, err := tx.store.Get(1)
+	if err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint16(hdr[catalogOff:]))
+	out := make(map[string]uint32, n)
+	for i := 0; i < n; i++ {
+		off := catalogOff + 2 + i*tableEntry
+		name := strings.TrimRight(string(hdr[off:off+tableNameLen]), "\x00")
+		out[name] = binary.LittleEndian.Uint32(hdr[off+tableNameLen:])
+	}
+	return out, nil
+}
+
+func (tx *CTx) tree(table string) (*btree.Tree, error) {
+	if t, ok := tx.trees[table]; ok {
+		return t, nil
+	}
+	cat, err := tx.sessionCatalog()
+	if err != nil {
+		return nil, err
+	}
+	root, ok := cat[table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, table)
+	}
+	t := btree.New(tx.store, root, btree.Config{Reserved: tx.d.reserved()})
+	tx.trees[table] = t
+	return t, nil
+}
+
+// Insert stores key/value in table, replacing an existing value.
+func (tx *CTx) Insert(table string, key, value []byte) error {
+	if err := tx.guard(); err != nil {
+		return err
+	}
+	t, err := tx.tree(table)
+	if err != nil {
+		return err
+	}
+	tx.charge(tx.d.opts.CPU.PerOp)
+	return t.Put(key, value)
+}
+
+// Update rewrites an existing record, reporting whether it existed.
+func (tx *CTx) Update(table string, key, value []byte) (bool, error) {
+	if err := tx.guard(); err != nil {
+		return false, err
+	}
+	t, err := tx.tree(table)
+	if err != nil {
+		return false, err
+	}
+	tx.charge(tx.d.opts.CPU.PerOp)
+	return t.Update(key, value)
+}
+
+// Delete removes a record, reporting whether it existed.
+func (tx *CTx) Delete(table string, key []byte) (bool, error) {
+	if err := tx.guard(); err != nil {
+		return false, err
+	}
+	t, err := tx.tree(table)
+	if err != nil {
+		return false, err
+	}
+	tx.charge(tx.d.opts.CPU.PerOp)
+	return t.Delete(key)
+}
+
+// Get reads a record at the snapshot, seeing the session's own writes.
+func (tx *CTx) Get(table string, key []byte) ([]byte, bool, error) {
+	if err := tx.guard(); err != nil {
+		return nil, false, err
+	}
+	t, err := tx.tree(table)
+	if err != nil {
+		return nil, false, err
+	}
+	return t.Get(key)
+}
+
+// Scan visits table's records at the snapshot (including the session's
+// own writes) in ascending key order until fn returns false.
+func (tx *CTx) Scan(table string, fn func(key, value []byte) bool) error {
+	if err := tx.guard(); err != nil {
+		return err
+	}
+	t, err := tx.tree(table)
+	if err != nil {
+		return err
+	}
+	return t.Scan(fn)
+}
+
+// releaseMark drops the session's checkpoint pin.
+func (tx *CTx) releaseMark() {
+	if !tx.markHeld {
+		return
+	}
+	tx.markHeld = false
+	d := tx.d
+	d.ckptMu.Lock()
+	d.readers.Add(-1)
+	if n := d.openMarks[tx.mark]; n <= 1 {
+		delete(d.openMarks, tx.mark)
+	} else {
+		d.openMarks[tx.mark] = n - 1
+	}
+	d.ckptMu.Unlock()
+	d.kickCheckpoint()
+}
+
+// finish closes the session out: mark released, writer unregistered,
+// and (when the session did not commit) its page numbers recycled.
+func (tx *CTx) finish(recycle bool) {
+	tx.done = true
+	tx.releaseMark()
+	if recycle {
+		tx.d.poolPut(tx.store.allocs)
+	}
+	tx.d.gc.unregister()
+}
+
+// Rollback abandons the session. Nothing reached shared state, so this
+// only recycles the session's page numbers.
+func (tx *CTx) Rollback() {
+	if tx.done {
+		return
+	}
+	tx.finish(true)
+}
+
+// Commit validates and commits the session (see CommitCtx).
+func (tx *CTx) Commit() error {
+	ctx := tx.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return tx.CommitCtx(ctx)
+}
+
+// sessionWrite is one page the session will commit.
+type sessionWrite struct {
+	pgno  uint32
+	img   []byte
+	base  []byte // nil stages a full frame
+	fresh bool
+}
+
+// CommitCtx runs first-committer-wins validation and, if the session
+// wins, commits it through the group queue. The expensive half — the
+// differential staging of every written page into the session's log
+// stream — runs before any engine lock is taken, fully in parallel
+// with other committing sessions; the writer slot is held only for the
+// page-1 reconcile, validation, and enqueue. Losers get ErrConflict
+// with the session rolled back cleanly; the deadline machinery
+// (Options.CommitTimeout / ctx) bounds backpressure stalls exactly as
+// for legacy commits.
+func (tx *CTx) CommitCtx(ctx context.Context) error {
+	if err := tx.guard(); err != nil {
+		return err
+	}
+	d := tx.d
+	tx.charge(d.opts.CPU.TxnFixed)
+	dl := d.newDeadline(ctx)
+	st := tx.store
+
+	// Stage the session's own writes — no lock held.
+	writes := make([]sessionWrite, 0, len(st.dirty))
+	for pgno := range st.dirty {
+		writes = append(writes, sessionWrite{
+			pgno:  pgno,
+			img:   st.pages[pgno],
+			base:  st.base[pgno],
+			fresh: st.fresh[pgno],
+		})
+	}
+	sort.Slice(writes, func(i, j int) bool { return writes[i].pgno < writes[j].pgno })
+	staged := make([]sessionWrite, 0, len(writes)+len(st.freed)+1)
+	for _, wr := range writes {
+		ok, err := tx.stagePage(wr)
+		if err != nil {
+			tx.finish(true)
+			return err
+		}
+		if ok {
+			staged = append(staged, wr)
+		}
+	}
+	if len(staged) == 0 && len(st.freed) == 0 {
+		// Read-only (or all writes were byte-identical no-ops): nothing
+		// to validate, nothing to log.
+		tx.finish(true)
+		return nil
+	}
+
+	// The snapshot is no longer needed — everything the commit writes
+	// is materialized above. Dropping the pin here keeps the session's
+	// own flush (whose space reclaim checkpoints through the mark gate)
+	// from being blocked by its own mark.
+	tx.releaseMark()
+
+	if err := d.acquireSlot(); err != nil {
+		tx.finish(true)
+		return err
+	}
+	if err := d.gc.bail(); err != nil {
+		d.releaseSlot()
+		tx.finish(true)
+		return err
+	}
+
+	// Page-1 reconcile, against the CURRENT committed header (stable
+	// while the slot is held), not the snapshot: the page count covers
+	// every page this session materializes, and freed pages chain onto
+	// the shared freelist. Sessions never write page 1 from btree ops,
+	// so this page is never part of the validation set — the slot
+	// serializes it.
+	cur1, err := d.pg.Get(1)
+	if err != nil {
+		d.releaseSlot()
+		tx.finish(true)
+		return err
+	}
+	base1 := make([]byte, len(cur1))
+	copy(base1, cur1)
+	img1 := make([]byte, len(cur1))
+	copy(img1, cur1)
+	maxOwn := pager.HeaderPageCount(img1)
+	for _, wr := range staged {
+		if wr.fresh && wr.pgno > maxOwn {
+			maxOwn = wr.pgno
+		}
+	}
+	pager.SetHeaderPageCount(img1, maxOwn)
+	freed := make([]uint32, 0, len(st.freed))
+	for pgno := range st.freed {
+		freed = append(freed, pgno)
+	}
+	sort.Slice(freed, func(i, j int) bool { return freed[i] < freed[j] })
+	head := pager.HeaderFreeHead(img1)
+	cnt := pager.HeaderFreeCount(img1)
+	for _, pgno := range freed {
+		link := make([]byte, st.pageSize)
+		copy(link, st.base[pgno])
+		pager.SetFreelistLink(link, head)
+		head = pgno
+		cnt++
+		wr := sessionWrite{pgno: pgno, img: link, base: st.base[pgno]}
+		ok, err := tx.stagePage(wr)
+		if err != nil {
+			d.releaseSlot()
+			tx.finish(true)
+			return err
+		}
+		if ok {
+			staged = append(staged, wr)
+		}
+	}
+	pager.SetHeaderFreeHead(img1, head)
+	pager.SetHeaderFreeCount(img1, cnt)
+	hdrWrite := sessionWrite{pgno: 1, img: img1, base: base1}
+	if ok, err := tx.stagePage(hdrWrite); err != nil {
+		d.releaseSlot()
+		tx.finish(true)
+		return err
+	} else if ok {
+		staged = append(staged, hdrWrite)
+	}
+
+	// Validate + publish under gc.mu: the versions vector, the seq, and
+	// the queue position all move together.
+	gc := d.gc
+	gc.mu.Lock()
+	if gc.failed != nil {
+		err := gc.failed
+		gc.mu.Unlock()
+		d.releaseSlot()
+		tx.finish(true)
+		return err
+	}
+	for _, wr := range staged {
+		if wr.pgno == 1 || wr.fresh {
+			continue
+		}
+		if gc.versions[wr.pgno] > tx.snapSeq {
+			gc.mu.Unlock()
+			d.releaseSlot()
+			tx.finish(true)
+			d.plat.Metrics.Inc(metrics.MVCCConflicts, 1)
+			return fmt.Errorf("%w: page %d", ErrConflict, wr.pgno)
+		}
+	}
+	gc.nextSeq++
+	seq := gc.nextSeq
+	for _, wr := range staged {
+		gc.bumpPage(wr.pgno, seq)
+	}
+	var frames []pager.Frame
+	if tx.stream != nil {
+		frames = tx.stream.StreamFrames()
+	} else {
+		frames = make([]pager.Frame, 0, len(staged))
+		for _, wr := range staged {
+			frames = append(frames, pager.Frame{Pgno: wr.pgno, Data: wr.img})
+		}
+	}
+	req := &commitReq{frames: frames, stream: tx.stream, done: make(chan struct{}), until: dl.until}
+	gc.queue = append(gc.queue, req)
+	if len(gc.queue) >= gc.size || len(gc.queue) >= gc.writers {
+		gc.flushLocked()
+	}
+	gc.mu.Unlock()
+
+	// Publish the committed images into the shared pager cache before
+	// the slot is released, so the next legacy writer (and non-snapshot
+	// reads) see them — the analogue of FinishCommit.
+	for _, wr := range staged {
+		d.pg.Install(wr.pgno, wr.img)
+	}
+	d.releaseSlot()
+	<-req.done
+	if req.err != nil {
+		tx.finish(false) // group failure latches the engine; images may be shared
+		return req.err
+	}
+	tx.seq = seq
+	tx.finish(false)
+	d.plat.Metrics.Inc(metrics.MVCCCommits, 1)
+	d.maybeKickScrub()
+	return d.maybeAutoCheckpoint()
+}
+
+// stagePage routes one write into the session's stream (or, without
+// one, applies the same no-op skip the stream would). Reports whether
+// the page actually needs logging.
+func (tx *CTx) stagePage(wr sessionWrite) (bool, error) {
+	if tx.stream != nil {
+		return tx.stream.StagePage(wr.pgno, wr.img, wr.base)
+	}
+	if wr.base != nil && bytes.Equal(wr.img, wr.base) {
+		return false, nil
+	}
+	return true, nil
+}
+
+// RunConcurrent runs fn inside MVCC sessions, retrying conflicts until
+// the commit succeeds, fn fails, or the backpressure deadline
+// (Options.CommitTimeout / ctx) expires — the same budget legacy
+// commits stall under. fn must be idempotent: it may run many times.
+func (d *DB) RunConcurrent(ctx context.Context, fn func(tx *CTx) error) error {
+	dl := d.newDeadline(ctx)
+	for {
+		tx, err := d.BeginConcurrentCtx(ctx)
+		if err != nil {
+			return err
+		}
+		if err := fn(tx); err != nil {
+			tx.Rollback()
+			return err
+		}
+		err = tx.CommitCtx(ctx)
+		if err == nil || !errors.Is(err, ErrConflict) {
+			return err
+		}
+		if derr := dl.expired(); derr != nil {
+			return fmt.Errorf("%w (last: %v)", derr, err)
+		}
+	}
+}

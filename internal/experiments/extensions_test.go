@@ -283,3 +283,44 @@ func TestShardsShapes(t *testing.T) {
 		t.Fatal("printer output missing header")
 	}
 }
+
+func TestMVCCShapes(t *testing.T) {
+	r, err := MVCC(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 modes × 4 writer counts.
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Committed == 0 {
+			t.Fatalf("no commits ever succeeded: %+v", row)
+		}
+		if row.P99CommitNs < row.P50CommitNs {
+			t.Fatalf("p99 below p50: %+v", row)
+		}
+		if row.Conflicts > 0 && row.Mode == "legacy" {
+			t.Fatalf("legacy slot transactions can never conflict: %+v", row)
+		}
+	}
+	// The headline property survives a tiny sweep: sessions on
+	// independent CPU lanes out-commit slot-serialized writers per unit
+	// virtual time, and keep scaling with writers (loose bounds — the
+	// committed full-size run pins 6.4x at 64 writers).
+	l8, m8, m64 := r.Row("legacy", 8), r.Row("mvcc", 8), r.Row("mvcc", 64)
+	if l8 == nil || m8 == nil || m64 == nil {
+		t.Fatal("sweep missing a mode/writer cell")
+	}
+	if m8.Throughput < 2*l8.Throughput {
+		t.Fatalf("mvcc only %.2fx over legacy at 8 writers", m8.Throughput/l8.Throughput)
+	}
+	if m64.Throughput < 1.5*m8.Throughput {
+		t.Fatalf("mvcc at 64 writers only %.2fx over 8", m64.Throughput/m8.Throughput)
+	}
+	var b bytes.Buffer
+	r.Print(&b)
+	if !strings.Contains(b.String(), "MVCC sweep") {
+		t.Fatal("printer output missing header")
+	}
+}

@@ -69,6 +69,9 @@ const (
 	PressureStallNs   = "pressure_stall_ns"   // virtual ns spent stalled under backpressure
 	UrgentCheckpoints = "urgent_checkpoints"  // checkpoint rounds forced by space pressure
 	CommitTimeouts    = "commit_timeouts"     // backpressure stalls abandoned at their deadline
+	// Multi-writer MVCC (per-writer streams, first-committer-wins).
+	MVCCCommits   = "mvcc_commits"   // MVCC session transactions committed
+	MVCCConflicts = "mvcc_conflicts" // MVCC commits rejected by page-version validation
 )
 
 // Standard time keys.

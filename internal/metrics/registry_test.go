@@ -28,6 +28,63 @@ func TestRegistrySameLabelSameSink(t *testing.T) {
 	}
 }
 
+// TestRegistryAggregateDisjointKeys: shards counting entirely disjoint
+// key sets aggregate into a view holding every key at its single
+// contributor's value, and no member's snapshot leaks a foreign key.
+func TestRegistryAggregateDisjointKeys(t *testing.T) {
+	r := NewRegistry()
+	r.Counters("shard0").Inc(WALFrames, 7)
+	r.Counters("shard0").AddTime(TimeMemcpy, 3*time.Millisecond)
+	r.Counters("shard1").Inc(MVCCCommits, 4)
+	r.Counters("shard1").Inc(MVCCConflicts, 2)
+	r.Counters("shard1").AddTime(TimeBlockIO, 5*time.Millisecond)
+
+	agg := r.Aggregate()
+	for key, want := range map[string]int64{WALFrames: 7, MVCCCommits: 4, MVCCConflicts: 2} {
+		if got := agg.Count(key); got != want {
+			t.Fatalf("aggregate %s = %d, want %d", key, got, want)
+		}
+	}
+	if got := agg.Time(TimeMemcpy); got != 3*time.Millisecond {
+		t.Fatalf("aggregate t_memcpy = %v, want 3ms", got)
+	}
+	if got := agg.Time(TimeBlockIO); got != 5*time.Millisecond {
+		t.Fatalf("aggregate t_block_io = %v, want 5ms", got)
+	}
+	if got := r.Snapshot("shard0").Count(MVCCCommits); got != 0 {
+		t.Fatalf("shard0 snapshot leaked shard1's mvcc_commits = %d", got)
+	}
+	if got := r.Snapshot("shard1").Count(WALFrames); got != 0 {
+		t.Fatalf("shard1 snapshot leaked shard0's wal_frames = %d", got)
+	}
+}
+
+// TestRegistryAggregateOverlappingKeys: shards counting the SAME keys
+// sum per key — counters and times both — while each member keeps only
+// its own share.
+func TestRegistryAggregateOverlappingKeys(t *testing.T) {
+	r := NewRegistry()
+	for i, label := range []string{"shard0", "shard1", "shard2"} {
+		c := r.Counters(label)
+		c.Inc(Transactions, int64(i+1))                         // 1+2+3 = 6
+		c.Inc(PersistBarrier, 10)                               // 30
+		c.AddTime(TimeCPU, time.Duration(i+1)*time.Microsecond) // 6µs
+	}
+	agg := r.Aggregate()
+	if got := agg.Count(Transactions); got != 6 {
+		t.Fatalf("aggregate transactions = %d, want 6", got)
+	}
+	if got := agg.Count(PersistBarrier); got != 30 {
+		t.Fatalf("aggregate persist_barrier = %d, want 30", got)
+	}
+	if got := agg.Time(TimeCPU); got != 6*time.Microsecond {
+		t.Fatalf("aggregate t_cpu = %v, want 6µs", got)
+	}
+	if got := r.Snapshot("shard1").Count(Transactions); got != 2 {
+		t.Fatalf("shard1 transactions = %d, want 2", got)
+	}
+}
+
 func TestRegistryAggregate(t *testing.T) {
 	r := NewRegistry()
 	r.Counters("shard0").Inc(WALFrames, 10)

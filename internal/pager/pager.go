@@ -185,6 +185,13 @@ type Pager struct {
 	// or deep clone) before the writer slot is released, so the slice is
 	// free again by the time the next transaction prepares.
 	frameScratch []Frame
+	// allocBase, when set, arbitrates database extension against an
+	// external page-number allocator (MVCC sessions allocating outside
+	// any pager transaction). It receives the current page count and
+	// returns the page number to extend with — always > every number
+	// the external allocator has handed out, so the two can never
+	// collide.
+	allocBase func(pageCount uint32) uint32
 }
 
 // Open attaches a pager to the database file and journal. A fresh
@@ -312,6 +319,9 @@ func (p *Pager) Allocate() (uint32, []byte, error) {
 		return 0, nil, err
 	}
 	pgno := n + 1
+	if p.allocBase != nil {
+		pgno = p.allocBase(n)
+	}
 	p.setPageCount(hdr, pgno)
 	buf := make([]byte, p.pageSize)
 	p.cache[pgno] = buf
@@ -486,6 +496,58 @@ func (p *Pager) SetJournal(jrn Journal) {
 // frames themselves — group commit, backpressure retry — go through it
 // so journal wrappers installed by fault harnesses stay effective.
 func (p *Pager) Journal() Journal { return p.jrn }
+
+// SetAllocBase installs the external page-number arbiter consulted by
+// Allocate when extending the database (see the field doc). Installing
+// it mid-transaction is a programming error.
+func (p *Pager) SetAllocBase(fn func(pageCount uint32) uint32) {
+	if p.inTxn {
+		panic("pager: SetAllocBase inside a transaction")
+	}
+	p.allocBase = fn
+}
+
+// Install publishes a committed page image into the shared cache
+// without a pager transaction. MVCC session commits use it: their
+// frames bypass Begin/PrepareCommit, but later writers and reads must
+// see the new images. The data is copied — in place when the page is
+// already cached, so existing references stay valid. Callers must hold
+// the writer slot; calling inside a pager transaction is a programming
+// error.
+func (p *Pager) Install(pgno uint32, data []byte) {
+	if p.inTxn {
+		panic("pager: Install inside a transaction")
+	}
+	buf, ok := p.cache[pgno]
+	if !ok {
+		buf = make([]byte, p.pageSize)
+		p.cache[pgno] = buf
+	}
+	copy(buf, data)
+}
+
+// Evict drops one page from the shared cache (the MVCC commit path
+// uses it for pages it freed: their next read must come from the
+// journal, not a stale cached image). Illegal mid-transaction.
+func (p *Pager) Evict(pgno uint32) {
+	if p.inTxn {
+		panic("pager: Evict inside a transaction")
+	}
+	delete(p.cache, pgno)
+}
+
+// Header-field accessors for page-1 images held outside the pager (the
+// MVCC commit path reconciles the header against its snapshot copy).
+func HeaderPageCount(hdr []byte) uint32       { return getU32(hdr, hdrPageCountOff) }
+func SetHeaderPageCount(hdr []byte, n uint32) { putU32(hdr, hdrPageCountOff, n) }
+func HeaderFreeHead(hdr []byte) uint32        { return getU32(hdr, hdrFreeHeadOff) }
+func SetHeaderFreeHead(hdr []byte, n uint32)  { putU32(hdr, hdrFreeHeadOff, n) }
+func HeaderFreeCount(hdr []byte) uint32       { return getU32(hdr, hdrFreeCountOff) }
+func SetHeaderFreeCount(hdr []byte, n uint32) { putU32(hdr, hdrFreeCountOff, n) }
+
+// FreelistLink reads / writes a freelist page's next-page link word.
+func FreelistLink(buf []byte) uint32          { return getU32(buf, 0) }
+func SetFreelistLink(buf []byte, next uint32) { putU32(buf, 0, next) }
 
 // DropCache empties the page cache (after recovery, or to simulate a
 // cold start). Illegal mid-transaction.

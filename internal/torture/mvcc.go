@@ -1,0 +1,572 @@
+package torture
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/memsim"
+	"repro/internal/platform"
+)
+
+// MVCC chain mode (Options.MVCC): every worker writes the SAME shared
+// keyspace through BeginConcurrent sessions (with a fraction of legacy
+// Begin transactions mixed in, since both paths maintain the page
+// version vector). Conflicts are a legal, expected outcome — the driver
+// retries them a few times and otherwise drops the attempt, and only
+// transactions whose commit actually succeeded (seq assigned) enter the
+// oracle history.
+//
+// Per-worker prefix matching — the plain-mode oracle — is UNSOUND here:
+// with overlapping keyspaces a worker's keys are rewritten by everyone,
+// so no per-worker model exists. The MVCC oracle instead replays the
+// committed transactions in global commit-sequence order over the
+// round's base state. That is sound because (a) the final value of
+// every key is whatever its last writer in seq order put there —
+// snapshot-isolation anomalies are read anomalies, never write-state
+// ones — and (b) the journal flushes groups in seq order under atomic
+// commit marks, so a crash preserves exactly a seq-prefix of the
+// history. Every committed transaction writes its per-worker counter
+// key, which makes all prefix states pairwise distinct, so the survivor
+// matches at most one prefix.
+
+// MVCCSharedKeys is the size of the overlapping keyspace all workers
+// contend on. Small enough that btree leaves are shared (real page
+// conflicts), large enough that the tree splits past one leaf.
+const MVCCSharedKeys = 24
+
+// MVCCSharedKey returns the i'th key of the shared keyspace.
+func MVCCSharedKey(i int) string { return fmt.Sprintf("s/k%02d", i) }
+
+// MVCCCounterKey is the per-worker key every committed transaction
+// stamps with its round and per-worker commit index, making every
+// seq-prefix state distinct (the same role CounterKey plays for the
+// disjoint-keyspace oracle).
+func MVCCCounterKey(worker int) string { return fmt.Sprintf("c/w%02d", worker) }
+
+// genMVCCOps builds one transaction's mutations over the shared
+// keyspace, ending with the worker's counter stamp.
+func genMVCCOps(rng *rand.Rand, worker, round, idx int) []Op {
+	n := 1 + rng.Intn(4)
+	ops := make([]Op, 0, n+1)
+	for i := 0; i < n; i++ {
+		k := MVCCSharedKey(rng.Intn(MVCCSharedKeys))
+		if rng.Intn(5) == 0 {
+			ops = append(ops, Op{Key: k, Delete: true})
+		} else {
+			val := fmt.Sprintf("v%d.%d.%d.%d.%x", worker, round, idx, i, rng.Int63())
+			for len(val) < 24+rng.Intn(80) {
+				val += "."
+			}
+			ops = append(ops, Op{Key: k, Value: val})
+		}
+	}
+	ops = append(ops, Op{Key: MVCCCounterKey(worker), Value: fmt.Sprintf("%d.%d", round, idx)})
+	return ops
+}
+
+// VerifyMVCC checks a recovered survivor against an overlapping-
+// keyspace history: the survivor must equal the base state plus some
+// prefix of the committed transactions in global commit-sequence order,
+// and (unless WeakDurability) that prefix must cover every acknowledged
+// commit. Only transactions with an assigned seq may appear — a commit
+// that failed cleanly (conflict, backpressure) never reached the log
+// and belongs outside the history.
+func VerifyMVCC(h History, survivor map[string]string) []Violation {
+	var out []Violation
+
+	for k := range survivor {
+		if strings.HasPrefix(k, "s/") {
+			continue
+		}
+		owned := false
+		for w := 0; w < h.Workers; w++ {
+			if k == MVCCCounterKey(w) {
+				owned = true
+				break
+			}
+		}
+		if !owned {
+			out = append(out, Violation{Kind: "resurrection", Worker: -1,
+				Detail: fmt.Sprintf("survivor holds key %q outside the shared keyspace", k)})
+		}
+	}
+
+	txns := append([]Txn(nil), h.Txns...)
+	sort.Slice(txns, func(i, j int) bool { return txns[i].Seq < txns[j].Seq })
+	lastIdx := make(map[int]int)
+	for i, t := range txns {
+		if t.Seq == 0 {
+			out = append(out, Violation{Kind: "error", Worker: t.Worker,
+				Detail: "MVCC history holds a transaction without a commit seq"})
+			return out
+		}
+		if i > 0 && t.Seq == txns[i-1].Seq {
+			out = append(out, Violation{Kind: "error", Worker: t.Worker,
+				Detail: fmt.Sprintf("two transactions share commit seq %d", t.Seq)})
+			return out
+		}
+		// A worker issues its transactions sequentially, so its commits
+		// must appear in issue order within the global seq order.
+		if t.Index <= lastIdx[t.Worker] {
+			out = append(out, Violation{Kind: "order", Worker: t.Worker,
+				Detail: fmt.Sprintf("txn %d (seq %d) committed after txn %d of the same worker",
+					t.Index, t.Seq, lastIdx[t.Worker])})
+			return out
+		}
+		lastIdx[t.Worker] = t.Index
+	}
+
+	state := make(map[string]string, len(h.Base))
+	for k, v := range h.Base {
+		state[k] = v
+	}
+	m, ackedPos := -1, 0
+	if sameState(state, survivor) {
+		m = 0
+	}
+	for i, t := range txns {
+		applyTxn(state, t)
+		if sameState(state, survivor) {
+			m = i + 1 // counter stamps make prefix states distinct
+		}
+		if t.Acked {
+			ackedPos = i + 1
+		}
+	}
+	switch {
+	case m < 0:
+		out = append(out, Violation{Kind: "atomicity", Worker: -1,
+			Detail: fmt.Sprintf("survivor matches no seq-order prefix (0..%d); vs full state: %s",
+				len(txns), diffState(state, survivor))})
+	case m < ackedPos && !h.WeakDurability:
+		out = append(out, Violation{Kind: "durability", Worker: -1,
+			Detail: fmt.Sprintf("acknowledged commit at seq position %d lost: survivor reflects only %d/%d commits",
+				ackedPos, m, len(txns))})
+	}
+	return out
+}
+
+// sampleMVCCChain draws an overlapping-keyspace chain configuration:
+// always ≥ 2 writers (one writer cannot conflict with itself), the
+// strict-durability variant rotation, and the usual auxiliary load.
+func sampleMVCCChain(rng *rand.Rand, opts Options) chainCfg {
+	variants := []core.NamedConfig{
+		{Name: "E", Cfg: core.VariantE()},
+		{Name: "LS", Cfg: core.VariantLS()},
+		{Name: "LS+Diff", Cfg: core.VariantLSDiff()},
+		{Name: "UH+LS", Cfg: core.VariantUHLS()},
+		{Name: "UH+LS+Diff", Cfg: core.VariantUHLSDiff()},
+		{Name: "SP", Cfg: core.VariantSP()},
+		{Name: "EP", Cfg: core.VariantEP()},
+	}
+	v := variants[rng.Intn(len(variants))]
+	cfg := chainCfg{
+		label:   "MVCC/" + v.Name,
+		variant: v.Cfg,
+		rounds:  3 + rng.Intn(4),
+	}
+	if opts.Workers > 1 {
+		cfg.workers = opts.Workers
+	} else {
+		cfg.workers = 2 + rng.Intn(4)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		cfg.groupCommit = 1
+	case 1:
+		cfg.groupCommit = 2
+	default:
+		cfg.groupCommit = cfg.workers
+	}
+	cfg.bgCkpt = rng.Intn(2) == 0
+	cfg.churn = rng.Intn(2) == 0
+	cfg.reader = rng.Intn(2) == 0
+	cfg.ckptLimit = 24 + rng.Intn(120)
+	if opts.HeapPages > 0 {
+		cfg.ckptLimit = 4 + rng.Intn(12)
+	}
+	cfg.policies = []memsim.FailPolicy{
+		memsim.FailDropAll, memsim.FailKeepCompleted, memsim.FailAdversarial,
+	}
+	return cfg
+}
+
+// runMVCCChain runs one overlapping-keyspace crash chain: the same
+// (workload with armed crash → power fail → reboot → recover → oracle)
+// loop as runChain, with the MVCC workload and the seq-order oracle.
+func runMVCCChain(opts Options, step int) chainResult {
+	seed := mix(opts.Seed, step)
+	rng := rand.New(rand.NewSource(seed))
+	cfg := sampleMVCCChain(rng, opts)
+	res := chainResult{}
+
+	repro := fmt.Sprintf("nvwal-fuzz -mvcc -seed %d -step %d", opts.Seed, step)
+	if opts.MaxRounds > 0 {
+		repro += fmt.Sprintf(" -max-rounds %d", opts.MaxRounds)
+	}
+	if opts.MaxTxns > 0 {
+		repro += fmt.Sprintf(" -max-txns %d", opts.MaxTxns)
+	}
+	if opts.HeapPages > 0 {
+		repro += fmt.Sprintf(" -heap-pages %d", opts.HeapPages)
+	}
+	fail := func(round int, v Violation) {
+		res.violations = append(res.violations, ViolationReport{
+			Step: step, Seed: opts.Seed, Round: round, Chain: cfg.String(),
+			Kind: v.Kind, Worker: v.Worker, Detail: v.Detail, Repro: repro,
+		})
+	}
+
+	if opts.MaxRounds > 0 && cfg.rounds > opts.MaxRounds {
+		cfg.rounds = opts.MaxRounds
+	}
+
+	plat, err := newChainPlatform(opts)
+	if err != nil {
+		fail(-1, Violation{Kind: "error", Worker: -1, Detail: "platform: " + err.Error()})
+		return res
+	}
+	dbOpts := db.Options{
+		Journal:              db.JournalNVWAL,
+		NVWAL:                cfg.variant,
+		Concurrent:           true,
+		GroupCommit:          cfg.groupCommit,
+		BackgroundCheckpoint: cfg.bgCkpt,
+		CheckpointLimit:      cfg.ckptLimit,
+	}
+	if opts.HeapPages > 0 {
+		dbOpts.CommitTimeout = 250 * time.Millisecond
+	}
+	d, err := db.Open(plat, "fuzz", dbOpts)
+	if err != nil {
+		fail(-1, Violation{Kind: "error", Worker: -1, Detail: "open: " + err.Error()})
+		return res
+	}
+	if err := d.CreateTable("t"); err != nil {
+		fail(-1, Violation{Kind: "error", Worker: -1, Detail: "create table: " + err.Error()})
+		return res
+	}
+
+	base := map[string]string{}
+	window := int64(2500)
+	opts.logf("chain %d (seed %d): %s", step, seed, cfg)
+
+	for round := 0; round < cfg.rounds; round++ {
+		policy := cfg.policies[rng.Intn(len(cfg.policies))]
+		armAfter := 1 + rng.Int63n(window)
+		pfSeed := rng.Int63()
+		txnsPer := 3 + rng.Intn(8)
+		if opts.MaxTxns > 0 && txnsPer > opts.MaxTxns {
+			txnsPer = opts.MaxTxns
+		}
+		opStart := plat.OpCount()
+
+		plat.ArmCrash(armAfter, policy, pfSeed)
+		hist, wvs, indeterminate := runMVCCWorkload(d, plat, cfg, base, seed, round, txnsPer)
+		res.txns += len(hist.Txns)
+
+		if d.Degraded() != nil && opts.HeapPages > 0 {
+			res.degraded = true
+		}
+		d.Abandon()
+		plat.PowerFail(policy, pfSeed)
+		if err := plat.Reboot(); err != nil {
+			fail(round, Violation{Kind: "error", Worker: -1, Detail: "reboot: " + err.Error()})
+			return res
+		}
+		d, err = db.Open(plat, "fuzz", dbOpts)
+		if err != nil {
+			fail(round, Violation{Kind: "error", Worker: -1, Detail: "recovery open: " + err.Error()})
+			return res
+		}
+		if !d.HasTable("t") {
+			fail(round, Violation{Kind: "durability", Worker: -1,
+				Detail: "table created before the crash window vanished"})
+			return res
+		}
+		survivor := map[string]string{}
+		err = d.Scan("t", func(k, v []byte) bool {
+			survivor[string(k)] = string(v)
+			return true
+		})
+		if err != nil {
+			fail(round, Violation{Kind: "error", Worker: -1, Detail: "survivor scan: " + err.Error()})
+			return res
+		}
+		if err := d.Check(); err != nil {
+			fail(round, Violation{Kind: "atomicity", Worker: -1, Detail: "btree check: " + err.Error()})
+			return res
+		}
+
+		for _, v := range wvs {
+			fail(round, v)
+		}
+		if indeterminate {
+			// A commit failed with a hard error after the crash instant:
+			// whether it reached the log is unknowable from outside, so no
+			// seq-order prefix claim is sound. Structural checks above
+			// still ran; the chain continues from whatever survived.
+			opts.logf("chain %d round %d (%s): indeterminate commit outcome, oracle skipped",
+				step, round, policyName(policy))
+		} else {
+			hist.WeakDurability = cfg.variant.Sync == core.SyncChecksum
+			for _, v := range VerifyMVCC(hist, survivor) {
+				fail(round, v)
+			}
+		}
+		res.rounds++
+		if len(res.violations) > 0 {
+			if os.Getenv("TORTURE_DEBUG") != "" {
+				for _, t := range hist.Txns {
+					opts.logf("DBG txn w=%d idx=%d seq=%d acked=%v ops=%d", t.Worker, t.Index, t.Seq, t.Acked, len(t.Ops))
+				}
+				keys := make([]string, 0, len(survivor))
+				for k := range survivor {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					opts.logf("DBG surv %q=%q", k, clip(survivor[k]))
+				}
+			}
+			opts.logf("chain %d round %d (%s): VIOLATION", step, round, policyName(policy))
+			d.Abandon()
+			return res
+		}
+
+		base = survivor
+		if used := plat.OpCount() - opStart; used > 300 {
+			window = used
+		}
+	}
+	_ = d.Close()
+	return res
+}
+
+// mvccRetries bounds the per-transaction conflict retry budget: enough
+// that the workload makes progress under heavy contention, small enough
+// that a pathological livelock shows up as dropped (never-recorded)
+// transactions rather than a hang.
+const mvccRetries = 8
+
+// runMVCCWorkload drives one round with the crash trigger armed:
+// cfg.workers writers over ONE shared keyspace, each transaction run as
+// an MVCC session (or, one time in four, a legacy slot transaction —
+// both paths feed the same version vector). Conflicted and cleanly
+// backpressured attempts stay out of the history; only commits with an
+// assigned seq enter it. The returned indeterminate flag is set when a
+// commit failed with a hard error after the crash instant, leaving its
+// durability unknowable.
+func runMVCCWorkload(d *db.DB, plat *platform.Platform, cfg chainCfg,
+	base map[string]string, seed int64, round, txnsPer int) (History, []Violation, bool) {
+
+	hist := History{Base: base, Workers: cfg.workers}
+	var mu sync.Mutex // guards hist.Txns, violations, indeterminate
+	var violations []Violation
+	indeterminate := false
+	var wg sync.WaitGroup
+
+	stop := make(chan struct{})
+	if cfg.churn {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			crng := rand.New(rand.NewSource(mix(seed, round*1000+901)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				blk, err := plat.Heap.NVPreMalloc(4096 * (1 + crng.Intn(2)))
+				if err != nil {
+					continue
+				}
+				_ = plat.Heap.NVFree(blk)
+			}
+		}()
+	}
+	if cfg.reader {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rtx, err := d.BeginRead()
+				if err != nil {
+					continue
+				}
+				_ = rtx.Scan("t", func(k, v []byte) bool { return true })
+				rtx.Close()
+			}
+		}()
+	}
+
+	// record appends one committed transaction under the lock.
+	record := func(w, idx int, seq uint64, acked bool, ops []Op) {
+		mu.Lock()
+		hist.Txns = append(hist.Txns, Txn{Worker: w, Index: idx, Seq: seq, Acked: acked, Ops: ops})
+		mu.Unlock()
+	}
+	violate := func(w int, kind, detail string) {
+		mu.Lock()
+		violations = append(violations, Violation{Kind: kind, Worker: w, Detail: detail})
+		mu.Unlock()
+	}
+
+	var writers sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			wrng := rand.New(rand.NewSource(mix(seed, round*1000+w)))
+			committed := 0
+			for i := 0; i < txnsPer; i++ {
+				rollback := wrng.Intn(100) < 15
+				idx := committed + 1
+				ops := genMVCCOps(wrng, w, round, idx)
+				legacy := wrng.Intn(4) == 0
+
+				var seq uint64
+				var err error
+				if legacy {
+					seq, err = runMVCCLegacyTxn(d, ops, rollback)
+				} else {
+					seq, err = runMVCCSessionTxn(d, plat, w, ops, rollback, violate)
+				}
+				switch {
+				case err == nil && seq == 0:
+					// Clean non-commit: rollback, conflict budget exhausted,
+					// or backpressure — legal, stays out of the history.
+					continue
+				case err == nil:
+					record(w, idx, seq, !plat.CrashTriggered(), ops)
+					committed = idx
+				case errors.Is(err, db.ErrBusy):
+					continue
+				case errors.Is(err, db.ErrDegraded):
+					return
+				default:
+					if plat.CrashTriggered() {
+						mu.Lock()
+						indeterminate = true
+						mu.Unlock()
+					} else {
+						violate(w, "error", "txn: "+err.Error())
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	return hist, violations, indeterminate
+}
+
+// runMVCCSessionTxn runs one transaction as an MVCC session, retrying
+// conflicts up to mvccRetries. Returns the commit seq (0 = cleanly not
+// committed) or a hard error.
+func runMVCCSessionTxn(d *db.DB, plat *platform.Platform, w int, ops []Op,
+	rollback bool, violate func(w int, kind, detail string)) (uint64, error) {
+
+	for try := 0; try <= mvccRetries; try++ {
+		tx, err := d.BeginConcurrent()
+		if err != nil {
+			if errors.Is(err, db.ErrBusy) {
+				return 0, nil
+			}
+			return 0, err
+		}
+		bad := false
+		for _, op := range ops {
+			if op.Delete {
+				_, err = tx.Delete("t", []byte(op.Key))
+			} else {
+				err = tx.Insert("t", []byte(op.Key), []byte(op.Value))
+			}
+			if err != nil {
+				bad = true
+				break
+			}
+		}
+		if bad {
+			tx.Rollback()
+			return 0, err
+		}
+		// Read-your-writes inside the session: the last op on a key this
+		// transaction wrote must be what the session reads back.
+		op := ops[len(ops)-1]
+		got, ok, gerr := tx.Get("t", []byte(op.Key))
+		if gerr == nil {
+			if op.Delete && ok {
+				if !plat.CrashTriggered() {
+					violate(w, "error", fmt.Sprintf("session read-your-writes: deleted %q still present", op.Key))
+				}
+			} else if !op.Delete && (!ok || string(got) != op.Value) {
+				if !plat.CrashTriggered() {
+					violate(w, "error", fmt.Sprintf("session read-your-writes mismatch on %q", op.Key))
+				}
+			}
+		}
+		if rollback {
+			tx.Rollback()
+			return 0, nil
+		}
+		err = tx.Commit()
+		switch {
+		case err == nil || errors.Is(err, db.ErrCheckpointDeferred):
+			return tx.Seq(), nil
+		case errors.Is(err, db.ErrConflict):
+			continue
+		default:
+			return 0, err
+		}
+	}
+	return 0, nil // conflict budget exhausted: cleanly dropped
+}
+
+// runMVCCLegacyTxn runs one transaction through the legacy slot path,
+// which can never conflict (it holds the writer slot throughout).
+func runMVCCLegacyTxn(d *db.DB, ops []Op, rollback bool) (uint64, error) {
+	tx, err := d.Begin()
+	if err != nil {
+		if errors.Is(err, db.ErrBusy) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	for _, op := range ops {
+		if op.Delete {
+			_, err = tx.Delete("t", []byte(op.Key))
+		} else {
+			err = tx.Insert("t", []byte(op.Key), []byte(op.Value))
+		}
+		if err != nil {
+			tx.Rollback()
+			return 0, err
+		}
+	}
+	if rollback {
+		tx.Rollback()
+		return 0, nil
+	}
+	err = tx.Commit()
+	if err != nil && !errors.Is(err, db.ErrCheckpointDeferred) {
+		return 0, err
+	}
+	return tx.Seq(), nil
+}

@@ -60,6 +60,14 @@ type Options struct {
 	// crashes at protocol stages. Incompatible with Bug, Faults and
 	// HeapPages (see sharded.go).
 	Shards int
+	// MVCC runs overlapping-keyspace chains instead: every worker writes
+	// the SAME shared keyspace through BeginConcurrent sessions (plus a
+	// fraction of legacy transactions), ErrConflict is a legal retried
+	// outcome, and recovery is checked by the seq-order oracle
+	// (VerifyMVCC) rather than per-worker prefix matching, which is
+	// unsound when keyspaces overlap. Incompatible with Bug, Faults and
+	// Shards; composes with HeapPages (backpressure outcomes stay legal).
+	MVCC bool
 	// HeapPages, when > 0, shrinks the platform's NVRAM heap to that
 	// many pages — small enough that ordinary rounds exhaust it — and
 	// arms the backpressure machinery: chains get a short CommitTimeout
@@ -136,9 +144,12 @@ func Run(opts Options) Report {
 			break
 		}
 		var res chainResult
-		if opts.Shards > 1 {
+		switch {
+		case opts.Shards > 1:
 			res = runShardedChain(opts, step+n)
-		} else {
+		case opts.MVCC:
+			res = runMVCCChain(opts, step+n)
+		default:
 			res = runChain(opts, step+n)
 		}
 		rep.Chains++

@@ -127,3 +127,36 @@ func TestSingleStepReplay(t *testing.T) {
 		t.Fatalf("replay diverged: %+v vs %+v", a, b)
 	}
 }
+
+// TestFuzzMVCCShortRun drives overlapping-keyspace MVCC chains: every
+// worker hammers the same shared keys through concurrent sessions
+// (mixed with legacy slot transactions), ErrConflict is a legal retried
+// outcome, and the oracle replays committed transactions in global
+// commit-seq order. Any violation is a real bug in first-committer-wins
+// validation, the group stream merge, or recovery.
+func TestFuzzMVCCShortRun(t *testing.T) {
+	rep := Run(Options{Seed: 13, Steps: 6, Step: -1, MVCC: true, Logf: t.Logf})
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s worker=%d %s\n  repro: %s", v.Kind, v.Worker, v.Detail, v.Repro)
+		}
+	}
+	if rep.Txns == 0 {
+		t.Fatal("MVCC fuzzer committed no transactions")
+	}
+	t.Logf("chains=%d rounds=%d txns=%d", rep.Chains, rep.Rounds, rep.Txns)
+}
+
+// TestFuzzMVCCTinyHeapShortRun composes the MVCC mode with a tiny heap:
+// sessions must absorb exhaustion through the same backpressure
+// machinery as slot writers (ErrBusy/ErrDegraded legal, raw allocation
+// errors are not).
+func TestFuzzMVCCTinyHeapShortRun(t *testing.T) {
+	rep := Run(Options{Seed: 17, Steps: 4, Step: -1, MVCC: true, HeapPages: 24, Logf: t.Logf})
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s worker=%d %s\n  repro: %s", v.Kind, v.Worker, v.Detail, v.Repro)
+		}
+	}
+	t.Logf("chains=%d rounds=%d txns=%d degraded=%d", rep.Chains, rep.Rounds, rep.Txns, rep.Degraded)
+}
