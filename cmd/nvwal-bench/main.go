@@ -14,7 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/mobibench"
@@ -25,7 +28,7 @@ func main() {
 	jsonOut := flag.String("json", "", "also write the experiment's result as JSON to this file (allocs, checkpoint, pressure and shards only)")
 	gate := flag.String("gate", "", "baseline JSON to gate against (allocs only): exit non-zero when allocs/op regress above it")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: nvwal-bench [-txns N] [-json FILE] [-gate FILE] table1|table2|fig5|fig6|fig7|fig8|fig9|persistency|prealloc|baselines|cschecksum|groupcommit|concurrent|checkpoint|pressure|shards|mvcc|allocs|all")
+		fmt.Fprintln(os.Stderr, "usage: nvwal-bench [-txns N] [-json FILE] [-gate FILE] table1|table2|fig5|fig6|fig7|fig8|fig9|persistency|prealloc|baselines|cschecksum|groupcommit|concurrent|checkpoint|pressure|shards|mvcc|repl|allocs|all")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -39,13 +42,38 @@ func main() {
 	}
 }
 
-// writeJSON dumps v indented to path.
+// writeJSON dumps v indented to path, stamped with provenance meta
+// (git SHA, date, Go version) so a checked-in result answers "built
+// from what, when, with which toolchain" by itself. Readers that
+// unmarshal into result structs ignore the extra key.
 func writeJSON(path string, v any) error {
-	data, err := json.MarshalIndent(v, "", "  ")
+	data, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err == nil {
+		doc["meta"] = map[string]string{
+			"git_sha":    gitSHA(),
+			"date":       time.Now().UTC().Format(time.RFC3339),
+			"go_version": runtime.Version(),
+		}
+		if stamped, err := json.MarshalIndent(doc, "", "  "); err == nil {
+			data = stamped
+		}
+	} else if indented, ierr := json.MarshalIndent(v, "", "  "); ierr == nil {
+		data = indented // non-object result: write unstamped
+	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// gitSHA reports the working tree's commit, "unknown" outside a repo.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // gateAllocs compares the measured allocation audit against a recorded
@@ -208,6 +236,17 @@ func run(name string, txns int, jsonOut, gate string) error {
 				return err
 			}
 		}
+	case "repl":
+		r, err := experiments.Repl(txns)
+		if err != nil {
+			return err
+		}
+		r.Print(out)
+		if jsonOut != "" {
+			if err := writeJSON(jsonOut, r); err != nil {
+				return err
+			}
+		}
 	case "allocs":
 		r, err := experiments.CommitAllocs(txns)
 		if err != nil {
@@ -226,7 +265,7 @@ func run(name string, txns int, jsonOut, gate string) error {
 			fmt.Fprintf(out, "allocs/op gate passed against %s\n", gate)
 		}
 	case "all":
-		for _, sub := range []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "persistency", "prealloc", "baselines", "cschecksum", "groupcommit", "concurrent", "checkpoint", "pressure", "shards", "mvcc", "allocs"} {
+		for _, sub := range []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "persistency", "prealloc", "baselines", "cschecksum", "groupcommit", "concurrent", "checkpoint", "pressure", "shards", "mvcc", "repl", "allocs"} {
 			fmt.Fprintf(out, "==== %s ====\n", sub)
 			if err := run(sub, txns, jsonOut, gate); err != nil {
 				return err

@@ -12,6 +12,7 @@
 //	nvwal-fuzz -heap-pages 64 -duration 60s  # tiny-heap exhaustion chains
 //	nvwal-fuzz -shards 4 -duration 60s    # sharded chains with cross-shard 2PC
 //	nvwal-fuzz -mvcc -duration 60s        # overlapping-keyspace MVCC chains
+//	nvwal-fuzz -repl -duration 60s        # 3-node replication chains with failover
 //	nvwal-fuzz -bug -duration 10s         # prove detection of a planted bug
 //
 // Every violation prints a deterministic repro command and, unless
@@ -46,6 +47,7 @@ func main() {
 		heapPages = flag.Int("heap-pages", 0, "shrink the NVRAM heap to this many pages: exercises exhaustion backpressure (ErrBusy/ErrDegraded become legal outcomes)")
 		shards    = flag.Int("shards", 1, "run sharded chains over this many engine shards: shard-local + cross-shard 2PC transactions, coordinator-stage crashes")
 		mvcc      = flag.Bool("mvcc", false, "run overlapping-keyspace MVCC chains: concurrent sessions over one shared keyspace, first-committer-wins conflicts, seq-order oracle")
+		replMode  = flag.Bool("repl", false, "run replication chains: 3-node cluster serving clients through a faulty network, primary crash-failovers with epoch fencing, acked-write durability oracle")
 		verbose   = flag.Bool("v", false, "log each chain's configuration")
 	)
 	flag.Parse()
@@ -63,13 +65,18 @@ func main() {
 		HeapPages: *heapPages,
 		Shards:    *shards,
 		MVCC:      *mvcc,
+		Repl:      *replMode,
 	}
-	if *shards > 1 && (*bug || *faults || *heapPages > 0 || *mvcc) {
-		fmt.Fprintln(os.Stderr, "nvwal-fuzz: -shards > 1 is incompatible with -bug, -faults, -heap-pages and -mvcc")
+	if *shards > 1 && (*bug || *faults || *heapPages > 0 || *mvcc || *replMode) {
+		fmt.Fprintln(os.Stderr, "nvwal-fuzz: -shards > 1 is incompatible with -bug, -faults, -heap-pages, -mvcc and -repl")
 		os.Exit(2)
 	}
-	if *mvcc && (*bug || *faults) {
-		fmt.Fprintln(os.Stderr, "nvwal-fuzz: -mvcc is incompatible with -bug and -faults")
+	if *mvcc && (*bug || *faults || *replMode) {
+		fmt.Fprintln(os.Stderr, "nvwal-fuzz: -mvcc is incompatible with -bug, -faults and -repl")
+		os.Exit(2)
+	}
+	if *replMode && (*bug || *faults || *heapPages > 0) {
+		fmt.Fprintln(os.Stderr, "nvwal-fuzz: -repl is incompatible with -bug, -faults and -heap-pages")
 		os.Exit(2)
 	}
 	if opts.Steps == 0 && opts.Duration == 0 && opts.Step < 0 {

@@ -1,0 +1,101 @@
+// Generation export: the replication hook. A primary ships its log to
+// replicas as ranges of committed frames addressed by the same mark
+// space PageVersionAt and checkpoints use. The export stream re-chains
+// the frames with the NVWAL frame-CRC construction (crc32-Castagnoli
+// over the frame identity and payload, seeded from the previous
+// frame's value), so a receiver verifies shipped ranges exactly the
+// way salvage verifies a log tail: a torn or corrupted shipment breaks
+// the chain and is rejected, and the §4.2 asynchronous-commit argument
+// carries over the wire — a replica holding a chain-valid prefix can
+// recover from it.
+//
+// The hook deliberately exposes only committed state. history gains
+// frames solely in whole commit/group units under w.mu, so any mark
+// range is a union of complete transactions; an exporter can never
+// observe half a commit. Frames retired by a completed checkpoint
+// (mark < histBase) are gone — ExportSince reports !ok and the
+// subscriber must re-seed from a full snapshot.
+package core
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// ExportFrame is one committed log frame in wire form: the page it
+// patches, the byte extent, and whether the payload is a full-page
+// image (Off is 0 and trailing zeros may be trimmed).
+type ExportFrame struct {
+	Pgno    uint32
+	Off     uint32
+	Full    bool
+	Payload []byte
+}
+
+// ExportBatch is the contiguous committed mark range [From, To).
+type ExportBatch struct {
+	From, To int
+	Frames   []ExportFrame
+}
+
+// ExportSince returns every committed frame in [from, Mark()). It
+// reports ok=false when the range is gone: from precedes the retired
+// checkpoint boundary (histBase) or lies beyond the current mark —
+// either way the caller's cursor has an unhealable gap and must
+// re-seed from a full snapshot. An empty batch (From==To) with ok=true
+// means the caller is caught up.
+//
+// Payload slices alias the log's immutable history images; callers
+// must not mutate them.
+func (w *NVWAL) ExportSince(from int) (ExportBatch, bool) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	mark := w.histBase + len(w.history)
+	if from < w.histBase || from > mark {
+		return ExportBatch{}, false
+	}
+	b := ExportBatch{From: from, To: mark}
+	if from == mark {
+		return b, true
+	}
+	b.Frames = make([]ExportFrame, 0, mark-from)
+	for i := from - w.histBase; i < len(w.history); i++ {
+		hf := w.history[i]
+		b.Frames = append(b.Frames, ExportFrame{
+			Pgno:    hf.pgno,
+			Off:     uint32(hf.off),
+			Full:    hf.full,
+			Payload: hf.payload,
+		})
+	}
+	return b, true
+}
+
+// ChainExport folds a batch into a running export-stream CRC chain,
+// frame by frame, using the on-NVRAM frame checksum construction. Both
+// ends of a replication stream run it independently; a divergence in
+// the resulting value proves the streams saw different bytes.
+func ChainExport(chain uint32, b ExportBatch) uint32 {
+	var hdr [20]byte
+	for _, fr := range b.Frames {
+		binary.LittleEndian.PutUint32(hdr[0:], fr.Pgno)
+		off := fr.Off
+		if fr.Full {
+			off |= 1 << 31
+		}
+		binary.LittleEndian.PutUint32(hdr[4:], off)
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(len(fr.Payload)))
+		chain = crc32.Update(chain, crcTab, hdr[:12])
+		chain = crc32.Update(chain, crcTab, fr.Payload)
+	}
+	return chain
+}
+
+// ExportChainSeed derives the initial chain value for an export stream
+// seeded at a snapshot: both ends fold the snapshot identity (mark) so
+// streams rooted at different snapshots cannot be confused.
+func ExportChainSeed(mark int) uint32 {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(mark))
+	return crc32.Checksum(b[:], crcTab)
+}

@@ -1,0 +1,121 @@
+// Replication export surface. A primary database hands its log to a
+// shipping agent through two hooks: ExportSince streams committed
+// frame ranges in journal mark space (the incremental path), and
+// ExportPages captures a full point-in-time page image (the re-seed
+// path a replica falls back to when its cursor predates a completed
+// checkpoint, or when it detects divergence).
+package db
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/pager"
+)
+
+// ErrNoExport marks journal modes without a replication hook; only
+// NVWAL-journaled databases ship log generations.
+var ErrNoExport = fmt.Errorf("db: journal mode has no export hook")
+
+// ExportSince returns the committed NVWAL frames in [from, Mark()).
+// ok=false means the range was retired by a checkpoint (or lies past
+// the mark) and the caller must re-seed via ExportPages.
+func (d *DB) ExportSince(from int) (core.ExportBatch, bool, error) {
+	w, ok := d.jrn.(*core.NVWAL)
+	if !ok {
+		return core.ExportBatch{}, false, ErrNoExport
+	}
+	b, ok := w.ExportSince(from)
+	return b, ok, nil
+}
+
+// PageSnapshot is a full database image at one journal mark: every
+// page's content with the log applied through Mark. It is the re-seed
+// payload for replication and is internally consistent — the mark is
+// pinned against checkpointing for the duration of the capture.
+type PageSnapshot struct {
+	Mark     int
+	PageSize int
+	Pages    []pager.Frame
+}
+
+// ExportPages captures a full point-in-time snapshot. The mark is
+// pinned exactly the way BeginRead pins a snapshot reader, so a
+// concurrent incremental checkpoint can never invalidate the images
+// mid-capture.
+func (d *DB) ExportPages() (*PageSnapshot, error) {
+	sj, ok := d.jrn.(pager.SnapshotJournal)
+	if !ok {
+		return nil, ErrNoExport
+	}
+	d.ckptMu.Lock()
+	d.readers.Add(1)
+	mark := sj.Mark()
+	d.openMarks[mark]++
+	d.ckptMu.Unlock()
+	defer func() {
+		d.ckptMu.Lock()
+		d.readers.Add(-1)
+		if n := d.openMarks[mark]; n <= 1 {
+			delete(d.openMarks, mark)
+		} else {
+			d.openMarks[mark] = n - 1
+		}
+		d.ckptMu.Unlock()
+		d.kickCheckpoint()
+	}()
+
+	readAt := func(pgno uint32) ([]byte, error) {
+		if buf, ok := sj.PageVersionAt(pgno, mark); ok {
+			return buf, nil
+		}
+		buf := make([]byte, d.dbf.PageSize())
+		if err := d.dbf.ReadPage(pgno, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+
+	// The page count lives in the header page; reading it at the pinned
+	// mark keeps the capture self-consistent even while writers extend
+	// the file.
+	hdr, err := readAt(1)
+	if err != nil {
+		return nil, err
+	}
+	count := pager.HeaderPageCount(hdr)
+	snap := &PageSnapshot{
+		Mark:     mark,
+		PageSize: d.dbf.PageSize(),
+		Pages:    make([]pager.Frame, 0, count),
+	}
+	snap.Pages = append(snap.Pages, pager.Frame{Pgno: 1, Data: hdr})
+	for pgno := uint32(2); pgno <= count; pgno++ {
+		data, err := readAt(pgno)
+		if err != nil {
+			return nil, err
+		}
+		snap.Pages = append(snap.Pages, pager.Frame{Pgno: pgno, Data: data})
+	}
+	return snap, nil
+}
+
+// ParseCatalog decodes the table catalog out of a header-page image —
+// the same layout CreateTable maintains. Replicas use it to resolve
+// table roots against their applied page state without a DB handle.
+func ParseCatalog(hdr []byte) map[string]uint32 {
+	n := int(binary.LittleEndian.Uint16(hdr[catalogOff:]))
+	out := make(map[string]uint32, n)
+	for i := 0; i < n; i++ {
+		off := catalogOff + 2 + i*tableEntry
+		name := strings.TrimRight(string(hdr[off:off+tableNameLen]), "\x00")
+		out[name] = binary.LittleEndian.Uint32(hdr[off+tableNameLen:])
+	}
+	return out
+}
+
+// TreeReserved reports the per-page reserved byte count a btree over
+// exported pages must use to match this database's physical layout.
+func (d *DB) TreeReserved() int { return d.reserved() }

@@ -186,7 +186,8 @@ func (gc *groupCommitter) flushWithBackpressure(reqs []*commitReq) error {
 		if until > 0 && d.plat.Clock.Now() >= until {
 			d.plat.Metrics.Inc(metrics.CommitTimeouts, 1)
 			d.degrade(fmt.Errorf("group commit abandoned at its deadline under NVRAM exhaustion"))
-			return fmt.Errorf("%w: group deadline elapsed (%v)", ErrBusy, err)
+			dl := deadline{d: d, until: until}
+			return dl.busy("group-deadline", fmt.Errorf("group deadline elapsed: %v", err))
 		}
 		backoff = d.stallStep(backoff)
 	}

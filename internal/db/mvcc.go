@@ -740,7 +740,7 @@ func (d *DB) RunConcurrent(ctx context.Context, fn func(tx *CTx) error) error {
 		if err == nil || !errors.Is(err, ErrConflict) {
 			return err
 		}
-		if derr := dl.expired(); derr != nil {
+		if derr := dl.expired("mvcc-commit"); derr != nil {
 			return fmt.Errorf("%w (last: %v)", derr, err)
 		}
 	}

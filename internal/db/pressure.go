@@ -78,6 +78,19 @@ func newPressureState(heap *heapo.Manager) *pressureState {
 // reusable for log appends without consuming free pages).
 func (p *pressureState) avail() int { return p.heap.FreePages() + p.heap.RecycledPages() }
 
+// Pressure reports the space situation the admission watermarks gate
+// on: heap pages available, and the soft and hard watermarks. ok is
+// false for journal modes without NVRAM backpressure. The serving
+// layer probes it to shed load with retry advice before a stall would
+// even begin.
+func (d *DB) Pressure() (avail, soft, hard int, ok bool) {
+	p := d.pressure
+	if p == nil {
+		return 0, 0, 0, false
+	}
+	return p.avail(), p.soft, p.hard, true
+}
+
 // deadline bounds one backpressure stall: a context (real
 // cancellation) plus a virtual-clock expiry derived from
 // Options.CommitTimeout. The zero until means no virtual deadline.
@@ -95,17 +108,18 @@ func (d *DB) newDeadline(ctx context.Context) deadline {
 	return dl
 }
 
-// expired returns the ErrBusy-wrapped cause once the deadline passed.
-func (dl deadline) expired() error {
+// expired returns the structured ErrBusy once the deadline passed.
+// where names the stall site (see BusyError.Watermark).
+func (dl deadline) expired(where string) error {
 	if dl.ctx != nil {
 		select {
 		case <-dl.ctx.Done():
-			return fmt.Errorf("%w: %v", ErrBusy, dl.ctx.Err())
+			return dl.busy(where, dl.ctx.Err())
 		default:
 		}
 	}
 	if dl.until > 0 && dl.d.plat.Clock.Now() >= dl.until {
-		return fmt.Errorf("%w: CommitTimeout %v elapsed", ErrBusy, dl.d.opts.CommitTimeout)
+		return dl.busy(where, fmt.Errorf("CommitTimeout %v elapsed", dl.d.opts.CommitTimeout))
 	}
 	return nil
 }
@@ -170,7 +184,7 @@ func (d *DB) admitWriter(ctx context.Context) error {
 				p.avail(), p.hard))
 			return d.Degraded()
 		}
-		if err := dl.expired(); err != nil {
+		if err := dl.expired("begin-admission"); err != nil {
 			d.plat.Metrics.Inc(metrics.CommitTimeouts, 1)
 			return err
 		}
@@ -233,7 +247,7 @@ func (d *DB) flushSolo(dl deadline, frames []pager.Frame) error {
 			d.degrade(fmt.Errorf("NVRAM heap exhausted: %v", err))
 			return d.Degraded()
 		}
-		if derr := dl.expired(); derr != nil {
+		if derr := dl.expired("commit-log-full"); derr != nil {
 			d.plat.Metrics.Inc(metrics.CommitTimeouts, 1)
 			return derr
 		}

@@ -109,7 +109,7 @@ func (d *DB) prepareSolo(dl deadline, pj preparedJournal, frames []pager.Frame, 
 			d.degrade(fmt.Errorf("NVRAM heap exhausted: %v", err))
 			return d.Degraded()
 		}
-		if derr := dl.expired(); derr != nil {
+		if derr := dl.expired("prepare-log-full"); derr != nil {
 			d.plat.Metrics.Inc(metrics.CommitTimeouts, 1)
 			return derr
 		}

@@ -1,0 +1,279 @@
+// Replication serving experiments: read scale-out across WAL-shipping
+// replicas, and acked-write durability across a forced failover. Both
+// run real clients through the simulated network against a laned
+// cluster (one virtual core per node), so read throughput is
+// virtual-time parallelism — N nodes serve N reads in the virtual
+// time one node serves one — and the failover numbers come from the
+// same crash machinery the torture chains use.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/memsim"
+	"repro/internal/netsim"
+	"repro/internal/nvram"
+	"repro/internal/platform"
+	"repro/internal/repl"
+	"repro/internal/server"
+)
+
+// ReplReadRow is one replica-count cell of the read scale-out sweep.
+type ReplReadRow struct {
+	Replicas    int     `json:"replicas"`
+	Readers     int     `json:"readers"` // one per serving node
+	Reads       int     `json:"reads"`
+	ElapsedNs   int64   `json:"elapsed_ns"` // max over node lanes
+	ReadsPerSec float64 `json:"reads_per_sec"`
+	Speedup     float64 `json:"speedup_vs_primary_only"`
+}
+
+// ReplFailoverResult is the forced-failover durability check: every
+// client-acked write (semi-sync, quorum 1) must survive promotion of
+// the most-caught-up replica.
+type ReplFailoverResult struct {
+	AckedWrites   int     `json:"acked_writes"`
+	Survived      int     `json:"survived"`
+	DurablePct    float64 `json:"durable_pct"`
+	PromotedEpoch uint64  `json:"promoted_epoch"`
+}
+
+// ReplResult holds both replication experiments.
+type ReplResult struct {
+	ValueBytes int                `json:"value_bytes"`
+	Keys       int                `json:"keys"`
+	NetLatency time.Duration      `json:"net_latency_ns"`
+	Rows       []ReplReadRow      `json:"rows"`
+	Failover   ReplFailoverResult `json:"failover"`
+}
+
+func replPlatformConfig() platform.Config {
+	return platform.Config{NVRAM: nvram.Config{
+		Size:              16 << 20,
+		CacheLineSize:     32,
+		NVRAMWriteLatency: 500 * time.Nanosecond,
+	}}
+}
+
+// Repl runs the replication serving experiments. txns scales the read
+// count (default 3000 reads per row).
+func Repl(txns int) (*ReplResult, error) {
+	if txns <= 0 {
+		txns = 3000
+	}
+	res := &ReplResult{
+		ValueBytes: 256,
+		Keys:       200,
+		NetLatency: 20 * time.Microsecond,
+	}
+	for _, replicas := range []int{0, 1, 2} {
+		row, err := runReplReadRow(replicas, txns, res.Keys, res.ValueBytes, res.NetLatency)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if base := res.Rows[0].ReadsPerSec; base > 0 {
+		for i := range res.Rows {
+			res.Rows[i].Speedup = res.Rows[i].ReadsPerSec / base
+		}
+	}
+	fo, err := runReplFailover(400, res.ValueBytes)
+	if err != nil {
+		return nil, err
+	}
+	res.Failover = fo
+	return res, nil
+}
+
+// runReplReadRow measures aggregate read throughput with the keyspace
+// served by a primary plus `replicas` caught-up replicas, one pinned
+// reader per node. Virtual elapsed is the max over node lanes: nodes
+// are parallel virtual cores, so serving from more nodes divides the
+// per-lane work.
+func runReplReadRow(replicas, reads, keys, valueBytes int, latency time.Duration) (ReplReadRow, error) {
+	names := []string{"n0", "n1", "n2"}[:replicas+1]
+	c, err := repl.NewCluster(replPlatformConfig(), netsim.Config{Latency: latency}, 5, names...)
+	if err != nil {
+		return ReplReadRow{}, err
+	}
+	pn, err := c.StartPrimary("n0", repl.DefaultDBOptions(), repl.PrimaryOptions{Epoch: 1}, server.Options{})
+	if err != nil {
+		return ReplReadRow{}, err
+	}
+	defer pn.Stop(false)
+	if err := pn.DB.CreateTable("kv"); err != nil {
+		return ReplReadRow{}, err
+	}
+	val := make([]byte, valueBytes)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	for i := 0; i < keys; i++ {
+		ops := []server.Op{{Key: []byte(fmt.Sprintf("k%04d", i)), Value: val}}
+		if _, err := pn.Repl.Apply(context.Background(), "kv", ops); err != nil {
+			return ReplReadRow{}, err
+		}
+	}
+	var rns []*repl.ReplicaNode
+	for _, name := range names[1:] {
+		rn, err := c.StartReplica(name, repl.ReplicaOptions{Epoch: 1}, server.Options{})
+		if err != nil {
+			return ReplReadRow{}, err
+		}
+		defer rn.Stop()
+		rns = append(rns, rn)
+		pn.Attach(c, name)
+	}
+	target := pn.Repl.Status().Mark
+	for _, rn := range rns {
+		if !rn.WaitCaughtUp(target, 10*time.Second) {
+			return ReplReadRow{}, fmt.Errorf("repl: replica %s never caught up", rn.Node.Name)
+		}
+	}
+
+	// One reader per node, registered ON the node's lane (a colocated
+	// client): all its virtual time accrues where it is served.
+	nodes := len(names)
+	per := reads / nodes
+	starts := make([]time.Duration, nodes)
+	for i, name := range names {
+		starts[i] = c.Node(name).Plat.Clock.Now()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, nodes)
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			rd := fmt.Sprintf("rd-%s", name)
+			c.Net.Register(rd, c.Node(name).Plat.Clock)
+			cli := server.NewClient(c.Dialer(rd), []string{name}, server.ClientOptions{ReadAnywhere: true})
+			defer cli.Close()
+			for j := 0; j < per; j++ {
+				key := []byte(fmt.Sprintf("k%04d", (i*per+j)%keys))
+				if _, found, err := cli.Get("kv", key); err != nil || !found {
+					errs[i] = fmt.Errorf("read %s via %s: found=%v err=%v", key, name, found, err)
+					return
+				}
+			}
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return ReplReadRow{}, err
+		}
+	}
+	var elapsed time.Duration
+	for i, name := range names {
+		if d := c.Node(name).Plat.Clock.Now() - starts[i]; d > elapsed {
+			elapsed = d
+		}
+	}
+	total := per * nodes
+	return ReplReadRow{
+		Replicas:    replicas,
+		Readers:     nodes,
+		Reads:       total,
+		ElapsedNs:   int64(elapsed),
+		ReadsPerSec: float64(total) / elapsed.Seconds(),
+	}, nil
+}
+
+// runReplFailover writes `writes` acked single-key transactions
+// through a semi-sync 3-node cluster, crash-fails the primary, and
+// counts how many acked writes the promoted replica still serves.
+func runReplFailover(writes, valueBytes int) (ReplFailoverResult, error) {
+	c, err := repl.NewCluster(replPlatformConfig(), netsim.Config{Latency: 20 * time.Microsecond}, 9, "n0", "n1", "n2")
+	if err != nil {
+		return ReplFailoverResult{}, err
+	}
+	pn, err := c.StartPrimary("n0", repl.DefaultDBOptions(),
+		repl.PrimaryOptions{Epoch: 1, AckReplicas: 1}, server.Options{})
+	if err != nil {
+		return ReplFailoverResult{}, err
+	}
+	if err := pn.DB.CreateTable("kv"); err != nil {
+		return ReplFailoverResult{}, err
+	}
+	var rns []*repl.ReplicaNode
+	for _, name := range []string{"n1", "n2"} {
+		rn, err := c.StartReplica(name, repl.ReplicaOptions{Epoch: 1}, server.Options{})
+		if err != nil {
+			return ReplFailoverResult{}, err
+		}
+		rns = append(rns, rn)
+		pn.Attach(c, name)
+	}
+
+	cli := server.NewClient(c.Dialer("writer"), []string{"n0", "n1", "n2"}, server.ClientOptions{})
+	defer cli.Close()
+	val := make([]byte, valueBytes)
+	acked := make(map[string]bool, writes)
+	for i := 0; i < writes; i++ {
+		key := fmt.Sprintf("w%05d", i)
+		if _, err := cli.Put("kv", []byte(key), val); err != nil {
+			return ReplFailoverResult{}, fmt.Errorf("acked write %d: %w", i, err)
+		}
+		acked[key] = true
+	}
+
+	// Forced failover: black-hole the primary, power-fail it, promote
+	// the most-caught-up replica under the next epoch.
+	c.IsolateNode("n0")
+	pn.Node.Plat.PowerFail(memsim.FailDropAll, 1)
+	pn.Stop(true)
+	best := rns[0]
+	if rns[1].R.Applied() > best.R.Applied() {
+		best = rns[1]
+	}
+	bestName := best.Node.Name
+	best.Stop()
+	d, err := best.R.Promote(repl.DefaultDBOptions())
+	if err != nil {
+		return ReplFailoverResult{}, err
+	}
+	pn2, err := c.ServePromoted(bestName, d, repl.PrimaryOptions{Epoch: 2}, server.Options{})
+	if err != nil {
+		return ReplFailoverResult{}, err
+	}
+	defer pn2.Stop(false)
+	for _, rn := range rns {
+		if rn != best {
+			defer rn.Stop()
+		}
+	}
+
+	survived := 0
+	for key := range acked {
+		if _, found, err := pn2.Repl.Get("kv", []byte(key)); err == nil && found {
+			survived++
+		}
+	}
+	return ReplFailoverResult{
+		AckedWrites:   len(acked),
+		Survived:      survived,
+		DurablePct:    100 * float64(survived) / float64(len(acked)),
+		PromotedEpoch: 2,
+	}, nil
+}
+
+// Print writes the human-readable report.
+func (r *ReplResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Replicated serving sweep (%dB values, %d keys, %v link latency, one lane per node)\n",
+		r.ValueBytes, r.Keys, r.NetLatency)
+	fmt.Fprintf(w, "%-9s %-8s %-8s %-14s %-14s %s\n",
+		"replicas", "readers", "reads", "elapsed(vms)", "reads/sec", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-9d %-8d %-8d %-14.3f %-14.0f %.2fx\n",
+			row.Replicas, row.Readers, row.Reads,
+			float64(row.ElapsedNs)/1e6, row.ReadsPerSec, row.Speedup)
+	}
+	fmt.Fprintf(w, "forced failover: %d/%d acked writes survived (%.1f%%), promoted epoch %d\n",
+		r.Failover.Survived, r.Failover.AckedWrites, r.Failover.DurablePct, r.Failover.PromotedEpoch)
+}

@@ -72,6 +72,26 @@ const (
 	// Multi-writer MVCC (per-writer streams, first-committer-wins).
 	MVCCCommits   = "mvcc_commits"   // MVCC session transactions committed
 	MVCCConflicts = "mvcc_conflicts" // MVCC commits rejected by page-version validation
+	// Simulated network (netsim fault injection).
+	NetMessages  = "net_messages"  // messages handed to the wire
+	NetBytes     = "net_bytes"     // payload bytes handed to the wire
+	NetDropped   = "net_dropped"   // messages lost to drops, partitions or isolation
+	NetReordered = "net_reordered" // messages delivered out of order
+	NetCuts      = "net_cuts"      // connections cut mid-message
+	// Serving layer (wire protocol front-end).
+	ServerRequests = "server_requests" // requests executed (all verbs)
+	ServerShed     = "server_shed"     // writes refused with retry advice (admission/backpressure)
+	ServerFenced   = "server_fenced"   // requests rejected by epoch fencing
+	ClientRetries  = "client_retries"  // client-side retry attempts (backoff path)
+	// Replication (log-shipping primary + replicas).
+	ReplBatchesShipped = "repl_batches_shipped" // frame ranges shipped to replicas
+	ReplFramesShipped  = "repl_frames_shipped"  // frames shipped to replicas
+	ReplBytesShipped   = "repl_bytes_shipped"   // payload bytes shipped to replicas
+	ReplBatchesApplied = "repl_batches_applied" // frame ranges applied by a replica
+	ReplAcks           = "repl_acks"            // replica acks processed by the primary
+	ReplReseeds        = "repl_reseeds"         // full-snapshot re-seeds (gap, divergence, incarnation)
+	ReplDivergences    = "repl_divergences"     // chain mismatches latching a replica degraded
+	ReplAckWaits       = "repl_ack_waits"       // commits that waited on a replica ack quorum
 )
 
 // Standard time keys.

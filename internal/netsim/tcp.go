@@ -1,0 +1,119 @@
+// Real-socket binding: the same Conn/Listener interfaces over TCP,
+// with 4-byte big-endian length-prefix framing, so cmd/nvwal-server
+// serves actual clients with the exact protocol code the simulated
+// network tortures. No fault injection here — real networks bring
+// their own.
+package netsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"time"
+)
+
+// maxFrame bounds one framed message (16 MiB) so a corrupt or
+// malicious length prefix cannot allocate unbounded memory.
+const maxFrame = 16 << 20
+
+// ErrFrameTooLarge rejects messages over maxFrame.
+var ErrFrameTooLarge = errors.New("netsim: framed message exceeds 16 MiB")
+
+// ListenTCP binds a real TCP listener at addr (host:port).
+func ListenTCP(addr string) (Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{nl: nl}, nil
+}
+
+// DialTCP connects to a real TCP endpoint.
+func DialTCP(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpConn{nc: nc}, nil
+}
+
+type tcpListener struct{ nl net.Listener }
+
+func (l *tcpListener) Addr() string { return l.nl.Addr().String() }
+func (l *tcpListener) Close() error { return l.nl.Close() }
+
+func (l *tcpListener) Accept(timeout time.Duration) (Conn, error) {
+	if timeout > 0 {
+		type deadliner interface{ SetDeadline(time.Time) error }
+		if d, ok := l.nl.(deadliner); ok {
+			_ = d.SetDeadline(time.Now().Add(timeout))
+			defer func() { _ = d.SetDeadline(time.Time{}) }()
+		}
+	}
+	nc, err := l.nl.Accept()
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return nil, ErrTimeout
+		}
+		if errors.Is(err, net.ErrClosed) {
+			return nil, ErrNetClosed
+		}
+		return nil, err
+	}
+	return &tcpConn{nc: nc}, nil
+}
+
+type tcpConn struct{ nc net.Conn }
+
+func (c *tcpConn) LocalName() string  { return c.nc.LocalAddr().String() }
+func (c *tcpConn) RemoteName() string { return c.nc.RemoteAddr().String() }
+func (c *tcpConn) Close() error       { return c.nc.Close() }
+
+func (c *tcpConn) Send(msg []byte) error {
+	if len(msg) > maxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
+	if _, err := c.nc.Write(hdr[:]); err != nil {
+		return mapNetErr(err)
+	}
+	_, err := c.nc.Write(msg)
+	return mapNetErr(err)
+}
+
+func (c *tcpConn) Recv(timeout time.Duration) ([]byte, error) {
+	if timeout > 0 {
+		_ = c.nc.SetReadDeadline(time.Now().Add(timeout))
+		defer func() { _ = c.nc.SetReadDeadline(time.Time{}) }()
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.nc, hdr[:]); err != nil {
+		return nil, mapNetErr(err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(c.nc, msg); err != nil {
+		return nil, mapNetErr(err)
+	}
+	return msg, nil
+}
+
+// mapNetErr folds socket errors onto the simulated network's error
+// vocabulary so protocol code handles both identically.
+func mapNetErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		return ErrTimeout
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}

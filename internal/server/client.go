@@ -1,0 +1,355 @@
+// Client: the retrying half of the admission-control contract. Busy
+// responses are retried after the server's advised backoff (jittered,
+// exponential, capped), Fenced responses adopt the newer epoch and
+// re-discover the primary via STATUS, and a bounded retry budget
+// keeps a dead cluster from wedging callers forever. Every failed
+// write reports whether its outcome is determinate: an attempt that
+// was sent but never definitively answered leaves the op
+// "indeterminate" (maybe applied) — the distinction the torture
+// oracle's lost-ack rule depends on.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+)
+
+// Dialer opens a conn to a named endpoint (netsim or TCP).
+type Dialer func(addr string) (netsim.Conn, error)
+
+// ClientOptions tunes retry behaviour.
+type ClientOptions struct {
+	// RetryBudget is the max attempts per operation (default 8).
+	RetryBudget int
+	// RecvTimeout bounds each attempt's real-time wait for a response
+	// (default 250ms). On a silently-dropped message this is the only
+	// signal to retry.
+	RecvTimeout time.Duration
+	// BackoffBase/BackoffMax shape the jittered exponential backoff
+	// between attempts (defaults 100µs / 5ms). A Busy response's
+	// advised backoff overrides the exponential term.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Deadline is the server-side execution deadline attached to every
+	// request (0 = none).
+	Deadline time.Duration
+	// ReadAnywhere lets Get/Status use any reachable endpoint instead
+	// of requiring the primary (replica-read clients).
+	ReadAnywhere bool
+	// Seed drives the backoff jitter.
+	Seed int64
+	// Metrics receives client counters (nil = discarded).
+	Metrics *metrics.Counters
+}
+
+// OpError is a failed operation's outcome. Indeterminate reports
+// whether any attempt may have been applied: false means the write
+// definitely did not happen; true means the cluster may or may not
+// hold it (the caller must treat both as possible).
+type OpError struct {
+	Indeterminate bool
+	Err           error
+}
+
+func (e *OpError) Error() string {
+	if e.Indeterminate {
+		return fmt.Sprintf("indeterminate: %v", e.Err)
+	}
+	return e.Err.Error()
+}
+
+func (e *OpError) Unwrap() error { return e.Err }
+
+// Client is a sequential (NOT goroutine-safe) protocol client: one
+// outstanding request at a time, which is what makes request-id
+// deduplication on the server a complete at-most-once story.
+type Client struct {
+	dial  Dialer
+	addrs []string
+	opts  ClientOptions
+	m     *metrics.Counters
+	rng   *rand.Rand
+
+	conn   netsim.Conn
+	epoch  uint64
+	nextID uint64
+}
+
+// NewClient builds a client over the given endpoints. The first
+// request dials and, for writes, discovers the primary via STATUS.
+func NewClient(dial Dialer, addrs []string, opts ClientOptions) *Client {
+	if opts.RetryBudget <= 0 {
+		opts.RetryBudget = 8
+	}
+	if opts.RecvTimeout <= 0 {
+		opts.RecvTimeout = 250 * time.Millisecond
+	}
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = 100 * time.Microsecond
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = 5 * time.Millisecond
+	}
+	m := opts.Metrics
+	if m == nil {
+		m = &metrics.Counters{}
+	}
+	return &Client{
+		dial:   dial,
+		addrs:  addrs,
+		opts:   opts,
+		m:      m,
+		rng:    rand.New(rand.NewSource(opts.Seed ^ 0x5eed)),
+		nextID: 1,
+	}
+}
+
+// Epoch returns the highest fencing epoch the client has observed.
+func (c *Client) Epoch() uint64 { return c.epoch }
+
+// SetEpoch force-adopts an epoch (tests and failover drivers).
+func (c *Client) SetEpoch(e uint64) {
+	if e > c.epoch {
+		c.epoch = e
+	}
+}
+
+// Close drops the connection.
+func (c *Client) Close() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Get reads key. A nil error with found=false is a definitive miss.
+func (c *Client) Get(table string, key []byte) ([]byte, bool, error) {
+	resp, err := c.do(request{verb: verbGet, table: table, key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.value, resp.found, nil
+}
+
+// Put writes key=value, returning the commit sequence.
+func (c *Client) Put(table string, key, value []byte) (uint64, error) {
+	resp, err := c.do(request{verb: verbPut, table: table, key: key, value: value})
+	if err != nil {
+		return 0, err
+	}
+	return resp.seq, nil
+}
+
+// Delete removes key, returning the commit sequence.
+func (c *Client) Delete(table string, key []byte) (uint64, error) {
+	resp, err := c.do(request{verb: verbDelete, table: table, key: key})
+	if err != nil {
+		return 0, err
+	}
+	return resp.seq, nil
+}
+
+// Batch applies ops atomically, returning the commit sequence.
+func (c *Client) Batch(table string, ops []Op) (uint64, error) {
+	resp, err := c.do(request{verb: verbBatch, table: table, ops: ops})
+	if err != nil {
+		return 0, err
+	}
+	return resp.seq, nil
+}
+
+// Status queries the connected (or any reachable) endpoint.
+func (c *Client) Status() (Status, error) {
+	resp, err := c.do(request{verb: verbStatus})
+	if err != nil {
+		return Status{}, err
+	}
+	return resp.stat, nil
+}
+
+func isWrite(verb byte) bool {
+	return verb == verbPut || verb == verbDelete || verb == verbBatch
+}
+
+// do runs one operation through the retry loop. On failure the error
+// is always an *OpError.
+func (c *Client) do(req request) (response, *OpError) {
+	req.id = c.nextID
+	c.nextID++
+	req.deadline = c.opts.Deadline
+	write := isWrite(req.verb)
+	indeterminate := false
+	var lastErr error
+
+	for attempt := 0; attempt < c.opts.RetryBudget; attempt++ {
+		if attempt > 0 {
+			c.m.Inc(metrics.ClientRetries, 1)
+		}
+		if c.conn == nil {
+			if err := c.connect(write || !c.opts.ReadAnywhere); err != nil {
+				lastErr = err
+				c.backoff(attempt, 0)
+				continue
+			}
+		}
+		req.epoch = c.epoch
+		if err := c.conn.Send(encodeRequest(req)); err != nil {
+			// A failed send never reached the server whole: the frame
+			// dies with the connection. Determinate.
+			c.dropConn()
+			lastErr = err
+			c.backoff(attempt, 0)
+			continue
+		}
+		resp, err := c.recvMatching(req.id, req.verb)
+		if err != nil {
+			if write {
+				// The request may have been executed and only the
+				// response lost — sticky until a definitive answer.
+				indeterminate = true
+			}
+			if !errors.Is(err, netsim.ErrTimeout) {
+				c.dropConn()
+			}
+			lastErr = err
+			c.backoff(attempt, 0)
+			continue
+		}
+		switch resp.status {
+		case stOK:
+			return resp, nil
+		case stBusy:
+			// Definitively not applied; retry after the advised backoff.
+			lastErr = fmt.Errorf("busy (%s): %d/%d pages", resp.busy.Watermark, resp.busy.Avail, resp.busy.Hard)
+			c.backoff(attempt, resp.busy.Backoff)
+		case stFenced:
+			c.SetEpoch(resp.epoch)
+			c.dropConn() // re-discover: the primary may have moved
+			lastErr = fmt.Errorf("fenced: server epoch %d", resp.epoch)
+			c.backoff(attempt, 0)
+		case stReadOnly:
+			c.dropConn() // wrong endpoint for writes — re-discover
+			lastErr = fmt.Errorf("read-only endpoint: %s", resp.msg)
+			c.backoff(attempt, 0)
+		case stIndeterminate:
+			indeterminate = true
+			lastErr = fmt.Errorf("indeterminate: %s", resp.msg)
+			c.backoff(attempt, 0)
+		default: // stErr: a hard, determinate refusal — no retry
+			return response{}, &OpError{Indeterminate: indeterminate, Err: errors.New(resp.msg)}
+		}
+	}
+	return response{}, &OpError{
+		Indeterminate: indeterminate,
+		Err:           fmt.Errorf("retry budget exhausted after %d attempts: %w", c.opts.RetryBudget, lastErr),
+	}
+}
+
+// recvMatching reads responses until one matches id (stale responses
+// from timed-out attempts of EARLIER ops are discarded).
+func (c *Client) recvMatching(id uint64, verb byte) (response, error) {
+	for i := 0; i < 4; i++ {
+		msg, err := c.conn.Recv(c.opts.RecvTimeout)
+		if err != nil {
+			return response{}, err
+		}
+		resp, err := decodeResponse(msg, verb)
+		if err != nil {
+			return response{}, err
+		}
+		if resp.id == id {
+			return resp, nil
+		}
+	}
+	return response{}, fmt.Errorf("no response matching request %d", id)
+}
+
+// connect dials endpoints and (for writes) selects the primary with
+// the highest epoch via STATUS probes.
+func (c *Client) connect(needPrimary bool) error {
+	if len(c.addrs) == 1 && !needPrimary {
+		conn, err := c.dial(c.addrs[0])
+		if err != nil {
+			return err
+		}
+		c.conn = conn
+		return nil
+	}
+	bestAddr := ""
+	var bestStat Status
+	for _, addr := range c.addrs {
+		conn, err := c.dial(addr)
+		if err != nil {
+			continue
+		}
+		st, err := c.statusOn(conn)
+		_ = conn.Close()
+		if err != nil {
+			continue
+		}
+		c.SetEpoch(st.Epoch)
+		if needPrimary && (st.Role != "primary" || st.Degraded) {
+			continue
+		}
+		if bestAddr == "" || st.Epoch > bestStat.Epoch {
+			bestAddr, bestStat = addr, st
+		}
+	}
+	if bestAddr == "" {
+		return fmt.Errorf("server: no %s reachable", map[bool]string{true: "primary", false: "endpoint"}[needPrimary])
+	}
+	if needPrimary && bestStat.Epoch < c.epoch {
+		return fmt.Errorf("server: reachable primary at stale epoch %d < %d", bestStat.Epoch, c.epoch)
+	}
+	conn, err := c.dial(bestAddr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	return nil
+}
+
+// statusOn runs one STATUS round-trip on a probe conn.
+func (c *Client) statusOn(conn netsim.Conn) (Status, error) {
+	id := c.nextID
+	c.nextID++
+	if err := conn.Send(encodeRequest(request{verb: verbStatus, id: id})); err != nil {
+		return Status{}, err
+	}
+	msg, err := conn.Recv(c.opts.RecvTimeout)
+	if err != nil {
+		return Status{}, err
+	}
+	resp, err := decodeResponse(msg, verbStatus)
+	if err != nil {
+		return Status{}, err
+	}
+	return resp.stat, nil
+}
+
+func (c *Client) dropConn() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// backoff sleeps a jittered exponential delay; a server-advised delay
+// replaces the exponential term.
+func (c *Client) backoff(attempt int, advised time.Duration) {
+	d := c.opts.BackoffBase << uint(attempt)
+	if advised > 0 {
+		d = advised
+	}
+	if d > c.opts.BackoffMax {
+		d = c.opts.BackoffMax
+	}
+	// Full jitter in [d/2, d).
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	time.Sleep(d)
+}

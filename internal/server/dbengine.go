@@ -1,0 +1,88 @@
+// DBEngine adapts a local db.DB to the Engine interface: the
+// single-node serving path, and the building block repl.Primary and
+// repl.Replica wrap. Writes are serialized through a context-aware
+// queue slot so a stalled commit sheds waiters as Busy instead of
+// piling goroutines onto the journal lock.
+package server
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/db"
+)
+
+// DBEngine serves requests from a local database.
+type DBEngine struct {
+	d     *db.DB
+	epoch uint64
+	slot  chan struct{}
+}
+
+// NewDBEngine wraps d. epoch is reported in Status (fencing is
+// enforced by the Server, which carries its own epoch).
+func NewDBEngine(d *db.DB, epoch uint64) *DBEngine {
+	e := &DBEngine{d: d, epoch: epoch, slot: make(chan struct{}, 1)}
+	e.slot <- struct{}{}
+	return e
+}
+
+// DB exposes the wrapped database (replication hooks need it).
+func (e *DBEngine) DB() *db.DB { return e.d }
+
+// Get reads the latest committed version.
+func (e *DBEngine) Get(table string, key []byte) ([]byte, bool, error) {
+	return e.d.Get(table, key)
+}
+
+// Apply runs ops as one transaction. A failure after Begin rolls the
+// transaction back, so a non-nil error (other than ErrIndeterminate,
+// which DBEngine never returns) means "not applied".
+func (e *DBEngine) Apply(ctx context.Context, table string, ops []Op) (uint64, error) {
+	select {
+	case <-e.slot:
+	case <-ctx.Done():
+		return 0, &db.BusyError{
+			Watermark: "engine-queue",
+			Shard:     -1,
+			Backoff:   db.SuggestedBusyBackoff,
+			Cause:     ctx.Err(),
+		}
+	}
+	defer func() { e.slot <- struct{}{} }()
+
+	tx, err := e.d.BeginCtx(ctx)
+	if err != nil {
+		return 0, err
+	}
+	for _, op := range ops {
+		if op.Delete {
+			_, err = tx.Delete(table, op.Key)
+		} else {
+			err = tx.Insert(table, op.Key, op.Value)
+		}
+		if err != nil {
+			tx.Rollback()
+			return 0, err
+		}
+	}
+	if err := tx.CommitCtx(ctx); err != nil {
+		return 0, err
+	}
+	return tx.Seq(), nil
+}
+
+// Status reports the primary view of a standalone database.
+func (e *DBEngine) Status() Status {
+	mark := 0
+	if w, ok := e.d.Journal().(*core.NVWAL); ok {
+		mark = w.Mark()
+	}
+	return Status{
+		Role:     "primary",
+		Epoch:    e.epoch,
+		Mark:     mark,
+		Applied:  mark,
+		Degraded: e.d.Degraded() != nil,
+	}
+}

@@ -1,0 +1,342 @@
+// Wire protocol: length-prefixed KV verbs over a netsim message
+// stream (the length prefix itself is the transport framing; one
+// message = one request or response). Every request carries a client
+// request id (at-most-once dedup per connection), the client's fencing
+// epoch, and an optional execution deadline. Responses lead with a
+// status byte; the Busy status carries machine-readable retry advice
+// lifted straight from the engine's structured BusyError.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Verbs.
+const (
+	verbGet byte = iota + 1
+	verbPut
+	verbDelete
+	verbBatch
+	verbStatus
+)
+
+// Response statuses.
+const (
+	stOK byte = iota + 1
+	// stBusy: the write was shed or timed out BEFORE anything reached
+	// the journal — definitely not applied, safe to retry after the
+	// advised backoff.
+	stBusy
+	// stFenced: the request's epoch does not match the server's; the
+	// payload carries the server's epoch.
+	stFenced
+	// stReadOnly: the endpoint cannot execute writes (replica, or a
+	// degraded primary).
+	stReadOnly
+	// stIndeterminate: the commit may or may not be durable/replicated
+	// (e.g. a replica-ack wait expired after the local commit). A
+	// retry is idempotent at the KV level but the caller must treat
+	// the op as possibly applied.
+	stIndeterminate
+	stErr
+)
+
+// Op is one mutation in a batch.
+type Op struct {
+	Key    []byte
+	Value  []byte
+	Delete bool
+}
+
+// Status is the STATUS verb's payload, also used for primary
+// discovery and replication-lag reporting.
+type Status struct {
+	Role     string // "primary" or "replica"
+	Epoch    uint64
+	Mark     int // end of the committed log (primary) / shipped mark known (replica)
+	Applied  int // mark applied and readable (primary: == Mark)
+	Lag      int // Mark - Applied, as last known
+	Degraded bool
+}
+
+// request is one decoded client request.
+type request struct {
+	verb     byte
+	id       uint64
+	epoch    uint64
+	deadline time.Duration // 0 = none
+	table    string
+	key      []byte
+	value    []byte
+	ops      []Op
+}
+
+// errShort rejects truncated messages.
+var errShort = errors.New("server: truncated message")
+
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil || len(r.b) < 1 {
+		r.err = errShort
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || len(r.b) < 2 {
+		r.err = errShort
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b)
+	r.b = r.b[2:]
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.err = errShort
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || len(r.b) < 8 {
+		r.err = errShort
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || len(r.b) < n {
+		r.err = errShort
+		return nil
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v
+}
+
+// encodeRequest serializes one request.
+func encodeRequest(req request) []byte {
+	b := make([]byte, 0, 32+len(req.key)+len(req.value))
+	b = append(b, req.verb)
+	b = appendU64(b, req.id)
+	b = appendU64(b, req.epoch)
+	b = appendU32(b, uint32(req.deadline/time.Millisecond))
+	switch req.verb {
+	case verbGet, verbDelete:
+		b = append(b, byte(len(req.table)))
+		b = append(b, req.table...)
+		b = appendU16(b, uint16(len(req.key)))
+		b = append(b, req.key...)
+	case verbPut:
+		b = append(b, byte(len(req.table)))
+		b = append(b, req.table...)
+		b = appendU16(b, uint16(len(req.key)))
+		b = append(b, req.key...)
+		b = appendU32(b, uint32(len(req.value)))
+		b = append(b, req.value...)
+	case verbBatch:
+		b = append(b, byte(len(req.table)))
+		b = append(b, req.table...)
+		b = appendU16(b, uint16(len(req.ops)))
+		for _, op := range req.ops {
+			kind := byte(0)
+			if op.Delete {
+				kind = 1
+			}
+			b = append(b, kind)
+			b = appendU16(b, uint16(len(op.Key)))
+			b = append(b, op.Key...)
+			if !op.Delete {
+				b = appendU32(b, uint32(len(op.Value)))
+				b = append(b, op.Value...)
+			}
+		}
+	case verbStatus:
+	}
+	return b
+}
+
+// decodeRequest parses one request message.
+func decodeRequest(msg []byte) (request, error) {
+	r := &reader{b: msg}
+	req := request{
+		verb:     r.u8(),
+		id:       r.u64(),
+		epoch:    r.u64(),
+		deadline: time.Duration(r.u32()) * time.Millisecond,
+	}
+	switch req.verb {
+	case verbGet, verbDelete:
+		req.table = string(r.bytes(int(r.u8())))
+		req.key = r.bytes(int(r.u16()))
+	case verbPut:
+		req.table = string(r.bytes(int(r.u8())))
+		req.key = r.bytes(int(r.u16()))
+		req.value = r.bytes(int(r.u32()))
+	case verbBatch:
+		req.table = string(r.bytes(int(r.u8())))
+		n := int(r.u16())
+		for i := 0; i < n && r.err == nil; i++ {
+			var op Op
+			op.Delete = r.u8() == 1
+			op.Key = r.bytes(int(r.u16()))
+			if !op.Delete {
+				op.Value = r.bytes(int(r.u32()))
+			}
+			req.ops = append(req.ops, op)
+		}
+	case verbStatus:
+	default:
+		return req, fmt.Errorf("server: unknown verb %d", req.verb)
+	}
+	return req, r.err
+}
+
+// response building helpers. Every response leads [status u8][id u64].
+func respHeader(st byte, id uint64) []byte {
+	b := make([]byte, 0, 64)
+	b = append(b, st)
+	return appendU64(b, id)
+}
+
+func respOKGet(id uint64, value []byte, found bool) []byte {
+	b := respHeader(stOK, id)
+	if found {
+		b = append(b, 1)
+		b = appendU32(b, uint32(len(value)))
+		b = append(b, value...)
+	} else {
+		b = append(b, 0)
+	}
+	return b
+}
+
+func respOKWrite(id, seq uint64) []byte {
+	return appendU64(respHeader(stOK, id), seq)
+}
+
+func respOKStatus(id uint64, s Status) []byte {
+	b := respHeader(stOK, id)
+	role := byte(0)
+	if s.Role == "primary" {
+		role = 1
+	}
+	b = append(b, role)
+	b = appendU64(b, s.Epoch)
+	b = appendU64(b, uint64(s.Mark))
+	b = appendU64(b, uint64(s.Applied))
+	b = appendU64(b, uint64(s.Lag))
+	if s.Degraded {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// BusyAdvice is the decoded retry advice of a Busy response.
+type BusyAdvice struct {
+	Backoff   time.Duration
+	Shard     int
+	Avail     int
+	Hard      int
+	Watermark string
+}
+
+func respBusy(id uint64, adv BusyAdvice) []byte {
+	b := respHeader(stBusy, id)
+	b = appendU64(b, uint64(adv.Backoff))
+	b = appendU32(b, uint32(int32(adv.Shard)))
+	b = appendU32(b, uint32(adv.Avail))
+	b = appendU32(b, uint32(adv.Hard))
+	b = appendU16(b, uint16(len(adv.Watermark)))
+	return append(b, adv.Watermark...)
+}
+
+func respFenced(id, epoch uint64) []byte {
+	return appendU64(respHeader(stFenced, id), epoch)
+}
+
+func respMsg(st byte, id uint64, msg string) []byte {
+	b := respHeader(st, id)
+	b = appendU16(b, uint16(len(msg)))
+	return append(b, msg...)
+}
+
+// response is one decoded server response.
+type response struct {
+	status byte
+	id     uint64
+
+	found bool
+	value []byte
+	seq   uint64
+	stat  Status
+	busy   BusyAdvice
+	epoch  uint64
+	msg    string
+}
+
+// decodeResponse parses a response for the verb the request carried.
+func decodeResponse(msg []byte, verb byte) (response, error) {
+	r := &reader{b: msg}
+	resp := response{status: r.u8(), id: r.u64()}
+	switch resp.status {
+	case stOK:
+		switch verb {
+		case verbGet:
+			resp.found = r.u8() == 1
+			if resp.found {
+				resp.value = r.bytes(int(r.u32()))
+			}
+		case verbPut, verbDelete, verbBatch:
+			resp.seq = r.u64()
+		case verbStatus:
+			if r.u8() == 1 {
+				resp.stat.Role = "primary"
+			} else {
+				resp.stat.Role = "replica"
+			}
+			resp.stat.Epoch = r.u64()
+			resp.stat.Mark = int(r.u64())
+			resp.stat.Applied = int(r.u64())
+			resp.stat.Lag = int(r.u64())
+			resp.stat.Degraded = r.u8() == 1
+		}
+	case stBusy:
+		resp.busy.Backoff = time.Duration(r.u64())
+		resp.busy.Shard = int(int32(r.u32()))
+		resp.busy.Avail = int(r.u32())
+		resp.busy.Hard = int(r.u32())
+		resp.busy.Watermark = string(r.bytes(int(r.u16())))
+	case stFenced:
+		resp.epoch = r.u64()
+	case stReadOnly, stIndeterminate, stErr:
+		resp.msg = string(r.bytes(int(r.u16())))
+	default:
+		return resp, fmt.Errorf("server: unknown response status %d", resp.status)
+	}
+	return resp, r.err
+}

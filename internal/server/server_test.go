@@ -1,0 +1,320 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/platform"
+	"repro/internal/simclock"
+)
+
+// openDB builds a small NVWAL-journaled database with a kv table.
+func openDB(t *testing.T) *db.DB {
+	t.Helper()
+	plat, err := platform.NewTuna()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.Open(plat, "srv.db", db.Options{Journal: db.JournalNVWAL, NVWAL: core.VariantUHLSDiff()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = d.Close() })
+	if err := d.CreateTable("kv"); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// startSim serves engine on a netsim endpoint and returns the network
+// plus a dialer.
+func startSim(t *testing.T, eng Engine, opts Options) (*netsim.Network, Dialer) {
+	t.Helper()
+	clock := simclock.New()
+	n := netsim.New(clock, netsim.Config{Latency: 10 * time.Microsecond}, 7, nil)
+	l, err := n.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock
+	}
+	s := New(eng, opts)
+	go s.Serve(l)
+	t.Cleanup(s.Close)
+	dial := func(addr string) (netsim.Conn, error) {
+		return n.Dial("cli", addr)
+	}
+	return n, dial
+}
+
+func TestServerRoundTripSim(t *testing.T) {
+	d := openDB(t)
+	eng := NewDBEngine(d, 0)
+	_, dial := startSim(t, eng, Options{Pressure: d.Pressure})
+	cli := NewClient(dial, []string{"srv"}, ClientOptions{})
+	defer cli.Close()
+
+	if _, err := cli.Put("kv", []byte("alpha"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := cli.Batch("kv", []Op{
+		{Key: []byte("beta"), Value: []byte("2")},
+		{Key: []byte("gamma"), Value: []byte("3")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq == 0 {
+		t.Fatal("batch commit returned seq 0")
+	}
+	v, found, err := cli.Get("kv", []byte("beta"))
+	if err != nil || !found || string(v) != "2" {
+		t.Fatalf("Get beta = %q found=%v err=%v", v, found, err)
+	}
+	if _, err := cli.Delete("kv", []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := cli.Get("kv", []byte("alpha")); found {
+		t.Fatal("alpha survived delete")
+	}
+	st, err := cli.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "primary" || st.Mark <= 0 || st.Applied != st.Mark {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestServerShedsAtWriteRate(t *testing.T) {
+	d := openDB(t)
+	eng := NewDBEngine(d, 0)
+	m := &metrics.Counters{}
+	// Virtually zero refill: burst of 2, then every write sheds (the
+	// virtual clock advances far too little to mint new tokens).
+	_, dial := startSim(t, eng, Options{WriteRate: 1e-6, WriteBurst: 2, Metrics: m})
+	cli := NewClient(dial, []string{"srv"}, ClientOptions{RetryBudget: 2, BackoffMax: time.Millisecond})
+	defer cli.Close()
+
+	for i := 0; i < 2; i++ {
+		if _, err := cli.Put("kv", []byte{byte(i)}, []byte("x")); err != nil {
+			t.Fatalf("burst write %d: %v", i, err)
+		}
+	}
+	_, err := cli.Put("kv", []byte("over"), []byte("x"))
+	var oe *OpError
+	if !errors.As(err, &oe) || oe.Indeterminate {
+		t.Fatalf("rate-limited write = %v, want determinate OpError", err)
+	}
+	if m.Count(metrics.ServerShed) == 0 {
+		t.Fatal("shed counter did not move")
+	}
+	// A shed write definitively did not apply.
+	if _, found, _ := cli.Get("kv", []byte("over")); found {
+		t.Fatal("shed write was applied")
+	}
+}
+
+func TestServerFencesStaleEpoch(t *testing.T) {
+	d := openDB(t)
+	eng := NewDBEngine(d, 3)
+	m := &metrics.Counters{}
+	_, dial := startSim(t, eng, Options{Epoch: 3, Metrics: m})
+	cli := NewClient(dial, []string{"srv"}, ClientOptions{})
+	defer cli.Close()
+
+	// The client starts at epoch 0; discovery via STATUS adopts epoch 3
+	// and the write then lands.
+	if _, err := cli.Put("kv", []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if cli.Epoch() != 3 {
+		t.Fatalf("client did not adopt epoch: %d", cli.Epoch())
+	}
+
+	// A raw stale-epoch request is fenced.
+	conn, err := dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(encodeRequest(request{verb: verbPut, id: 99, epoch: 1, table: "kv", key: []byte("z"), value: []byte("z")})); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := conn.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := decodeResponse(msg, verbPut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != stFenced || resp.epoch != 3 {
+		t.Fatalf("stale write = status %d epoch %d, want fenced at 3", resp.status, resp.epoch)
+	}
+	if m.Count(metrics.ServerFenced) == 0 {
+		t.Fatal("fence counter did not move")
+	}
+	if _, found, _ := d.Get("kv", []byte("z")); found {
+		t.Fatal("fenced write was applied")
+	}
+}
+
+func TestServerDedupResendsWithoutReexecuting(t *testing.T) {
+	d := openDB(t)
+	eng := NewDBEngine(d, 0)
+	_, dial := startSim(t, eng, Options{})
+	conn, err := dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	req := request{verb: verbPut, id: 42, table: "kv", key: []byte("dup"), value: []byte("v")}
+	if err := conn.Send(encodeRequest(req)); err != nil {
+		t.Fatal(err)
+	}
+	first, err := conn.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Model a lost response: the client retries the same request id.
+	if err := conn.Send(encodeRequest(req)); err != nil {
+		t.Fatal(err)
+	}
+	second, err := conn.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := decodeResponse(first, verbPut)
+	r2, _ := decodeResponse(second, verbPut)
+	if r1.status != stOK || r2.status != stOK {
+		t.Fatalf("statuses %d, %d", r1.status, r2.status)
+	}
+	if r1.seq != r2.seq {
+		t.Fatalf("duplicate was re-executed: seq %d then %d", r1.seq, r2.seq)
+	}
+}
+
+func TestClientRetriesThroughDrops(t *testing.T) {
+	d := openDB(t)
+	eng := NewDBEngine(d, 0)
+	n, dial := startSim(t, eng, Options{})
+	m := &metrics.Counters{}
+	cli := NewClient(dial, []string{"srv"}, ClientOptions{
+		RecvTimeout: 30 * time.Millisecond,
+		Metrics:     m,
+	})
+	defer cli.Close()
+	// Establish the conn with a clean write, then make the link lossy
+	// enough that some attempt times out.
+	if _, err := cli.Put("kv", []byte("warm"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+
+	drops := 0
+	for i := 0; i < 10; i++ {
+		key := []byte(fmt.Sprintf("k%d", i))
+		// Every other write, drop all traffic briefly so the first
+		// attempt is lost and the retry (after the link heals) lands.
+		if i%2 == 0 {
+			n.SetLink("cli", "srv", netsim.Config{DropRate: 1})
+			go func() {
+				time.Sleep(40 * time.Millisecond)
+				n.SetLink("cli", "srv", netsim.Config{})
+			}()
+			drops++
+		}
+		if _, err := cli.Put("kv", key, []byte("v")); err != nil {
+			t.Fatalf("write %d through drops: %v", i, err)
+		}
+	}
+	if drops > 0 && m.Count(metrics.ClientRetries) == 0 {
+		t.Fatal("no retries recorded despite forced drops")
+	}
+	for i := 0; i < 10; i++ {
+		key := []byte(fmt.Sprintf("k%d", i))
+		if _, found, err := cli.Get("kv", key); err != nil || !found {
+			t.Fatalf("acked write k%d missing: found=%v err=%v", i, found, err)
+		}
+	}
+}
+
+func TestServerEngineBusySurfacesAdvice(t *testing.T) {
+	eng := &stubEngine{err: &db.BusyError{
+		Watermark: "begin-admission",
+		Avail:     3,
+		Hard:      8,
+		Shard:     2,
+		Backoff:   db.SuggestedBusyBackoff,
+	}}
+	_, dial := startSim(t, eng, Options{})
+	conn, err := dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(encodeRequest(request{verb: verbPut, id: 1, table: "kv", key: []byte("k"), value: []byte("v")})); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := conn.Recv(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := decodeResponse(msg, verbPut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != stBusy {
+		t.Fatalf("status = %d, want busy", resp.status)
+	}
+	adv := resp.busy
+	if adv.Watermark != "begin-admission" || adv.Avail != 3 || adv.Hard != 8 || adv.Shard != 2 || adv.Backoff != db.SuggestedBusyBackoff {
+		t.Fatalf("advice did not survive the wire: %+v", adv)
+	}
+}
+
+// stubEngine fails every Apply with a fixed error.
+type stubEngine struct{ err error }
+
+func (s *stubEngine) Get(string, []byte) ([]byte, bool, error) { return nil, false, nil }
+func (s *stubEngine) Apply(context.Context, string, []Op) (uint64, error) {
+	return 0, s.err
+}
+func (s *stubEngine) Status() Status { return Status{Role: "primary"} }
+
+// TestServerRoundTripTCP drives the same protocol over real sockets —
+// the push-tier CI smoke for cmd/nvwal-server's transport.
+func TestServerRoundTripTCP(t *testing.T) {
+	d := openDB(t)
+	eng := NewDBEngine(d, 0)
+	l, err := netsim.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot bind loopback: %v", err)
+	}
+	s := New(eng, Options{Pressure: d.Pressure})
+	go s.Serve(l)
+	defer s.Close()
+
+	cli := NewClient(netsim.DialTCP, []string{l.Addr()}, ClientOptions{RecvTimeout: 2 * time.Second})
+	defer cli.Close()
+	if _, err := cli.Put("kv", []byte("tcp"), []byte("works")); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := cli.Get("kv", []byte("tcp"))
+	if err != nil || !found || string(v) != "works" {
+		t.Fatalf("Get over TCP = %q found=%v err=%v", v, found, err)
+	}
+	st, err := cli.Status()
+	if err != nil || st.Role != "primary" {
+		t.Fatalf("Status over TCP = %+v, %v", st, err)
+	}
+}

@@ -129,16 +129,17 @@ func (s *DB) HasTable(table string) bool { return s.shards[0].HasTable(table) }
 
 // Put stores key/value in one auto-committed shard-local transaction.
 func (s *DB) Put(table string, key, value []byte) error {
-	d := s.shards[s.ShardOf(key)]
+	i := s.ShardOf(key)
+	d := s.shards[i]
 	tx, err := d.Begin()
 	if err != nil {
-		return err
+		return db.WithShard(err, i)
 	}
 	if err := tx.Insert(table, key, value); err != nil {
 		tx.Rollback()
-		return err
+		return db.WithShard(err, i)
 	}
-	return tx.Commit()
+	return db.WithShard(tx.Commit(), i)
 }
 
 // Get reads a key from its shard.
@@ -148,17 +149,18 @@ func (s *DB) Get(table string, key []byte) ([]byte, bool, error) {
 
 // Delete removes a key in one auto-committed shard-local transaction.
 func (s *DB) Delete(table string, key []byte) (bool, error) {
-	d := s.shards[s.ShardOf(key)]
+	i := s.ShardOf(key)
+	d := s.shards[i]
 	tx, err := d.Begin()
 	if err != nil {
-		return false, err
+		return false, db.WithShard(err, i)
 	}
 	ok, err := tx.Delete(table, key)
 	if err != nil {
 		tx.Rollback()
-		return false, err
+		return false, db.WithShard(err, i)
 	}
-	return ok, tx.Commit()
+	return ok, db.WithShard(tx.Commit(), i)
 }
 
 // Op is one mutation in a cross-shard batch.
@@ -209,17 +211,17 @@ func (s *DB) Apply(ops []Op) error {
 		tx, err := s.shards[i].Begin()
 		if err != nil {
 			abort()
-			return fmt.Errorf("shard %d: %w", i, err)
+			return fmt.Errorf("shard %d: %w", i, db.WithShard(err, i))
 		}
 		if err := applyOps(tx, byShard[i]); err != nil {
 			tx.Rollback()
 			abort()
-			return fmt.Errorf("shard %d: %w", i, err)
+			return fmt.Errorf("shard %d: %w", i, db.WithShard(err, i))
 		}
 		if err := tx.Prepare(gtx); err != nil {
 			// A failed Prepare rolled its own transaction back.
 			abort()
-			return fmt.Errorf("shard %d: %w", i, err)
+			return fmt.Errorf("shard %d: %w", i, db.WithShard(err, i))
 		}
 		prepared = append(prepared, tx)
 	}

@@ -22,7 +22,9 @@ const maxTxnsPerRound = 10
 // re-runs rather than shrinking — in which case the input is returned
 // unchanged.
 func Minimize(opts Options, v ViolationReport) (ViolationReport, bool) {
-	if v.Round < 0 {
+	if v.Round < 0 || opts.Repl {
+		// Replication chains are concurrent by construction (real client
+		// goroutines over a faulty network): no exact replay, no shrink.
 		return v, false
 	}
 	opts.Step = v.Step

@@ -68,6 +68,16 @@ type Options struct {
 	// unsound when keyspaces overlap. Incompatible with Bug, Faults and
 	// Shards; composes with HeapPages (backpressure outcomes stay legal).
 	MVCC bool
+	// Repl runs replication chains instead: a 3-node cluster (primary +
+	// two WAL-shipping replicas) serving concurrent clients through the
+	// simulated network while the chain degrades links, partitions the
+	// shipping stream, crash-fails primaries and promotes replicas under
+	// new fencing epochs. Outcome-based oracle (see repl.go): acked
+	// writes survive failover, indeterminate writes are all-or-nothing,
+	// quiesced replicas converge exactly. Incompatible with every other
+	// mode; chains are concurrent by construction, so Minimize reports
+	// violations unshrunk.
+	Repl bool
 	// HeapPages, when > 0, shrinks the platform's NVRAM heap to that
 	// many pages — small enough that ordinary rounds exhaust it — and
 	// arms the backpressure machinery: chains get a short CommitTimeout
@@ -145,6 +155,8 @@ func Run(opts Options) Report {
 		}
 		var res chainResult
 		switch {
+		case opts.Repl:
+			res = runReplChain(opts, step+n)
 		case opts.Shards > 1:
 			res = runShardedChain(opts, step+n)
 		case opts.MVCC:
