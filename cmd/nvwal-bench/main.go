@@ -28,7 +28,7 @@ func main() {
 	jsonOut := flag.String("json", "", "also write the experiment's result as JSON to this file (allocs, checkpoint, pressure and shards only)")
 	gate := flag.String("gate", "", "baseline JSON to gate against (allocs only): exit non-zero when allocs/op regress above it")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: nvwal-bench [-txns N] [-json FILE] [-gate FILE] table1|table2|fig5|fig6|fig7|fig8|fig9|persistency|prealloc|baselines|cschecksum|groupcommit|concurrent|checkpoint|pressure|shards|mvcc|repl|allocs|all")
+		fmt.Fprintln(os.Stderr, "usage: nvwal-bench [-txns N] [-json FILE] [-gate FILE] table1|table2|fig5|fig6|fig7|fig8|fig9|persistency|prealloc|baselines|cschecksum|groupcommit|concurrent|checkpoint|pressure|shards|mvcc|repl|slow|allocs|all")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -247,6 +247,17 @@ func run(name string, txns int, jsonOut, gate string) error {
 				return err
 			}
 		}
+	case "slow":
+		r, err := experiments.Slow(txns)
+		if err != nil {
+			return err
+		}
+		r.Print(out)
+		if jsonOut != "" {
+			if err := writeJSON(jsonOut, r); err != nil {
+				return err
+			}
+		}
 	case "allocs":
 		r, err := experiments.CommitAllocs(txns)
 		if err != nil {
@@ -265,7 +276,7 @@ func run(name string, txns int, jsonOut, gate string) error {
 			fmt.Fprintf(out, "allocs/op gate passed against %s\n", gate)
 		}
 	case "all":
-		for _, sub := range []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "persistency", "prealloc", "baselines", "cschecksum", "groupcommit", "concurrent", "checkpoint", "pressure", "shards", "mvcc", "repl", "allocs"} {
+		for _, sub := range []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9", "persistency", "prealloc", "baselines", "cschecksum", "groupcommit", "concurrent", "checkpoint", "pressure", "shards", "mvcc", "repl", "slow", "allocs"} {
 			fmt.Fprintf(out, "==== %s ====\n", sub)
 			if err := run(sub, txns, jsonOut, gate); err != nil {
 				return err

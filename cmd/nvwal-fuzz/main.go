@@ -13,6 +13,7 @@
 //	nvwal-fuzz -shards 4 -duration 60s    # sharded chains with cross-shard 2PC
 //	nvwal-fuzz -mvcc -duration 60s        # overlapping-keyspace MVCC chains
 //	nvwal-fuzz -repl -duration 60s        # 3-node replication chains with failover
+//	nvwal-fuzz -slow -duration 60s        # gray-failure chains: everything slow, nothing fail-stop
 //	nvwal-fuzz -bug -duration 10s         # prove detection of a planted bug
 //
 // Every violation prints a deterministic repro command and, unless
@@ -47,6 +48,7 @@ func main() {
 		heapPages = flag.Int("heap-pages", 0, "shrink the NVRAM heap to this many pages: exercises exhaustion backpressure (ErrBusy/ErrDegraded become legal outcomes)")
 		shards    = flag.Int("shards", 1, "run sharded chains over this many engine shards: shard-local + cross-shard 2PC transactions, coordinator-stage crashes")
 		mvcc      = flag.Bool("mvcc", false, "run overlapping-keyspace MVCC chains: concurrent sessions over one shared keyspace, first-committer-wins conflicts, seq-order oracle")
+		slowMode  = flag.Bool("slow", false, "run gray-failure chains: 3-node cluster where storage, fsync and links get slow (never fail-stop), replica quarantine/resync active, liveness + convergence oracle")
 		replMode  = flag.Bool("repl", false, "run replication chains: 3-node cluster serving clients through a faulty network, primary crash-failovers with epoch fencing, acked-write durability oracle")
 		verbose   = flag.Bool("v", false, "log each chain's configuration")
 	)
@@ -66,6 +68,7 @@ func main() {
 		Shards:    *shards,
 		MVCC:      *mvcc,
 		Repl:      *replMode,
+		Slow:      *slowMode,
 	}
 	if *shards > 1 && (*bug || *faults || *heapPages > 0 || *mvcc || *replMode) {
 		fmt.Fprintln(os.Stderr, "nvwal-fuzz: -shards > 1 is incompatible with -bug, -faults, -heap-pages, -mvcc and -repl")
@@ -77,6 +80,10 @@ func main() {
 	}
 	if *replMode && (*bug || *faults || *heapPages > 0) {
 		fmt.Fprintln(os.Stderr, "nvwal-fuzz: -repl is incompatible with -bug, -faults and -heap-pages")
+		os.Exit(2)
+	}
+	if *slowMode && (*bug || *faults || *heapPages > 0 || *mvcc || *replMode || *shards > 1) {
+		fmt.Fprintln(os.Stderr, "nvwal-fuzz: -slow is incompatible with every other chain mode")
 		os.Exit(2)
 	}
 	if opts.Steps == 0 && opts.Duration == 0 && opts.Step < 0 {

@@ -75,11 +75,25 @@ type FaultConfig struct {
 	// ShortWriteRate is the per-write probability that only a prefix of
 	// the page programs while the device reports success.
 	ShortWriteRate float64
+
+	// Slow faults model gray failures: the device keeps answering, but
+	// slowly. SlowOpRate is the per-read/write probability of an extra
+	// SlowOpDelay stall (internal garbage collection, a marginal block
+	// needing program retries). SyncStallRate is the per-Sync
+	// probability of a SyncStallDelay stall — the intermittent fsync
+	// hang that real eMMC parts exhibit near end of life. All delays
+	// are charged to the virtual clock; the operation still succeeds.
+	SlowOpRate     float64
+	SlowOpDelay    time.Duration
+	SyncStallRate  float64
+	SyncStallDelay time.Duration
 }
 
 func (c FaultConfig) enabled() bool {
 	return c.ReadEIORate > 0 || c.WriteEIORate > 0 || c.SyncEIORate > 0 ||
-		c.TornWriteRate > 0 || c.ShortWriteRate > 0
+		c.TornWriteRate > 0 || c.ShortWriteRate > 0 ||
+		(c.SlowOpRate > 0 && c.SlowOpDelay > 0) ||
+		(c.SyncStallRate > 0 && c.SyncStallDelay > 0)
 }
 
 // Config parameterizes a Device. Zero fields take defaults.
@@ -182,6 +196,34 @@ func (d *Device) InjectFaults(cfg FaultConfig) {
 	d.rng = rand.New(rand.NewSource(cfg.Seed))
 }
 
+// Stall charges an externally injected delay to the device clock and
+// the slow-fault counters. Layers above the device (ext4's fsync-stall
+// model) route their own gray-failure delays here so every injected
+// stall lands in one pair of counters.
+func (d *Device) Stall(delay time.Duration) {
+	if delay <= 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.clock.Advance(delay)
+	d.m.AddTime(metrics.TimeBlockIO, delay)
+	d.m.Inc(metrics.SlowFaultStalls, 1)
+	d.m.Inc(metrics.SlowFaultStallNs, delay.Nanoseconds())
+}
+
+// slowStallLocked samples one slow-fault decision and, when it bites,
+// charges the stall to the virtual clock. Caller holds d.mu.
+func (d *Device) slowStallLocked(rate float64, delay time.Duration) {
+	if rate <= 0 || delay <= 0 || d.rng.Float64() >= rate {
+		return
+	}
+	d.clock.Advance(delay)
+	d.m.AddTime(metrics.TimeBlockIO, delay)
+	d.m.Inc(metrics.SlowFaultStalls, 1)
+	d.m.Inc(metrics.SlowFaultStallNs, delay.Nanoseconds())
+}
+
 // MarkBad retires a page: every read or write of it fails permanently
 // until ClearBad. A pending (unsynced) write to the page is discarded —
 // it will never program.
@@ -247,6 +289,9 @@ func (d *Device) WritePage(page int, p []byte, tag string) error {
 	}
 	d.clock.Advance(d.cfg.ProgramLatency)
 	d.m.AddTime(metrics.TimeBlockIO, d.cfg.ProgramLatency)
+	if f := d.faults; f != nil {
+		d.slowStallLocked(f.SlowOpRate, f.SlowOpDelay)
+	}
 	if d.badPage[page] {
 		return d.ioError("write", page, false)
 	}
@@ -287,6 +332,9 @@ func (d *Device) ReadPage(page int, p []byte) error {
 	d.checkPage(page)
 	d.clock.Advance(d.cfg.ReadLatency)
 	d.m.AddTime(metrics.TimeBlockIO, d.cfg.ReadLatency)
+	if f := d.faults; f != nil {
+		d.slowStallLocked(f.SlowOpRate, f.SlowOpDelay)
+	}
 	if d.badPage[page] {
 		return d.ioError("read", page, false)
 	}
@@ -319,6 +367,9 @@ func (d *Device) Sync() error {
 	defer d.mu.Unlock()
 	d.clock.Advance(d.cfg.FlushLatency)
 	d.m.AddTime(metrics.TimeBlockIO, d.cfg.FlushLatency)
+	if f := d.faults; f != nil {
+		d.slowStallLocked(f.SyncStallRate, f.SyncStallDelay)
+	}
 	if d.failNextSync > 0 {
 		d.failNextSync--
 		return d.ioError("sync", -1, true)

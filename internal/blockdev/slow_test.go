@@ -1,0 +1,68 @@
+// Slow-fault (gray-failure) tests for the block device: seeded
+// intermittent op stalls and fsync hangs must be deterministic and
+// must never fail the operation.
+package blockdev
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestSlowFaultsDeterministicForSeed(t *testing.T) {
+	run := func() (int64, int64, time.Duration) {
+		d, clock, m, _ := newDev(t)
+		d.InjectFaults(FaultConfig{
+			Seed:           11,
+			SlowOpRate:     0.3,
+			SlowOpDelay:    20 * time.Microsecond,
+			SyncStallRate:  0.5,
+			SyncStallDelay: 200 * time.Microsecond,
+		})
+		buf := bytes.Repeat([]byte{0x5A}, 64)
+		for i := 0; i < 200; i++ {
+			if err := d.WritePage(i%512, buf, "db"); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+			if i%8 == 0 {
+				if err := d.Sync(); err != nil {
+					t.Fatalf("sync %d: %v", i, err)
+				}
+			}
+		}
+		return m.Count(metrics.SlowFaultStalls), m.Count(metrics.SlowFaultStallNs), clock.Now()
+	}
+	s1, ns1, t1 := run()
+	s2, ns2, t2 := run()
+	if s1 == 0 {
+		t.Fatal("no slow-fault stalls fired; the config should bite at this op count")
+	}
+	if s1 != s2 || ns1 != ns2 || t1 != t2 {
+		t.Fatalf("slow faults not deterministic: %d/%dns/%v vs %d/%dns/%v",
+			s1, ns1, t1, s2, ns2, t2)
+	}
+}
+
+func TestSlowFaultsPreserveData(t *testing.T) {
+	d, _, m, _ := newDev(t)
+	d.InjectFaults(FaultConfig{Seed: 1, SlowOpRate: 1, SlowOpDelay: time.Millisecond})
+	data := bytes.Repeat([]byte{0xC3}, 128)
+	if err := d.WritePage(7, data, "db"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 128)
+	if err := d.ReadPage(7, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("slow fault corrupted page content")
+	}
+	if m.Count(metrics.SlowFaultStalls) == 0 {
+		t.Fatal("stalls did not fire at rate 1")
+	}
+}

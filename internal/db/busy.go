@@ -27,7 +27,9 @@ type BusyError struct {
 	// Watermark names the limit that tripped: "begin-admission" (hard
 	// watermark at Begin), "commit-log-full" (ErrLogFull retry loop),
 	// "group-deadline" (group commit abandoned), "prepare-log-full"
-	// (2PC prepare), "mvcc-commit" (concurrent session commit).
+	// (2PC prepare), "mvcc-commit" (concurrent session commit),
+	// "checkpointer-stalled" (the health watchdog latched the
+	// background checkpointer stalled, so waiting cannot help).
 	Watermark string
 	// Avail and Hard are the heap pages available and the hard
 	// watermark at the moment the deadline expired.

@@ -30,6 +30,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/core"
 	"repro/internal/dbfile"
+	"repro/internal/health"
 	"repro/internal/metrics"
 	"repro/internal/pager"
 	"repro/internal/platform"
@@ -257,6 +258,13 @@ type DB struct {
 	scrubQuit  chan struct{}
 	scrubDone  chan struct{}
 	scrubSince atomic.Int64
+
+	// health watches the background components (checkpointer, group
+	// flusher, scrubber) for gray failures: progress heartbeats plus
+	// latency EWMAs, on the platform's virtual clock. Admission control
+	// consults it so a silently stalled checkpointer surfaces as a
+	// prompt clean ErrBusy instead of an unbounded Begin stall.
+	health *health.Monitor
 }
 
 // Open opens (creating if necessary) the database file name on the
@@ -291,6 +299,10 @@ func Open(plat *platform.Platform, name string, opts Options) (*DB, error) {
 		slot:      make(chan struct{}, 1),
 		openMarks: make(map[int]int),
 	}
+	d.health = health.NewMonitor(health.Options{
+		Now:     plat.Clock.Now,
+		Metrics: plat.Metrics,
+	})
 	d.dbf = newRetryFile(dbfile.New(f, opts.PageSize), plat.Clock, plat.Metrics, d.degrade)
 	switch opts.Journal {
 	case JournalNVWAL:
@@ -1066,6 +1078,7 @@ func (d *DB) ckptGate(watermark int) bool {
 func (d *DB) checkpointLoop() {
 	defer close(d.ckptDone)
 	ij := d.jrn.(pager.IncrementalJournal)
+	tr := d.health.Tracker("checkpointer")
 	needsRound := func() bool {
 		frames := d.jrn.FramesSinceCheckpoint()
 		if frames >= d.opts.CheckpointLimit {
@@ -1079,12 +1092,22 @@ func (d *DB) checkpointLoop() {
 			return
 		case <-d.ckptKick:
 		}
+		// Armed while rounds are pending: silence past the health budget
+		// in this window means the checkpointer is wedged inside a round
+		// (a gray-slow fsync, a degraded device), and admission control
+		// may escalate instead of stalling writers forever.
+		if needsRound() {
+			tr.Arm()
+		}
 		for needsRound() {
 			if d.Degraded() != nil {
 				break
 			}
+			start := d.plat.Clock.Now()
 			err := ij.CheckpointIncremental(d.ckptGate)
 			if err == nil {
+				tr.Observe(d.plat.Clock.Now() - start)
+				tr.Beat()
 				continue
 			}
 			if errors.Is(err, pager.ErrCheckpointPending) {
@@ -1095,10 +1118,18 @@ func (d *DB) checkpointLoop() {
 				d.ckptErr = err
 			}
 			d.ckptErrMu.Unlock()
+			tr.Disarm()
 			return
 		}
+		tr.Disarm()
 	}
 }
+
+// Health exposes the engine's gray-failure watchdogs: per-component
+// progress heartbeats and latency EWMAs for the background
+// checkpointer, group flusher, and scrubber. Serving layers fold it
+// into status reporting; tests assert on detection.
+func (d *DB) Health() *health.Monitor { return d.health }
 
 // Get reads a record outside any transaction. In Concurrent mode it
 // waits for the writer slot; in legacy mode an open write transaction

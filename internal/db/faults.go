@@ -90,6 +90,17 @@ func (d *DB) degrade(cause error) {
 	d.degradedMu.Unlock()
 }
 
+// ForceDegrade latches the degraded read-only mode exactly as a
+// permanent device error would — a fault-injection hook for harnesses
+// staging multi-fault scenarios (e.g. a replication source degrading
+// mid-re-seed). Irreversible, like the real latch.
+func (d *DB) ForceDegrade(cause error) {
+	if cause == nil {
+		cause = errors.New("fault injection")
+	}
+	d.degrade(cause)
+}
+
 // Degraded returns the latched degraded-mode error (matching
 // errors.Is(err, ErrDegraded)), or nil while the DB is healthy.
 func (d *DB) Degraded() error {
@@ -133,13 +144,19 @@ func (d *DB) maybeKickScrub() {
 // and retires the blocks — the self-healing path.
 func (d *DB) scrubLoop(nv *core.NVWAL) {
 	defer close(d.scrubDone)
+	tr := d.health.Tracker("scrubber")
 	for {
 		select {
 		case <-d.scrubQuit:
 			return
 		case <-d.scrubKick:
 		}
+		tr.Arm()
+		start := d.plat.Clock.Now()
 		res := nv.Scrub()
+		tr.Observe(d.plat.Clock.Now() - start)
+		tr.Beat()
+		tr.Disarm()
 		if res.BadFrames == 0 || d.Degraded() != nil {
 			continue
 		}

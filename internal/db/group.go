@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/metrics"
 	"repro/internal/pager"
 )
@@ -135,9 +136,21 @@ func (gc *groupCommitter) flushLocked() {
 	gc.queue = nil
 	err := gc.failed
 	if err == nil {
+		var tr *health.Tracker
+		var start time.Duration
+		if gc.db != nil {
+			tr = gc.db.health.Tracker("group-flusher")
+			tr.Arm()
+			start = gc.db.plat.Clock.Now()
+		}
 		if err = gc.flushWithBackpressure(reqs); err != nil {
 			gc.failed = fmt.Errorf("db: group commit failed, engine disabled: %w", err)
 			err = gc.failed
+		}
+		if tr != nil {
+			tr.Observe(gc.db.plat.Clock.Now() - start)
+			tr.Beat()
+			tr.Disarm()
 		}
 	}
 	for _, r := range reqs {

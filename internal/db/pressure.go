@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/heapo"
 	"repro/internal/metrics"
 	"repro/internal/pager"
@@ -187,6 +188,18 @@ func (d *DB) admitWriter(ctx context.Context) error {
 		if err := dl.expired("begin-admission"); err != nil {
 			d.plat.Metrics.Inc(metrics.CommitTimeouts, 1)
 			return err
+		}
+		// Gray-failure escalation: if the background checkpointer is
+		// STALLED — armed with pending rounds but silent past its health
+		// budget — more stalling cannot help; the component that frees
+		// space is itself wedged (a gray-slow fsync, a degraded device).
+		// Shed the write cleanly instead of hanging Begin, which with
+		// CommitTimeout=0 would otherwise stall unboundedly behind a
+		// fault the deadline machinery never sees.
+		if d.ckptKick != nil && d.health.Tracker("checkpointer").State() == health.Stalled {
+			d.plat.Metrics.Inc(metrics.CommitTimeouts, 1)
+			return dl.busy("checkpointer-stalled",
+				errors.New("background checkpointer stalled past health budget"))
 		}
 		backoff = d.stallStep(backoff)
 	}

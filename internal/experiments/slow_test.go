@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSlowShapes runs the gray-failure read experiment small and checks
+// the shapes the full bench run gates on: hedging recovers the degraded
+// tail, costs (near) nothing when healthy, and the plain reader pinned
+// to the degraded replica eats the full degraded round-trip.
+func TestSlowShapes(t *testing.T) {
+	res, err := Slow(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("want 4 cells, got %d", len(res.Rows))
+	}
+	var plainH, hedgeH, plainD, hedgeD *SlowReadRow
+	for i := range res.Rows {
+		r := &res.Rows[i]
+		switch {
+		case r.Scenario == "healthy" && !r.Hedged:
+			plainH = r
+		case r.Scenario == "healthy" && r.Hedged:
+			hedgeH = r
+		case r.Scenario == "degraded" && !r.Hedged:
+			plainD = r
+		case r.Scenario == "degraded" && r.Hedged:
+			hedgeD = r
+		}
+	}
+	if plainH == nil || hedgeH == nil || plainD == nil || hedgeD == nil {
+		t.Fatalf("missing cells: %+v", res.Rows)
+	}
+
+	// The degraded plain reader pays the degraded link on every read.
+	if plainD.P99Ns < int64(res.DegradedLatency) {
+		t.Errorf("degraded plain p99 %d below the degraded link latency %d — the pin did not bite",
+			plainD.P99Ns, int64(res.DegradedLatency))
+	}
+	// Hedging recovers the tail (acceptance floor 2×, expect far more).
+	if res.P99RecoveryX < 2 {
+		t.Errorf("p99 recovery %.1fx below the 2x floor (plain %d vs hedged %d)",
+			res.P99RecoveryX, plainD.P99Ns, hedgeD.P99Ns)
+	}
+	if hedgeD.HedgedReads == 0 {
+		t.Error("degraded hedged cell fired no hedges")
+	}
+	// Healthy hedged mode must cost (almost) nothing (ceiling 5%).
+	if res.HealthyAmplPct > 5 {
+		t.Errorf("healthy read amplification %.2f%% above the 5%% ceiling", res.HealthyAmplPct)
+	}
+	if plainH.HedgedReads != 0 {
+		t.Errorf("plain reader hedged %d reads", plainH.HedgedReads)
+	}
+
+	var b strings.Builder
+	res.Print(&b)
+	if !strings.Contains(b.String(), "p99 recovery") {
+		t.Errorf("Print output missing the headline: %q", b.String())
+	}
+}

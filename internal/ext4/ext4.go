@@ -21,7 +21,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/blockdev"
 )
@@ -90,6 +92,52 @@ type FS struct {
 	// frozen, when non-nil, is the durable state captured by Freeze; the
 	// next PowerFail reverts to it instead of the latest journal commit.
 	frozen *frozenMeta
+
+	// slow-fault model (gray failures): seeded intermittent fsync
+	// stalls on top of whatever the device itself injects.
+	slow    SlowConfig
+	slowRng *rand.Rand
+}
+
+// SlowConfig parameterizes file-system-level gray-failure injection:
+// each Fsync independently stalls for FsyncStallDelay with probability
+// FsyncStallRate — the journal thread blocked behind a slow flush, the
+// writeback path wedged on a marginal block. Delays are charged to the
+// device's virtual clock; the fsync still succeeds. Configured like the
+// storage FaultConfigs so fuzz chains arm it deterministically.
+type SlowConfig struct {
+	Seed            int64
+	FsyncStallRate  float64
+	FsyncStallDelay time.Duration
+}
+
+func (c SlowConfig) enabled() bool {
+	return c.FsyncStallRate > 0 && c.FsyncStallDelay > 0
+}
+
+// InjectSlowFaults installs (or, with a zero config, removes) the
+// file-system slow-fault model.
+func (fs *FS) InjectSlowFaults(cfg SlowConfig) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !cfg.enabled() {
+		fs.slow, fs.slowRng = SlowConfig{}, nil
+		return
+	}
+	fs.slow = cfg
+	fs.slowRng = rand.New(rand.NewSource(cfg.Seed))
+}
+
+// slowFsyncStallLocked samples one fsync-stall decision. Caller holds
+// fs.mu; the delay is charged through the device so all injected
+// stalls share one counter pair.
+func (fs *FS) slowFsyncStallLocked() {
+	if fs.slowRng == nil {
+		return
+	}
+	if fs.slowRng.Float64() < fs.slow.FsyncStallRate {
+		fs.dev.Stall(fs.slow.FsyncStallDelay)
+	}
 }
 
 // frozenMeta is a point-in-time reference to the durable metadata
@@ -455,6 +503,8 @@ func (f *File) Fsync() error {
 	fs := f.fs
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+
+	fs.slowFsyncStallLocked()
 
 	// Ordered mode: data pages reach the device before the journal
 	// commits the metadata that references them.

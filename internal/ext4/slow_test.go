@@ -1,0 +1,74 @@
+// Slow-fault (gray-failure) tests for the file system: seeded
+// intermittent fsync stalls must be deterministic, charge the shared
+// slow-fault counters, and leave the fsync's durability intact.
+package ext4
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestFsyncStallsDeterministicForSeed(t *testing.T) {
+	run := func() (int64, int64, time.Duration) {
+		fs, _, m, clock := newFS(t)
+		fs.InjectSlowFaults(SlowConfig{
+			Seed:            23,
+			FsyncStallRate:  0.4,
+			FsyncStallDelay: 3 * time.Millisecond,
+		})
+		f, err := fs.Create("wal", "wal")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 512)
+		for i := 0; i < 100; i++ {
+			if _, err := f.WriteAt(buf, int64(i*512)); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+			if err := f.Fsync(); err != nil {
+				t.Fatalf("fsync %d: %v", i, err)
+			}
+		}
+		return m.Count(metrics.SlowFaultStalls), m.Count(metrics.SlowFaultStallNs), clock.Now()
+	}
+	s1, ns1, t1 := run()
+	s2, ns2, t2 := run()
+	if s1 == 0 {
+		t.Fatal("no fsync stalls fired; the config should bite over 100 fsyncs")
+	}
+	if s1 != s2 || ns1 != ns2 || t1 != t2 {
+		t.Fatalf("fsync stalls not deterministic: %d/%dns/%v vs %d/%dns/%v",
+			s1, ns1, t1, s2, ns2, t2)
+	}
+}
+
+func TestInjectSlowFaultsZeroConfigDisarms(t *testing.T) {
+	fs, _, m, _ := newFS(t)
+	fs.InjectSlowFaults(SlowConfig{Seed: 1, FsyncStallRate: 1, FsyncStallDelay: time.Millisecond})
+	f, err := fs.Create("a", "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 64), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Fsync(); err != nil {
+		t.Fatal(err)
+	}
+	armed := m.Count(metrics.SlowFaultStalls)
+	if armed == 0 {
+		t.Fatal("stall did not fire at rate 1")
+	}
+	fs.InjectSlowFaults(SlowConfig{})
+	if _, err := f.WriteAt(make([]byte, 64), 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Fsync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Count(metrics.SlowFaultStalls); got != armed {
+		t.Fatalf("stalls fired after disarm: %d -> %d", armed, got)
+	}
+}

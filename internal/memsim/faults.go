@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/metrics"
 )
@@ -56,15 +57,34 @@ type FaultConfig struct {
 	// Ranges confines faults to the given address intervals. Empty means
 	// the whole domain.
 	Ranges []AddrRange
+
+	// Slow faults model gray failures: the medium keeps working but
+	// gets slow. SlowOpRate is the per-store probability of an extra
+	// virtual-clock stall of SlowOpDelay (an internal remap, a wear-
+	// leveling pause). SlowRanges marks degraded regions — stores
+	// touching them pay SlowFactor× the normal per-line store cost,
+	// modelling a bank whose cells respond at retirement latency.
+	// All delays are charged to the virtual clock; nothing corrupts.
+	SlowOpRate  float64
+	SlowOpDelay time.Duration
+	SlowRanges  []AddrRange
+	SlowFactor  int
 }
 
 func (c FaultConfig) enabled() bool {
-	return c.BitFlipRate > 0 || c.StuckLineRate > 0 || c.ReadErrorRate > 0
+	return c.BitFlipRate > 0 || c.StuckLineRate > 0 || c.ReadErrorRate > 0 ||
+		c.slowEnabled()
+}
+
+func (c FaultConfig) slowEnabled() bool {
+	return (c.SlowOpRate > 0 && c.SlowOpDelay > 0) ||
+		(c.SlowFactor > 1 && len(c.SlowRanges) > 0)
 }
 
 type faultState struct {
 	cfg     FaultConfig
 	readRng *rand.Rand
+	slowRng *rand.Rand
 	stuck   map[uint64][]byte // line addr -> frozen durable content
 }
 
@@ -112,7 +132,38 @@ func (d *Domain) InjectFaults(cfg FaultConfig) {
 	d.faults = &faultState{
 		cfg:     cfg,
 		readRng: rand.New(rand.NewSource(cfg.Seed)),
+		slowRng: rand.New(rand.NewSource(int64(splitmix64(uint64(cfg.Seed) ^ 0x510Afa17)))),
 		stuck:   make(map[uint64][]byte),
+	}
+}
+
+// applySlowFaultLocked charges gray-failure latency for a store covering
+// lines [first, last] (nLines of them): the degraded-region multiplier
+// plus a seeded per-op stall. Purely a virtual-clock cost — the store
+// itself is untouched, which is what makes slow faults gray rather than
+// fail-stop. Caller holds d.mu.
+func (d *Domain) applySlowFaultLocked(first, last uint64, nLines int) {
+	f := d.faults
+	if f == nil || !f.cfg.slowEnabled() {
+		return
+	}
+	var extra time.Duration
+	if f.cfg.SlowFactor > 1 {
+		for _, r := range f.cfg.SlowRanges {
+			if first < r.End && last >= r.Start {
+				extra += time.Duration(nLines) * d.cfg.StoreCostPerLine *
+					time.Duration(f.cfg.SlowFactor-1)
+				break
+			}
+		}
+	}
+	if f.cfg.SlowOpRate > 0 && f.slowRng.Float64() < f.cfg.SlowOpRate {
+		extra += f.cfg.SlowOpDelay
+	}
+	if extra > 0 {
+		d.clock.Advance(extra)
+		d.m.Inc(metrics.SlowFaultStalls, 1)
+		d.m.Inc(metrics.SlowFaultStallNs, extra.Nanoseconds())
 	}
 }
 

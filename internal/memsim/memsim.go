@@ -312,6 +312,7 @@ func (d *Domain) Write(addr uint64, p []byte) {
 	nLines := int((last-first)/uint64(d.cfg.CacheLineSize)) + 1
 	d.clock.Advance(time.Duration(nLines) * d.cfg.StoreCostPerLine)
 	d.m.AddTime(metrics.TimeMemcpy, time.Duration(nLines)*d.cfg.StoreCostPerLine)
+	d.applySlowFaultLocked(first, last, nLines)
 
 	for la := first; la <= last; la += uint64(d.cfg.CacheLineSize) {
 		d.touchDirty(la)
@@ -350,6 +351,7 @@ func (d *Domain) WriteV(addr uint64, parts ...[]byte) {
 	nLines := int((last-first)/uint64(d.cfg.CacheLineSize)) + 1
 	d.clock.Advance(time.Duration(nLines) * d.cfg.StoreCostPerLine)
 	d.m.AddTime(metrics.TimeMemcpy, time.Duration(nLines)*d.cfg.StoreCostPerLine)
+	d.applySlowFaultLocked(first, last, nLines)
 
 	for la := first; la <= last; la += uint64(d.cfg.CacheLineSize) {
 		d.touchDirty(la)

@@ -104,3 +104,49 @@ func TestRegistryAggregate(t *testing.T) {
 		t.Fatalf("Labels() = %v, want registration order", labels)
 	}
 }
+
+// TestRegistryAggregateGrayFailureKeys: the gray-failure counters (node
+// health, hedging, quarantine, slow-fault stalls) aggregate across a
+// cluster's per-node labels like any other key — a laned cluster's
+// fleet-wide view is one Aggregate() away.
+func TestRegistryAggregateGrayFailureKeys(t *testing.T) {
+	r := NewRegistry()
+	n0, n1, rd := r.Counters("n0"), r.Counters("n1"), r.Counters("rd")
+	n0.Inc(SlowFaultStalls, 4)
+	n0.Inc(SlowFaultStallNs, 4000)
+	n0.Inc(ReplicaQuarantines, 1)
+	n0.Inc(ReplicaReadmits, 1)
+	n0.Inc(HealthDegraded, 2)
+	n0.Inc(HealthStalled, 1)
+	n0.Inc(DeadlineAborts, 3)
+	n0.Inc(ReplReseedAborts, 1)
+	n1.Inc(SlowFaultStalls, 6)
+	n1.Inc(SlowFaultStallNs, 9000)
+	n1.Inc(HealthState, 2)
+	rd.Inc(HedgedReads, 5)
+	rd.Inc(HedgeWins, 3)
+	rd.Inc(BreakerOpen, 2)
+
+	agg := r.Aggregate()
+	for key, want := range map[string]int64{
+		SlowFaultStalls:    10,
+		SlowFaultStallNs:   13000,
+		ReplicaQuarantines: 1,
+		ReplicaReadmits:    1,
+		HealthDegraded:     2,
+		HealthStalled:      1,
+		HealthState:        2,
+		DeadlineAborts:     3,
+		ReplReseedAborts:   1,
+		HedgedReads:        5,
+		HedgeWins:          3,
+		BreakerOpen:        2,
+	} {
+		if got := agg.Count(key); got != want {
+			t.Fatalf("aggregate %s = %d, want %d", key, got, want)
+		}
+	}
+	if got := r.Snapshot("n1").Count(HedgedReads); got != 0 {
+		t.Fatalf("n1 snapshot leaked the reader's hedged_reads = %d", got)
+	}
+}

@@ -52,6 +52,13 @@ type Config struct {
 	DropRate    float64
 	ReorderRate float64
 	CutRate     float64
+	// StallRate/StallDelay model gray failures: with probability
+	// StallRate a message is delivered StallDelay late — a bufferbloat
+	// spike, a retransmission burst, a link briefly saturated. Unlike
+	// DropRate the message DOES arrive, which is what makes slow links
+	// harder to defend against than dead ones.
+	StallRate  float64
+	StallDelay time.Duration
 }
 
 // Network is a named-endpoint message fabric. All methods are safe for
@@ -296,8 +303,18 @@ func (c *conn) Send(msg []byte) error {
 	if cfg.Jitter > 0 {
 		lat += time.Duration(n.rng.Int63n(int64(cfg.Jitter)))
 	}
+	stalled := false
+	if cfg.StallRate > 0 && cfg.StallDelay > 0 && n.rng.Float64() < cfg.StallRate {
+		lat += cfg.StallDelay
+		stalled = true
+	}
 	sendClock := n.clockFor(c.local)
 	n.mu.Unlock()
+
+	if stalled {
+		n.m.Inc(metrics.SlowFaultStalls, 1)
+		n.m.Inc(metrics.SlowFaultStallNs, cfg.StallDelay.Nanoseconds())
+	}
 
 	n.m.Inc(metrics.NetMessages, 1)
 	n.m.Inc(metrics.NetBytes, int64(len(msg)))
@@ -376,6 +393,57 @@ func (c *conn) Recv(timeout time.Duration) ([]byte, error) {
 	c.shared.net.mu.Unlock()
 	clk.AdvanceTo(m.deliverAt)
 	return m.payload, nil
+}
+
+// RecvAt is Recv without the clock advance: it returns the next message
+// together with its virtual delivery time and leaves the AdvanceTo to
+// the caller. Hedged-read clients need this — the hedge must pick the
+// response with the EARLIER virtual arrival, and a plain Recv on the
+// loser would drag the receiver's clock past the winner's.
+func (c *conn) RecvAt(timeout time.Duration) ([]byte, time.Duration, error) {
+	var timer *time.Timer
+	expired := false
+	if timeout > 0 {
+		timer = time.AfterFunc(timeout, func() {
+			c.mu.Lock()
+			expired = true
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
+	c.mu.Lock()
+	for len(c.inbox) == 0 && !c.closed && !expired {
+		c.cond.Wait()
+	}
+	if len(c.inbox) == 0 {
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return nil, 0, ErrClosed
+		}
+		return nil, 0, ErrTimeout
+	}
+	m := c.inbox[0]
+	c.inbox = c.inbox[1:]
+	c.mu.Unlock()
+	return m.payload, m.deliverAt, nil
+}
+
+// RecvAt receives on any Conn, reporting the message's virtual delivery
+// time when the transport tracks one. ok=false means the conn has no
+// virtual timing (the TCP binding): at is zero and the message was
+// received with the conn's plain semantics.
+func RecvAt(c Conn, timeout time.Duration) (msg []byte, at time.Duration, ok bool, err error) {
+	type recvAtConn interface {
+		RecvAt(timeout time.Duration) ([]byte, time.Duration, error)
+	}
+	if rc, has := c.(recvAtConn); has {
+		msg, at, err = rc.RecvAt(timeout)
+		return msg, at, true, err
+	}
+	msg, err = c.Recv(timeout)
+	return msg, 0, false, err
 }
 
 func (c *conn) Close() error {

@@ -153,6 +153,11 @@ func (c *Cluster) serveAsPrimary(node *Node, d *db.DB, popts PrimaryOptions, sop
 	if popts.Metrics == nil {
 		popts.Metrics = node.M
 	}
+	if popts.Clock == nil {
+		// Quarantine's ack-latency EWMA must run on virtual time: over
+		// netsim a virtually-slow replica still acks real-time-fast.
+		popts.Clock = node.Plat.Clock
+	}
 	p, err := NewPrimary(d, popts)
 	if err != nil {
 		_ = d.Close()

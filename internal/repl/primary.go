@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/server"
+	"repro/internal/simclock"
 )
 
 // PrimaryOptions configures replication on a primary.
@@ -40,6 +42,22 @@ type PrimaryOptions struct {
 	// PollEvery is the sender's fallback poll interval for new frames
 	// when no commit kick arrives (default 2ms, real time).
 	PollEvery time.Duration
+	// AckBudget enables automatic quarantine (0 = disabled): a replica
+	// whose send→ack latency EWMA breaches the budget is dropped from
+	// the semi-sync quorum — shipping continues, but commits stop
+	// waiting on it. Hysteresis re-admits it once the EWMA falls below
+	// half the budget. When every quorum-eligible replica is
+	// quarantined, commits degrade to asynchronous acks (the MySQL
+	// semi-sync wait-no-slave=off behaviour) rather than timing out
+	// one by one behind replicas known to be sick.
+	AckBudget time.Duration
+	// Clock is the primary node's virtual-time lane. With it, ack
+	// latency is measured in virtual time — over netsim every ack
+	// arrives real-time-fast no matter how slow the replica is
+	// virtually, so a real-time EWMA would be blind to exactly the
+	// gray slowness quarantine exists to catch. Nil falls back to real
+	// time (TCP deployments).
+	Clock *simclock.Clock
 	// Metrics receives replication counters (default: the DB's sink).
 	Metrics *metrics.Counters
 }
@@ -56,6 +74,13 @@ type Primary struct {
 	ackCond  *sync.Cond
 	replicas []*replicaLink
 	closed   bool
+
+	// fenced holds a newer epoch this primary learned it was superseded
+	// by (failover drivers call Fence on the old primary when promoting
+	// a new one). Senders stop shipping and any in-flight re-seed
+	// aborts: a seed stamped with a stale incarnation would only be
+	// thrown away by the replica's next hello.
+	fenced atomic.Uint64
 }
 
 // replicaLink is one replica's shipping state.
@@ -69,6 +94,11 @@ type replicaLink struct {
 
 	mu      sync.Mutex
 	applied int // highest acked applied mark
+	// ackEwma is the rolling send→ack latency estimate (virtual time
+	// when PrimaryOptions.Clock is set); quarantined drops the link
+	// from the semi-sync quorum while it breaches AckBudget.
+	ackEwma     time.Duration
+	quarantined bool
 }
 
 // NewPrimary wraps d. The caller keeps ownership of d (Close order:
@@ -190,6 +220,15 @@ func (p *Primary) waitAcks(ctx context.Context, target int) error {
 		if p.ackedAtLocked(target) >= p.opts.AckReplicas {
 			return nil
 		}
+		if p.opts.AckBudget > 0 && p.eligibleLocked() < p.opts.AckReplicas {
+			// Not enough healthy replicas to ever satisfy the quorum:
+			// degrade this commit to asynchronous acknowledgement
+			// instead of burning its full timeout against replicas the
+			// watchdog already knows are sick. Shipping continues; the
+			// quorum guarantee resumes the moment a re-admit restores
+			// eligibility.
+			return nil
+		}
 		if p.closed {
 			return fmt.Errorf("repl: primary closed during ack wait: %w", server.ErrIndeterminate)
 		}
@@ -203,19 +242,73 @@ func (p *Primary) waitAcks(ctx context.Context, target int) error {
 	}
 }
 
-// ackedAtLocked counts replicas whose acked applied mark covers
-// target. Caller holds p.mu.
+// ackedAtLocked counts quorum-eligible replicas whose acked applied
+// mark covers target. Quarantined replicas do not count: their acks
+// still advance the cursor (shipping never stops) but a commit must
+// not treat a known-sick replica as its durability copy. Caller holds
+// p.mu.
 func (p *Primary) ackedAtLocked(target int) int {
 	n := 0
 	for _, rl := range p.replicas {
 		rl.mu.Lock()
-		if rl.applied >= target {
+		if rl.applied >= target && !rl.quarantined {
 			n++
 		}
 		rl.mu.Unlock()
 	}
 	return n
 }
+
+// eligibleLocked counts replicas currently admitted to the semi-sync
+// quorum. Caller holds p.mu.
+func (p *Primary) eligibleLocked() int {
+	n := 0
+	for _, rl := range p.replicas {
+		rl.mu.Lock()
+		if !rl.quarantined {
+			n++
+		}
+		rl.mu.Unlock()
+	}
+	return n
+}
+
+// Quarantined returns the addresses of currently quarantined replicas.
+func (p *Primary) Quarantined() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for _, rl := range p.replicas {
+		rl.mu.Lock()
+		if rl.quarantined {
+			out = append(out, rl.addr)
+		}
+		rl.mu.Unlock()
+	}
+	return out
+}
+
+// Fence informs the primary it has been superseded by a newer epoch.
+// Senders stop shipping (frames and seeds stamped with the old
+// incarnation would be rejected by replicas that saw the new primary)
+// and an in-flight re-seed aborts at its next stage boundary.
+func (p *Primary) Fence(epoch uint64) {
+	if epoch <= p.opts.Epoch {
+		return
+	}
+	for {
+		cur := p.fenced.Load()
+		if epoch <= cur {
+			return
+		}
+		if p.fenced.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
+// superseded reports whether Fence recorded a newer epoch.
+func (p *Primary) superseded() bool { return p.fenced.Load() > p.opts.Epoch }
 
 // Status reports the primary view plus replication lag.
 func (p *Primary) Status() server.Status {
@@ -263,6 +356,9 @@ func (rl *replicaLink) run() {
 			return
 		default:
 		}
+		if rl.p.superseded() {
+			return
+		}
 		if !rl.serveConn() {
 			return
 		}
@@ -307,15 +403,38 @@ func (rl *replicaLink) serveConn() bool {
 
 	for {
 		if needSeed {
+			// A re-seed is the longest transfer the sender makes, so it
+			// re-checks its preconditions at every stage boundary: a
+			// fenced primary must not ship a stale-incarnation snapshot
+			// (abort for good — the sender is done), and a source that
+			// degraded mid-copy must abort and re-schedule rather than
+			// seed the replica from a handle that may stop serving
+			// snapshot reads at any moment.
+			if p.superseded() {
+				p.m.Inc(metrics.ReplReseedAborts, 1)
+				return false
+			}
+			if p.d.Degraded() != nil {
+				p.m.Inc(metrics.ReplReseedAborts, 1)
+				return true
+			}
 			snap, err := p.d.ExportPages()
 			if err != nil {
+				return true
+			}
+			if p.superseded() {
+				p.m.Inc(metrics.ReplReseedAborts, 1)
+				return false
+			}
+			if p.d.Degraded() != nil {
+				p.m.Inc(metrics.ReplReseedAborts, 1)
 				return true
 			}
 			p.m.Inc(metrics.ReplReseeds, 1)
 			if err := conn.Send(encodeSeed(p.opts.Epoch, snap)); err != nil {
 				return true
 			}
-			a, ok := rl.awaitAck(conn)
+			a, _, _, ok := rl.awaitAck(conn)
 			if !ok || !a.ok {
 				return true
 			}
@@ -347,6 +466,11 @@ func (rl *replicaLink) serveConn() bool {
 			continue
 		}
 		endChain := core.ChainExport(chain, batch)
+		var t0Virt time.Duration
+		t0Real := time.Now()
+		if p.opts.Clock != nil {
+			t0Virt = p.opts.Clock.Now()
+		}
 		if err := conn.Send(encodeFrames(p.opts.Epoch, batch, endChain)); err != nil {
 			return true
 		}
@@ -355,9 +479,23 @@ func (rl *replicaLink) serveConn() bool {
 		for _, fr := range batch.Frames {
 			p.m.Inc(metrics.ReplBytesShipped, int64(len(fr.Payload)))
 		}
-		a, ok := rl.awaitAck(conn)
+		a, ackAt, virt, ok := rl.awaitAck(conn)
 		if !ok {
 			return true
+		}
+		// Latency is measured against the ack's own virtual delivery
+		// time, not the lane's Now() after Recv: the lane is shared by
+		// every replica link, so another replica's slow ack advancing
+		// it mid-wait would bleed into this link's sample and
+		// quarantine a healthy replica. Real time is the fallback
+		// off-simulation.
+		switch {
+		case p.opts.Clock != nil && virt:
+			rl.observeAck(ackAt - t0Virt)
+		case p.opts.Clock != nil:
+			rl.observeAck(p.opts.Clock.Now() - t0Virt)
+		default:
+			rl.observeAck(time.Since(t0Real))
 		}
 		if !a.ok {
 			needSeed = true
@@ -368,6 +506,58 @@ func (rl *replicaLink) serveConn() bool {
 	}
 }
 
+// observeAck folds one send→ack latency sample into the link's EWMA
+// and applies the quarantine policy: breach the AckBudget and the link
+// leaves the semi-sync quorum; decay below half the budget and it is
+// re-admitted. Both transitions wake semi-sync waiters — a quarantine
+// can unblock a commit (quorum degradation), a re-admit restores the
+// guarantee for the next one.
+func (rl *replicaLink) observeAck(d time.Duration) {
+	p := rl.p
+	rl.mu.Lock()
+	if rl.ackEwma == 0 {
+		rl.ackEwma = d
+	} else {
+		rl.ackEwma += (d - rl.ackEwma) * 3 / 10
+	}
+	changed, nowQuarantined := false, false
+	if budget := p.opts.AckBudget; budget > 0 {
+		switch {
+		case !rl.quarantined && rl.ackEwma > budget:
+			rl.quarantined, changed = true, true
+		case rl.quarantined && rl.ackEwma < budget/2:
+			rl.quarantined, changed = false, true
+		}
+		nowQuarantined = rl.quarantined
+	}
+	rl.mu.Unlock()
+	if !changed {
+		return
+	}
+	if nowQuarantined {
+		p.m.Inc(metrics.ReplicaQuarantines, 1)
+	} else {
+		p.m.Inc(metrics.ReplicaReadmits, 1)
+	}
+	p.mu.Lock()
+	p.ackCond.Broadcast()
+	p.mu.Unlock()
+}
+
+// AckLatencies reports each replica's send→ack latency EWMA keyed by
+// address (tests and status probes).
+func (p *Primary) AckLatencies() map[string]time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]time.Duration, len(p.replicas))
+	for _, rl := range p.replicas {
+		rl.mu.Lock()
+		out[rl.addr] = rl.ackEwma
+		rl.mu.Unlock()
+	}
+	return out
+}
+
 // awaitAck reads the replica's ack for the last message, honouring
 // quit. ok=false means the conn died, went silent, or the sender is
 // stopping. The silence bound matters for liveness: a partition drops
@@ -375,27 +565,40 @@ func (rl *replicaLink) serveConn() bool {
 // otherwise block the strict send/ack loop forever — giving up forces
 // a redial, and the reconnect hello resumes from the replica's real
 // cursor.
-func (rl *replicaLink) awaitAck(conn netsim.Conn) (ack, bool) {
+// On simulated transports it reports the ack's own virtual delivery
+// time (virt=true) and advances the primary's lane to it — the same
+// advance Recv would have done — so the caller can measure per-link
+// latency without cross-talk from other links sharing the lane.
+func (rl *replicaLink) awaitAck(conn netsim.Conn) (a ack, at time.Duration, virt, ok bool) {
 	for tries := 0; tries < 4; tries++ {
 		select {
 		case <-rl.quit:
-			return ack{}, false
+			return ack{}, 0, false, false
 		default:
 		}
-		msg, err := conn.Recv(250 * time.Millisecond)
+		var msg []byte
+		var err error
+		if clk := rl.p.opts.Clock; clk != nil {
+			msg, at, virt, err = netsim.RecvAt(conn, 250*time.Millisecond)
+			if err == nil && virt {
+				clk.AdvanceTo(at)
+			}
+		} else {
+			msg, err = conn.Recv(250 * time.Millisecond)
+		}
 		if err == nil {
 			a, derr := decodeAck(msg)
 			if derr != nil {
-				return ack{}, false
+				return ack{}, 0, virt, false
 			}
 			rl.p.m.Inc(metrics.ReplAcks, 1)
-			return a, true
+			return a, at, virt, true
 		}
 		if !errors.Is(err, netsim.ErrTimeout) {
-			return ack{}, false
+			return ack{}, 0, virt, false
 		}
 	}
-	return ack{}, false
+	return ack{}, 0, virt, false
 }
 
 // noteApplied records a replica ack and wakes semi-sync waiters.

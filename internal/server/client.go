@@ -13,10 +13,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/simclock"
 )
 
 // Dialer opens a conn to a named endpoint (netsim or TCP).
@@ -41,10 +43,38 @@ type ClientOptions struct {
 	// ReadAnywhere lets Get/Status use any reachable endpoint instead
 	// of requiring the primary (replica-read clients).
 	ReadAnywhere bool
+	// HedgeDelay enables hedged reads (requires ReadAnywhere and at
+	// least two endpoints): when the first replica's answer would land
+	// later than the hedge delay, the read is duplicated to a second
+	// replica and the earlier answer wins. The delay adapts upward to
+	// 2× the chosen replica's observed latency EWMA, so healthy-but-
+	// merely-ordinary responses are not hedged. 0 disables hedging.
+	HedgeDelay time.Duration
+	// Clock is the client's virtual-time lane, required for hedged
+	// reads over netsim: hedge outcomes are decided by virtual delivery
+	// time, not real arrival order. Nil restricts hedging to the
+	// first-response-wins degenerate form on real transports.
+	Clock *simclock.Clock
 	// Seed drives the backoff jitter.
 	Seed int64
 	// Metrics receives client counters (nil = discarded).
 	Metrics *metrics.Counters
+}
+
+// Circuit-breaker policy: after breakerFailThreshold consecutive
+// dial/probe failures an endpoint is skipped for breakerOpenFor (real
+// time); the first attempt after that window is the half-open probe —
+// success closes the breaker, failure re-opens it. When every endpoint
+// is open the client probes them all anyway: a breaker sheds work from
+// a sick endpoint, it must never lock the client out of a sick cluster.
+const (
+	breakerFailThreshold = 3
+	breakerOpenFor       = 250 * time.Millisecond
+)
+
+type breakerState struct {
+	fails     int
+	openUntil time.Time
 }
 
 // OpError is a failed operation's outcome. Indeterminate reports
@@ -78,6 +108,13 @@ type Client struct {
 	conn   netsim.Conn
 	epoch  uint64
 	nextID uint64
+
+	// Gray-failure machinery: per-endpoint circuit breakers, cached
+	// hedge connections, and per-endpoint virtual-latency EWMAs that
+	// order read targets and inform the hedge delay.
+	brk    map[string]*breakerState
+	hconns map[string]netsim.Conn
+	lat    map[string]time.Duration
 }
 
 // NewClient builds a client over the given endpoints. The first
@@ -106,6 +143,9 @@ func NewClient(dial Dialer, addrs []string, opts ClientOptions) *Client {
 		m:      m,
 		rng:    rand.New(rand.NewSource(opts.Seed ^ 0x5eed)),
 		nextID: 1,
+		brk:    make(map[string]*breakerState),
+		hconns: make(map[string]netsim.Conn),
+		lat:    make(map[string]time.Duration),
 	}
 }
 
@@ -119,16 +159,29 @@ func (c *Client) SetEpoch(e uint64) {
 	}
 }
 
-// Close drops the connection.
+// Close drops the connection and any cached hedge connections.
 func (c *Client) Close() {
 	if c.conn != nil {
 		_ = c.conn.Close()
 		c.conn = nil
 	}
+	for addr, conn := range c.hconns {
+		_ = conn.Close()
+		delete(c.hconns, addr)
+	}
 }
 
 // Get reads key. A nil error with found=false is a definitive miss.
+// With hedging configured, a read whose first answer would arrive
+// later than the hedge delay is duplicated to a second replica and the
+// earlier (virtual-time) answer wins; any complication falls back to
+// the plain retry loop.
 func (c *Client) Get(table string, key []byte) ([]byte, bool, error) {
+	if c.opts.HedgeDelay > 0 && c.opts.ReadAnywhere && len(c.addrs) > 1 {
+		if resp, ok := c.hedgedGet(request{verb: verbGet, table: table, key: key}); ok {
+			return resp.value, resp.found, nil
+		}
+	}
 	resp, err := c.do(request{verb: verbGet, table: table, key: key})
 	if err != nil {
 		return nil, false, err
@@ -193,7 +246,7 @@ func (c *Client) do(req request) (response, *OpError) {
 		if c.conn == nil {
 			if err := c.connect(write || !c.opts.ReadAnywhere); err != nil {
 				lastErr = err
-				c.backoff(attempt, 0)
+				c.backoff(attempt, 0, 0)
 				continue
 			}
 		}
@@ -203,7 +256,7 @@ func (c *Client) do(req request) (response, *OpError) {
 			// dies with the connection. Determinate.
 			c.dropConn()
 			lastErr = err
-			c.backoff(attempt, 0)
+			c.backoff(attempt, 0, 0)
 			continue
 		}
 		resp, err := c.recvMatching(req.id, req.verb)
@@ -217,7 +270,7 @@ func (c *Client) do(req request) (response, *OpError) {
 				c.dropConn()
 			}
 			lastErr = err
-			c.backoff(attempt, 0)
+			c.backoff(attempt, 0, 0)
 			continue
 		}
 		switch resp.status {
@@ -226,20 +279,20 @@ func (c *Client) do(req request) (response, *OpError) {
 		case stBusy:
 			// Definitively not applied; retry after the advised backoff.
 			lastErr = fmt.Errorf("busy (%s): %d/%d pages", resp.busy.Watermark, resp.busy.Avail, resp.busy.Hard)
-			c.backoff(attempt, resp.busy.Backoff)
+			c.backoff(attempt, resp.busy.Backoff, resp.busy.RetryAfter)
 		case stFenced:
 			c.SetEpoch(resp.epoch)
 			c.dropConn() // re-discover: the primary may have moved
 			lastErr = fmt.Errorf("fenced: server epoch %d", resp.epoch)
-			c.backoff(attempt, 0)
+			c.backoff(attempt, 0, 0)
 		case stReadOnly:
 			c.dropConn() // wrong endpoint for writes — re-discover
 			lastErr = fmt.Errorf("read-only endpoint: %s", resp.msg)
-			c.backoff(attempt, 0)
+			c.backoff(attempt, 0, 0)
 		case stIndeterminate:
 			indeterminate = true
 			lastErr = fmt.Errorf("indeterminate: %s", resp.msg)
-			c.backoff(attempt, 0)
+			c.backoff(attempt, 0, 0)
 		default: // stErr: a hard, determinate refusal — no retry
 			return response{}, &OpError{Indeterminate: indeterminate, Err: errors.New(resp.msg)}
 		}
@@ -282,16 +335,19 @@ func (c *Client) connect(needPrimary bool) error {
 	}
 	bestAddr := ""
 	var bestStat Status
-	for _, addr := range c.addrs {
+	for _, addr := range c.candidateAddrs() {
 		conn, err := c.dial(addr)
 		if err != nil {
+			c.noteAddrFailure(addr)
 			continue
 		}
 		st, err := c.statusOn(conn)
 		_ = conn.Close()
 		if err != nil {
+			c.noteAddrFailure(addr)
 			continue
 		}
+		c.noteAddrOK(addr)
 		c.SetEpoch(st.Epoch)
 		if needPrimary && (st.Role != "primary" || st.Degraded) {
 			continue
@@ -340,8 +396,11 @@ func (c *Client) dropConn() {
 }
 
 // backoff sleeps a jittered exponential delay; a server-advised delay
-// replaces the exponential term.
-func (c *Client) backoff(attempt int, advised time.Duration) {
+// replaces the exponential term (capped at BackoffMax), and an
+// explicit retryAfter hint — a server promise that earlier retries are
+// pointless — is honored uncapped, with additive jitter so a shed herd
+// does not return in lockstep.
+func (c *Client) backoff(attempt int, advised, retryAfter time.Duration) {
 	d := c.opts.BackoffBase << uint(attempt)
 	if advised > 0 {
 		d = advised
@@ -351,5 +410,253 @@ func (c *Client) backoff(attempt int, advised time.Duration) {
 	}
 	// Full jitter in [d/2, d).
 	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	if retryAfter > 0 && d < retryAfter {
+		d = retryAfter + time.Duration(c.rng.Int63n(int64(retryAfter/8)+1))
+	}
+	if c.opts.Clock != nil {
+		// Virtual-time deployment: charge the full (uncapped) wait to
+		// the client's lane and keep the real sleep bounded, like every
+		// other virtual stall in the simulation.
+		c.opts.Clock.Advance(d)
+		if d > 10*time.Millisecond {
+			d = 10 * time.Millisecond
+		}
+	} else if d > time.Second {
+		// No virtual clock to charge: a server hint denominated in
+		// virtual time can be astronomically large — cap the real sleep
+		// so a retry-after can never wedge the caller.
+		d = time.Second
+	}
 	time.Sleep(d)
+}
+
+// --- circuit breaker -------------------------------------------------
+
+// addrAllowed reports whether the endpoint's breaker admits an attempt
+// (closed, or open past its window — the half-open probe).
+func (c *Client) addrAllowed(addr string) bool {
+	b := c.brk[addr]
+	return b == nil || b.fails < breakerFailThreshold || time.Now().After(b.openUntil)
+}
+
+// noteAddrFailure records a dial/probe failure; crossing the threshold
+// (re-)opens the breaker.
+func (c *Client) noteAddrFailure(addr string) {
+	b := c.brk[addr]
+	if b == nil {
+		b = &breakerState{}
+		c.brk[addr] = b
+	}
+	b.fails++
+	if b.fails >= breakerFailThreshold {
+		b.openUntil = time.Now().Add(breakerOpenFor)
+		c.m.Inc(metrics.BreakerOpen, 1)
+	}
+}
+
+// noteAddrOK closes the endpoint's breaker.
+func (c *Client) noteAddrOK(addr string) {
+	if b := c.brk[addr]; b != nil {
+		b.fails = 0
+	}
+}
+
+// candidateAddrs is the endpoint list with open breakers filtered out.
+// When every breaker is open the full list comes back: the breaker
+// sheds work from a sick endpoint, it never locks the client out of a
+// sick cluster.
+func (c *Client) candidateAddrs() []string {
+	open := make([]string, 0, len(c.addrs))
+	for _, a := range c.addrs {
+		if c.addrAllowed(a) {
+			open = append(open, a)
+		}
+	}
+	if len(open) == 0 {
+		return c.addrs
+	}
+	return open
+}
+
+// --- hedged reads ----------------------------------------------------
+
+// observeLat folds one virtual-latency sample into the endpoint's EWMA.
+func (c *Client) observeLat(addr string, d time.Duration) {
+	if prev, ok := c.lat[addr]; ok {
+		c.lat[addr] = prev + (d-prev)*3/10
+	} else {
+		c.lat[addr] = d
+	}
+}
+
+// readOrder returns breaker-admitted endpoints sorted fastest-first by
+// latency EWMA (unknown endpoints sort first so they get measured).
+// A degrading replica's EWMA inflates until it loses the front spot —
+// hedge target selection self-corrects without explicit health pings.
+func (c *Client) readOrder() []string {
+	addrs := append([]string(nil), c.candidateAddrs()...)
+	sort.SliceStable(addrs, func(i, j int) bool {
+		return c.lat[addrs[i]] < c.lat[addrs[j]]
+	})
+	return addrs
+}
+
+// hedgeDelayFor is the health-informed hedge delay: the configured
+// floor, raised to 2× the target's latency EWMA so ordinary responses
+// from a healthy replica are never hedged.
+func (c *Client) hedgeDelayFor(addr string) time.Duration {
+	d := c.opts.HedgeDelay
+	if ewma := c.lat[addr]; ewma*2 > d {
+		d = ewma * 2
+	}
+	return d
+}
+
+// hconn returns a cached hedge connection to addr, dialing on first
+// use. Hedge conns are separate from the primary conn so hedged reads
+// never perturb the write path's request stream.
+func (c *Client) hconn(addr string) netsim.Conn {
+	if conn, ok := c.hconns[addr]; ok {
+		return conn
+	}
+	conn, err := c.dial(addr)
+	if err != nil {
+		c.noteAddrFailure(addr)
+		return nil
+	}
+	c.hconns[addr] = conn
+	return conn
+}
+
+func (c *Client) dropHconn(addr string) {
+	if conn, ok := c.hconns[addr]; ok {
+		_ = conn.Close()
+		delete(c.hconns, addr)
+	}
+}
+
+// recvAtMatching reads responses off a hedge conn until one matches id,
+// WITHOUT advancing the client's clock: it returns the decoded response
+// together with its virtual delivery time, leaving the AdvanceTo to the
+// hedge arbiter. virt is false on transports without virtual timing.
+func (c *Client) recvAtMatching(conn netsim.Conn, id uint64, verb byte) (response, time.Duration, bool, error) {
+	for i := 0; i < 4; i++ {
+		msg, at, virt, err := netsim.RecvAt(conn, c.opts.RecvTimeout)
+		if err != nil {
+			return response{}, 0, virt, err
+		}
+		resp, err := decodeResponse(msg, verb)
+		if err != nil {
+			return response{}, 0, virt, err
+		}
+		if resp.id == id {
+			return resp, at, virt, nil
+		}
+	}
+	return response{}, 0, true, fmt.Errorf("no response matching request %d", id)
+}
+
+// hedgedGet runs one read with hedging. ok=false means the caller must
+// fall back to the plain retry loop (no usable OK answer came back —
+// the read was NOT applied anywhere in a way that matters; reads are
+// idempotent, so re-running is always safe).
+//
+// The hedge is decided in VIRTUAL time: over netsim every response is
+// available in real time almost immediately, carrying the virtual
+// delivery timestamp its simulated latency implies. The client sends to
+// the fastest-EWMA replica, inspects the response's virtual arrival
+// WITHOUT advancing its clock, and only if that arrival exceeds the
+// hedge delay does it charge the delay, duplicate the read to the
+// second replica, and take whichever answer bears the earlier virtual
+// timestamp. A plain Recv on the slow response would drag the client's
+// lane clock past the fast one and erase the win.
+func (c *Client) hedgedGet(req request) (response, bool) {
+	order := c.readOrder()
+	if len(order) < 2 {
+		return response{}, false
+	}
+	first, second := order[0], order[1]
+	ca := c.hconn(first)
+	if ca == nil {
+		return response{}, false
+	}
+	req.id = c.nextID
+	c.nextID++
+	req.epoch = c.epoch
+	req.deadline = c.opts.Deadline
+	var t0 time.Duration
+	if c.opts.Clock != nil {
+		t0 = c.opts.Clock.Now()
+	}
+	if err := ca.Send(encodeRequest(req)); err != nil {
+		c.dropHconn(first)
+		c.noteAddrFailure(first)
+		return response{}, false
+	}
+	respA, atA, virt, errA := c.recvAtMatching(ca, req.id, req.verb)
+	if errA != nil {
+		c.dropHconn(first)
+		c.noteAddrFailure(first)
+	} else {
+		c.noteAddrOK(first)
+	}
+	if errA == nil && (!virt || c.opts.Clock == nil) {
+		// Real transport: arrival order is the only order there is.
+		return respA, respA.status == stOK
+	}
+	deadline := t0 + c.hedgeDelayFor(first)
+	if errA == nil && atA <= deadline {
+		c.opts.Clock.AdvanceTo(atA)
+		c.observeLat(first, atA-t0)
+		return respA, respA.status == stOK
+	}
+
+	// First answer is virtually late (or lost) — hedge.
+	c.m.Inc(metrics.HedgedReads, 1)
+	c.opts.Clock.AdvanceTo(deadline)
+	type answer struct {
+		resp response
+		at   time.Duration
+		addr string
+	}
+	var answers []answer
+	if errA == nil {
+		answers = append(answers, answer{respA, atA, first})
+	}
+	if cb := c.hconn(second); cb != nil {
+		reqB := req
+		reqB.id = c.nextID
+		c.nextID++
+		if err := cb.Send(encodeRequest(reqB)); err != nil {
+			c.dropHconn(second)
+			c.noteAddrFailure(second)
+		} else if respB, atB, _, errB := c.recvAtMatching(cb, reqB.id, reqB.verb); errB != nil {
+			c.dropHconn(second)
+			c.noteAddrFailure(second)
+		} else {
+			c.noteAddrOK(second)
+			if atB < deadline {
+				// The duplicate cannot have answered before it was sent.
+				atB = deadline
+			}
+			answers = append(answers, answer{respB, atB, second})
+		}
+	}
+	if len(answers) == 0 {
+		return response{}, false
+	}
+	win := answers[0]
+	for _, a := range answers[1:] {
+		if a.at < win.at {
+			win = a
+		}
+	}
+	c.opts.Clock.AdvanceTo(win.at)
+	for _, a := range answers {
+		c.observeLat(a.addr, a.at-t0)
+	}
+	if win.addr == second {
+		c.m.Inc(metrics.HedgeWins, 1)
+	}
+	return win.resp, win.resp.status == stOK
 }

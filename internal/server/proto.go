@@ -258,16 +258,23 @@ func respOKStatus(id uint64, s Status) []byte {
 
 // BusyAdvice is the decoded retry advice of a Busy response.
 type BusyAdvice struct {
-	Backoff   time.Duration
-	Shard     int
-	Avail     int
-	Hard      int
-	Watermark string
+	Backoff time.Duration
+	// RetryAfter, when non-zero, is an explicit server promise: retrying
+	// before this much time has passed is pointless (the rate limiter's
+	// next token, a checkpoint round in flight). Unlike Backoff — a
+	// suggestion the client folds into its capped exponential schedule —
+	// RetryAfter is honored uncapped.
+	RetryAfter time.Duration
+	Shard      int
+	Avail      int
+	Hard       int
+	Watermark  string
 }
 
 func respBusy(id uint64, adv BusyAdvice) []byte {
 	b := respHeader(stBusy, id)
 	b = appendU64(b, uint64(adv.Backoff))
+	b = appendU64(b, uint64(adv.RetryAfter))
 	b = appendU32(b, uint32(int32(adv.Shard)))
 	b = appendU32(b, uint32(adv.Avail))
 	b = appendU32(b, uint32(adv.Hard))
@@ -327,6 +334,7 @@ func decodeResponse(msg []byte, verb byte) (response, error) {
 		}
 	case stBusy:
 		resp.busy.Backoff = time.Duration(r.u64())
+		resp.busy.RetryAfter = time.Duration(r.u64())
 		resp.busy.Shard = int(int32(r.u32()))
 		resp.busy.Avail = int(r.u32())
 		resp.busy.Hard = int(r.u32())

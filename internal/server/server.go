@@ -224,10 +224,15 @@ func (s *Server) handleWrite(req request) []byte {
 	}
 	if wait, ok := s.takeToken(); !ok {
 		s.m.Inc(metrics.ServerShed, 1)
+		// The rate limiter knows exactly when the next token arrives, so
+		// it ships an explicit RetryAfter: the client honors it uncapped
+		// instead of clamping it into its backoff schedule and hammering
+		// the bucket early.
 		return respBusy(req.id, BusyAdvice{
-			Backoff:   wait,
-			Shard:     -1,
-			Watermark: "server-rate",
+			Backoff:    wait,
+			RetryAfter: wait,
+			Shard:      -1,
+			Watermark:  "server-rate",
 		})
 	}
 	if s.opts.Pressure != nil {
@@ -263,6 +268,12 @@ func (s *Server) handleWrite(req request) []byte {
 	}
 	seq, err := s.eng.Apply(ctx, req.table, ops)
 	if err != nil {
+		if req.deadline > 0 &&
+			(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+			// A client-propagated deadline reached the engine and aborted
+			// the stall cleanly — the deadline did its job end to end.
+			s.m.Inc(metrics.DeadlineAborts, 1)
+		}
 		return s.errResp(req.id, err)
 	}
 	return respOKWrite(req.id, seq)

@@ -1,0 +1,22 @@
+package torture
+
+import "testing"
+
+// TestFuzzSlowShortRun drives a few gray-failure chains: a 3-node
+// replicated cluster where every storage layer and every link runs
+// seeded slow faults but nothing ever fail-stops. Because no write can
+// be legally lost, the oracle is strict (acked writes survive exactly)
+// and adds the liveness bounds: no client op may exceed the real-time
+// bound, and the cluster must converge after HealAll.
+func TestFuzzSlowShortRun(t *testing.T) {
+	rep := Run(Options{Seed: 21, Steps: 3, Step: -1, Slow: true, Logf: t.Logf})
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s worker=%d %s\n  repro: %s", v.Kind, v.Worker, v.Detail, v.Repro)
+		}
+	}
+	if rep.Txns == 0 {
+		t.Fatal("slow fuzzer committed no transactions")
+	}
+	t.Logf("chains=%d txns=%d elapsed=%s", rep.Chains, rep.Txns, rep.Elapsed)
+}

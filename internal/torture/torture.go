@@ -78,6 +78,15 @@ type Options struct {
 	// mode; chains are concurrent by construction, so Minimize reports
 	// violations unshrunk.
 	Repl bool
+	// Slow runs gray-failure chains instead: the -repl 3-node topology
+	// with every layer's slow-fault injection armed (NVRAM remap
+	// stalls, device GC pauses, fsync hangs, link bufferbloat) and the
+	// primary's ack-latency quarantine active — but nothing
+	// fail-stops. The oracle adds LIVENESS to -repl's safety checks:
+	// every client op must resolve within a bounded real time, and the
+	// healed cluster must converge (quarantined replicas must resync
+	// and re-admit). Incompatible with every other mode (see slow.go).
+	Slow bool
 	// HeapPages, when > 0, shrinks the platform's NVRAM heap to that
 	// many pages — small enough that ordinary rounds exhaust it — and
 	// arms the backpressure machinery: chains get a short CommitTimeout
@@ -155,6 +164,8 @@ func Run(opts Options) Report {
 		}
 		var res chainResult
 		switch {
+		case opts.Slow:
+			res = runSlowChain(opts, step+n)
 		case opts.Repl:
 			res = runReplChain(opts, step+n)
 		case opts.Shards > 1:
