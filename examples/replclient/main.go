@@ -127,6 +127,30 @@ func main() {
 		}
 	}
 
+	// Hedged reads over real TCP run in the first-response-wins
+	// degenerate form (no virtual clock): a read is duplicated to the
+	// second endpoint when the first is slow, and a dead first target
+	// must degrade to the plain retry loop instead of failing the read.
+	hedged := server.NewClient(netsim.DialTCP, []string{replicaAddr, primaryAddr}, server.ClientOptions{
+		ReadAnywhere: true,
+		HedgeDelay:   200 * time.Microsecond,
+		RecvTimeout:  200 * time.Millisecond,
+	})
+	defer hedged.Close()
+	v, found, err := hedged.Get("kv", []byte("user:0001"))
+	if err != nil || !found {
+		log.Fatalf("hedged get: found=%v err=%v", found, err)
+	}
+	fmt.Printf("hedged read user:0001 = %q\n", v)
+	// Kill the replica front-end: the hedged reader's first target goes
+	// dark mid-session, and reads must still complete via the primary.
+	rsrv.Close()
+	v, found, err = hedged.Get("kv", []byte("config:theme"))
+	if err != nil || !found {
+		log.Fatalf("hedged get with replica down: found=%v err=%v", found, err)
+	}
+	fmt.Printf("hedged read with replica down config:theme = %q\n", v)
+
 	rsrv.Close()
 	rep.Close()
 	psrv.Close()

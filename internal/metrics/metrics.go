@@ -93,17 +93,17 @@ const (
 	ReplDivergences    = "repl_divergences"     // chain mismatches latching a replica degraded
 	ReplAckWaits       = "repl_ack_waits"       // commits that waited on a replica ack quorum
 	// Gray-failure resilience (slow faults, health watchdogs, hedging).
-	SlowFaultStalls    = "slow_fault_stalls"    // injected slow-fault delays (all layers)
-	SlowFaultStallNs   = "slow_fault_stall_ns"  // virtual ns of injected slow-fault delay
-	HealthState        = "health_state"         // per-component gauge: 0 ok, 1 degraded, 2 stalled
-	HealthDegraded     = "health_degraded"      // ok->degraded transitions observed
-	HealthStalled      = "health_stalled"       // ->stalled transitions observed
+	SlowFaultStalls    = "slow_fault_stalls"   // injected slow-fault delays (all layers)
+	SlowFaultStallNs   = "slow_fault_stall_ns" // virtual ns of injected slow-fault delay
+	HealthState        = "health_state"        // per-component gauge: 0 ok, 1 degraded, 2 stalled
+	HealthDegraded     = "health_degraded"     // ok->degraded transitions observed
+	HealthStalled      = "health_stalled"      // ->stalled transitions observed
 	ReplReseedAborts   = "repl_reseed_aborts"
-	HedgedReads        = "hedged_reads"         // reads duplicated to a second backend
-	HedgeWins          = "hedge_wins"           // hedged reads answered first by the hedge
-	BreakerOpen        = "breaker_open_total"   // circuit-breaker open transitions
-	ReplicaQuarantines = "replica_quarantines"  // replicas dropped to async for slow acks
-	ReplicaReadmits    = "replica_readmits"     // quarantined replicas re-admitted to the quorum
+	HedgedReads        = "hedged_reads"               // reads duplicated to a second backend
+	HedgeWins          = "hedge_wins"                 // hedged reads answered first by the hedge
+	BreakerOpen        = "breaker_open_total"         // circuit-breaker open transitions
+	ReplicaQuarantines = "replica_quarantines"        // replicas dropped to async for slow acks
+	ReplicaReadmits    = "replica_readmits"           // quarantined replicas re-admitted to the quorum
 	DeadlineAborts     = "deadline_propagated_aborts" // ops aborted by a client-propagated deadline
 )
 

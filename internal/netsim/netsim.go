@@ -311,11 +311,6 @@ func (c *conn) Send(msg []byte) error {
 	sendClock := n.clockFor(c.local)
 	n.mu.Unlock()
 
-	if stalled {
-		n.m.Inc(metrics.SlowFaultStalls, 1)
-		n.m.Inc(metrics.SlowFaultStallNs, cfg.StallDelay.Nanoseconds())
-	}
-
 	n.m.Inc(metrics.NetMessages, 1)
 	n.m.Inc(metrics.NetBytes, int64(len(msg)))
 	// The send itself costs the sender its share of the latency — wire
@@ -335,6 +330,13 @@ func (c *conn) Send(msg []byte) error {
 	if dropNow {
 		n.m.Inc(metrics.NetDropped, 1)
 		return nil
+	}
+	if stalled {
+		// Counted only once the message will actually be delivered — a
+		// stall on a send that is then blackholed/cut/dropped is never
+		// experienced by the receiver.
+		n.m.Inc(metrics.SlowFaultStalls, 1)
+		n.m.Inc(metrics.SlowFaultStallNs, cfg.StallDelay.Nanoseconds())
 	}
 
 	cp := make([]byte, len(msg))

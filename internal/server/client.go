@@ -604,6 +604,12 @@ func (c *Client) hedgedGet(req request) (response, bool) {
 		// Real transport: arrival order is the only order there is.
 		return respA, respA.status == stOK
 	}
+	if c.opts.Clock == nil || (errA != nil && !virt) {
+		// No virtual clock to arbitrate the hedge (or a recv failure on
+		// a real transport): fall back to the plain retry loop, which
+		// already walks the replica order. Reads are idempotent.
+		return response{}, false
+	}
 	deadline := t0 + c.hedgeDelayFor(first)
 	if errA == nil && atA <= deadline {
 		c.opts.Clock.AdvanceTo(atA)
@@ -615,13 +621,14 @@ func (c *Client) hedgedGet(req request) (response, bool) {
 	c.m.Inc(metrics.HedgedReads, 1)
 	c.opts.Clock.AdvanceTo(deadline)
 	type answer struct {
-		resp response
-		at   time.Duration
-		addr string
+		resp   response
+		at     time.Duration
+		addr   string
+		sentAt time.Duration
 	}
 	var answers []answer
 	if errA == nil {
-		answers = append(answers, answer{respA, atA, first})
+		answers = append(answers, answer{respA, atA, first, t0})
 	}
 	if cb := c.hconn(second); cb != nil {
 		reqB := req
@@ -639,7 +646,7 @@ func (c *Client) hedgedGet(req request) (response, bool) {
 				// The duplicate cannot have answered before it was sent.
 				atB = deadline
 			}
-			answers = append(answers, answer{respB, atB, second})
+			answers = append(answers, answer{respB, atB, second, deadline})
 		}
 	}
 	if len(answers) == 0 {
@@ -653,7 +660,11 @@ func (c *Client) hedgedGet(req request) (response, bool) {
 	}
 	c.opts.Clock.AdvanceTo(win.at)
 	for _, a := range answers {
-		c.observeLat(a.addr, a.at-t0)
+		// Charge each replica from the time its copy of the read was
+		// actually sent — the duplicate went out at the hedge deadline,
+		// not t0, and billing it the hedge delay would inflate a healthy
+		// hedge target's EWMA on every hedge.
+		c.observeLat(a.addr, a.at-a.sentAt)
 	}
 	if win.addr == second {
 		c.m.Inc(metrics.HedgeWins, 1)

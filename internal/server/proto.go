@@ -301,9 +301,9 @@ type response struct {
 	value []byte
 	seq   uint64
 	stat  Status
-	busy   BusyAdvice
-	epoch  uint64
-	msg    string
+	busy  BusyAdvice
+	epoch uint64
+	msg   string
 }
 
 // decodeResponse parses a response for the verb the request carried.

@@ -318,3 +318,31 @@ func TestServerRoundTripTCP(t *testing.T) {
 		t.Fatalf("Status over TCP = %+v, %v", st, err)
 	}
 }
+
+// recvErrConn is a real-transport-shaped Conn (no RecvAt method, so no
+// virtual timing) whose reads always time out — the gray-failure shape
+// hedging targets on TCP.
+type recvErrConn struct{}
+
+func (recvErrConn) Send([]byte) error                  { return nil }
+func (recvErrConn) Recv(time.Duration) ([]byte, error) { return nil, netsim.ErrTimeout }
+func (recvErrConn) Close() error                       { return nil }
+func (recvErrConn) LocalName() string                  { return "cli" }
+func (recvErrConn) RemoteName() string                 { return "srv" }
+
+func TestHedgedGetNilClockRecvFailureFallsBack(t *testing.T) {
+	// Regression: with a nil Clock (real-transport first-response-wins
+	// hedging), a recv failure on the first replica must fall back to
+	// the plain retry loop instead of dereferencing the nil clock.
+	dial := func(string) (netsim.Conn, error) { return recvErrConn{}, nil }
+	cli := NewClient(dial, []string{"a", "b"}, ClientOptions{
+		RetryBudget:  2,
+		RecvTimeout:  5 * time.Millisecond,
+		ReadAnywhere: true,
+		HedgeDelay:   time.Millisecond,
+	})
+	defer cli.Close()
+	if _, _, err := cli.Get("kv", []byte("k")); err == nil {
+		t.Fatal("expected an error from a cluster that never answers")
+	}
+}
